@@ -1,0 +1,59 @@
+//! E13: marketplace quote and purchase throughput on the business
+//! directory scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qbdp_market::Market;
+use qbdp_workload::scenarios::business::{generate, BusinessConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn market() -> Market {
+    let mut rng = StdRng::seed_from_u64(13);
+    let m = generate(
+        &mut rng,
+        BusinessConfig {
+            states: 10,
+            counties_per_state: 5,
+            businesses: 200,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    Market::open(m.catalog, m.instance, m.prices).unwrap()
+}
+
+fn bench_quotes(c: &mut Criterion) {
+    let market = market();
+    let mut group = c.benchmark_group("market");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("quote_state_slice", |b| {
+        b.iter(|| {
+            market
+                .quote_str(black_box("Q(n, c) :- Business(n, 'S3', c)"))
+                .unwrap()
+                .price
+        })
+    });
+    group.bench_function("quote_join", |b| {
+        b.iter(|| {
+            market
+                .quote_str(black_box("Q(n, c) :- Business(n, 'S3', c), Restaurant(n)"))
+                .unwrap()
+                .price
+        })
+    });
+    group.bench_function("purchase", |b| {
+        b.iter(|| {
+            market
+                .purchase_str(black_box("Q(n, c) :- Business(n, 'S1', c)"))
+                .unwrap()
+                .answer
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quotes);
+criterion_main!(benches);

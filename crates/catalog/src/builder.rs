@@ -1,0 +1,109 @@
+//! Ergonomic construction of [`Catalog`]s.
+
+use crate::catalog::Catalog;
+use crate::column::Column;
+use crate::error::CatalogError;
+use crate::schema::{RelationSchema, Schema};
+use std::sync::Arc;
+
+/// Builder collecting relations with their per-attribute columns.
+///
+/// ```
+/// use qbdp_catalog::{CatalogBuilder, Column};
+/// let catalog = CatalogBuilder::new()
+///     .relation("R", &[("X", Column::texts(["a1", "a2"]))])
+///     .relation("S", &[
+///         ("X", Column::texts(["a1", "a2"])),
+///         ("Y", Column::texts(["b1", "b2"])),
+///     ])
+///     .build()
+///     .unwrap();
+/// assert_eq!(catalog.sigma_size(), 6);
+/// ```
+#[derive(Default)]
+pub struct CatalogBuilder {
+    relations: Vec<(String, Vec<(String, Column)>)>,
+    error: Option<CatalogError>,
+}
+
+impl CatalogBuilder {
+    /// Start an empty builder.
+    pub fn new() -> Self {
+        CatalogBuilder::default()
+    }
+
+    /// Declare a relation with named, column-typed attributes.
+    pub fn relation(mut self, name: impl Into<String>, attrs: &[(&str, Column)]) -> Self {
+        self.relations.push((
+            name.into(),
+            attrs
+                .iter()
+                .map(|(n, c)| (n.to_string(), c.clone()))
+                .collect(),
+        ));
+        self
+    }
+
+    /// Declare a relation whose attributes all share one column — the common
+    /// case for synthetic workloads (`R(X,Y)` over `{0..n}²`).
+    pub fn uniform_relation(
+        self,
+        name: impl Into<String>,
+        attr_names: &[&str],
+        column: &Column,
+    ) -> Self {
+        let attrs: Vec<(&str, Column)> = attr_names.iter().map(|&n| (n, column.clone())).collect();
+        self.relation(name, &attrs)
+    }
+
+    /// Finish, producing the immutable catalog.
+    pub fn build(self) -> Result<Catalog, CatalogError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let mut schema = Schema::new();
+        let mut columns = Vec::with_capacity(self.relations.len());
+        for (name, attrs) in self.relations {
+            let rel = RelationSchema::new(name, attrs.iter().map(|(n, _)| n.clone()))?;
+            schema.add_relation(rel)?;
+            columns.push(attrs.into_iter().map(|(_, c)| c).collect());
+        }
+        Catalog::new(Arc::new(schema), columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrRef;
+
+    #[test]
+    fn uniform_relation() {
+        let col = Column::int_range(0, 5);
+        let c = CatalogBuilder::new()
+            .uniform_relation("R", &["X", "Y"], &col)
+            .build()
+            .unwrap();
+        let r = c.schema().rel_id("R").unwrap();
+        assert_eq!(c.column(AttrRef::new(r, 0)), c.column(AttrRef::new(r, 1)));
+    }
+
+    #[test]
+    fn duplicate_relation_propagates() {
+        let col = Column::int_range(0, 2);
+        let err = CatalogBuilder::new()
+            .uniform_relation("R", &["X"], &col)
+            .uniform_relation("R", &["X"], &col)
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn duplicate_attribute_propagates() {
+        let col = Column::int_range(0, 2);
+        let err = CatalogBuilder::new()
+            .relation("R", &[("X", col.clone()), ("X", col)])
+            .build();
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! The [`Catalog`]: a schema together with one declared [`Column`] per
+//! attribute position. This is exactly the "public knowledge" of the paper's
+//! pricing setting: buyers and sellers both know the schema and all columns;
+//! only the instance is the seller's private, priced asset.
+
+use crate::column::Column;
+use crate::error::CatalogError;
+use crate::instance::Instance;
+use crate::schema::{AttrId, AttrRef, RelId, Schema};
+use crate::value::Value;
+use std::sync::Arc;
+
+/// Schema + columns. Immutable after construction (columns "always remain
+/// fixed when the database is updated", paper §3).
+#[derive(Clone, Debug)]
+pub struct Catalog {
+    schema: Arc<Schema>,
+    /// `columns[rel][attr]` is `Col_{R.X}`.
+    columns: Vec<Vec<Column>>,
+}
+
+impl Catalog {
+    /// Assemble a catalog; `columns[r][a]` must cover every relation/attr.
+    /// Prefer [`crate::CatalogBuilder`] for ergonomic construction.
+    pub fn new(schema: Arc<Schema>, columns: Vec<Vec<Column>>) -> Result<Self, CatalogError> {
+        for (rid, rel) in schema.iter() {
+            let cols = columns
+                .get(rid.0 as usize)
+                .ok_or_else(|| CatalogError::MissingColumn(rel.name().to_string()))?;
+            if cols.len() != rel.arity() {
+                return Err(CatalogError::MissingColumn(format!(
+                    "{} (declared {} of {} columns)",
+                    rel.name(),
+                    cols.len(),
+                    rel.arity()
+                )));
+            }
+        }
+        Ok(Catalog { schema, columns })
+    }
+
+    /// The shared schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The column of an attribute position.
+    pub fn column(&self, a: AttrRef) -> &Column {
+        &self.columns[a.rel.0 as usize][a.attr.0 as usize]
+    }
+
+    /// All columns of one relation, in attribute order.
+    pub fn relation_columns(&self, rel: RelId) -> &[Column] {
+        &self.columns[rel.0 as usize]
+    }
+
+    /// An empty instance over this catalog's schema.
+    pub fn empty_instance(&self) -> Instance {
+        Instance::empty(self.schema.clone())
+    }
+
+    /// Verify the inclusion constraint `R.X ⊆ Col_{R.X}` for every tuple of
+    /// every relation. Returns the first violation found.
+    pub fn check_instance(&self, d: &Instance) -> Result<(), CatalogError> {
+        for (rid, rel) in self.schema.iter() {
+            for t in d.relation(rid).iter() {
+                for (pos, v) in t.iter().enumerate() {
+                    let aref = AttrRef {
+                        rel: rid,
+                        attr: AttrId(pos as u32),
+                    };
+                    if !self.column(aref).contains(v) {
+                        return Err(CatalogError::ValueOutsideColumn {
+                            attr: format!("{}.{}", rel.name(), rel.attr_name(AttrId(pos as u32))),
+                            value: v.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of tuples in the full column-product of a relation — the size
+    /// of the "maximal possible world" for that relation, used by the
+    /// determinacy oracle's complexity accounting.
+    pub fn product_size(&self, rel: RelId) -> usize {
+        self.columns[rel.0 as usize]
+            .iter()
+            .map(Column::len)
+            .try_fold(1usize, usize::checked_mul)
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Enumerate the full column-product of a relation: every tuple over the
+    /// declared columns. The closure receives each candidate tuple as a value
+    /// slice; return `false` from it to stop early.
+    pub fn for_each_product_tuple(&self, rel: RelId, mut f: impl FnMut(&[Value]) -> bool) -> bool {
+        let cols = &self.columns[rel.0 as usize];
+        if cols.iter().any(Column::is_empty) {
+            return true;
+        }
+        let arity = cols.len();
+        let mut idx = vec![0u32; arity];
+        let mut buf: Vec<Value> = cols.iter().map(|c| c.value_at(0).clone()).collect();
+        loop {
+            if !f(&buf) {
+                return false;
+            }
+            // Odometer increment.
+            let mut pos = arity;
+            loop {
+                if pos == 0 {
+                    return true;
+                }
+                pos -= 1;
+                idx[pos] += 1;
+                if (idx[pos] as usize) < cols[pos].len() {
+                    buf[pos] = cols[pos].value_at(idx[pos]).clone();
+                    break;
+                }
+                idx[pos] = 0;
+                buf[pos] = cols[pos].value_at(0).clone();
+            }
+        }
+    }
+
+    /// Total number of selection views in `Σ` (one per attribute per column
+    /// value) — the size of the seller's maximal price list.
+    pub fn sigma_size(&self) -> usize {
+        self.schema
+            .all_attrs()
+            .iter()
+            .map(|&a| self.column(a).len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CatalogBuilder;
+    use crate::tuple;
+
+    fn small_catalog() -> Catalog {
+        CatalogBuilder::new()
+            .relation("R", &[("X", Column::int_range(0, 2))])
+            .relation(
+                "S",
+                &[
+                    ("X", Column::int_range(0, 2)),
+                    ("Y", Column::int_range(0, 3)),
+                ],
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn column_lookup() {
+        let c = small_catalog();
+        let s = c.schema().rel_id("S").unwrap();
+        assert_eq!(c.column(AttrRef::new(s, 1)).len(), 3);
+        assert_eq!(c.relation_columns(s).len(), 2);
+        assert_eq!(c.sigma_size(), 2 + 2 + 3);
+    }
+
+    #[test]
+    fn inclusion_constraint() {
+        let c = small_catalog();
+        let s = c.schema().rel_id("S").unwrap();
+        let mut d = c.empty_instance();
+        d.insert(s, tuple![1, 2]).unwrap();
+        assert!(c.check_instance(&d).is_ok());
+        d.insert(s, tuple![1, 99]).unwrap();
+        let err = c.check_instance(&d).unwrap_err();
+        assert!(err.to_string().contains("S.Y"));
+    }
+
+    #[test]
+    fn product_enumeration() {
+        let c = small_catalog();
+        let s = c.schema().rel_id("S").unwrap();
+        assert_eq!(c.product_size(s), 6);
+        let mut seen = Vec::new();
+        c.for_each_product_tuple(s, |vals| {
+            seen.push(Tuple::new(vals.to_vec()));
+            true
+        });
+        assert_eq!(seen.len(), 6);
+        assert!(seen.contains(&tuple![1, 2]));
+        // Early stop.
+        let mut count = 0;
+        let completed = c.for_each_product_tuple(s, |_| {
+            count += 1;
+            count < 3
+        });
+        assert!(!completed);
+        assert_eq!(count, 3);
+    }
+
+    use crate::tuple::Tuple;
+}

@@ -1,0 +1,251 @@
+//! Database instances `D = (R_1^D, ..., R_k^D)` with per-attribute indexes.
+//!
+//! The paper's dynamic setting (§2.7) considers only insertions, so
+//! [`Relation`] and [`Instance`] are insert-only; this keeps the indexes
+//! append-only and makes the `D_1 ⊆ D_2` monotonicity experiments exact.
+
+use crate::error::CatalogError;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::schema::{AttrId, RelId, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// The extension of a single relation: a set of tuples plus one hash index
+/// per attribute position (value → tuple indices).
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    tuples: Vec<Tuple>,
+    set: FxHashSet<Tuple>,
+    index: Vec<FxHashMap<Value, Vec<u32>>>,
+}
+
+impl Relation {
+    fn with_arity(arity: usize) -> Self {
+        Relation {
+            tuples: Vec::new(),
+            set: FxHashSet::default(),
+            index: (0..arity).map(|_| FxHashMap::default()).collect(),
+        }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.set.contains(t)
+    }
+
+    /// Iterate over the tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Tuples whose attribute `attr` equals `v` — the extension of the
+    /// selection view `σ_{R.attr=v}(D)`.
+    pub fn select(&self, attr: AttrId, v: &Value) -> impl Iterator<Item = &Tuple> {
+        self.index[attr.0 as usize]
+            .get(v)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.tuples[i as usize])
+    }
+
+    /// Number of tuples with `attr = v`, without materializing them.
+    pub fn select_count(&self, attr: AttrId, v: &Value) -> usize {
+        self.index[attr.0 as usize].get(v).map_or(0, Vec::len)
+    }
+
+    /// Distinct values appearing in attribute `attr` (the active domain of
+    /// that position).
+    pub fn active_values(&self, attr: AttrId) -> impl Iterator<Item = &Value> {
+        self.index[attr.0 as usize].keys()
+    }
+
+    fn insert(&mut self, t: Tuple) -> bool {
+        if !self.set.insert(t.clone()) {
+            return false;
+        }
+        let idx = self.tuples.len() as u32;
+        for (pos, v) in t.iter().enumerate() {
+            self.index[pos].entry(v.clone()).or_default().push(idx);
+        }
+        self.tuples.push(t);
+        true
+    }
+}
+
+/// A database instance over a shared [`Schema`].
+#[derive(Clone, Debug)]
+pub struct Instance {
+    schema: Arc<Schema>,
+    relations: Vec<Relation>,
+}
+
+impl Instance {
+    /// The empty instance over a schema.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        let relations = schema
+            .iter()
+            .map(|(_, r)| Relation::with_arity(r.arity()))
+            .collect();
+        Instance { schema, relations }
+    }
+
+    /// The shared schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The extension of a relation.
+    pub fn relation(&self, id: RelId) -> &Relation {
+        &self.relations[id.0 as usize]
+    }
+
+    /// Insert a tuple; returns `Ok(true)` if it was new. Checks arity only —
+    /// column-inclusion checks belong to [`crate::Catalog::check_instance`].
+    pub fn insert(&mut self, rel: RelId, t: Tuple) -> Result<bool, CatalogError> {
+        let rs = self.schema.relation(rel);
+        if t.arity() != rs.arity() {
+            return Err(CatalogError::ArityMismatch {
+                relation: rs.name().to_string(),
+                expected: rs.arity(),
+                got: t.arity(),
+            });
+        }
+        Ok(self.relations[rel.0 as usize].insert(t))
+    }
+
+    /// Insert many tuples into one relation.
+    pub fn insert_all(
+        &mut self,
+        rel: RelId,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<usize, CatalogError> {
+        let mut added = 0;
+        for t in tuples {
+            if self.insert(rel, t)? {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// `self ⊆ other`: every tuple of every relation of `self` appears in
+    /// `other` (schemas must be the same object or equal).
+    pub fn is_subset_of(&self, other: &Instance) -> bool {
+        self.schema.as_ref() == other.schema.as_ref()
+            && self
+                .relations
+                .iter()
+                .zip(&other.relations)
+                .all(|(a, b)| a.iter().all(|t| b.contains(t)))
+    }
+
+    /// Instance equality as sets of tuples (insertion order ignored).
+    pub fn same_extension(&self, other: &Instance) -> bool {
+        self.schema.as_ref() == other.schema.as_ref()
+            && self
+                .relations
+                .iter()
+                .zip(&other.relations)
+                .all(|(a, b)| a.len() == b.len() && a.iter().all(|t| b.contains(t)))
+    }
+
+    /// A copy of `self` with the extra tuples inserted (convenience for the
+    /// `D' = D ∪ {...}` constructions in determinacy proofs and tests).
+    pub fn with_tuples(
+        &self,
+        extra: impl IntoIterator<Item = (RelId, Tuple)>,
+    ) -> Result<Instance, CatalogError> {
+        let mut out = self.clone();
+        for (rel, t) in extra {
+            out.insert(rel, t)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::tuple;
+
+    fn schema_rs() -> Arc<Schema> {
+        let mut s = Schema::new();
+        s.add_relation(RelationSchema::new("R", ["X"]).unwrap())
+            .unwrap();
+        s.add_relation(RelationSchema::new("S", ["X", "Y"]).unwrap())
+            .unwrap();
+        Arc::new(s)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let schema = schema_rs();
+        let s_id = schema.rel_id("S").unwrap();
+        let mut d = Instance::empty(schema);
+        assert!(d.insert(s_id, tuple!["a1", "b1"]).unwrap());
+        assert!(!d.insert(s_id, tuple!["a1", "b1"]).unwrap());
+        assert!(d.insert(s_id, tuple!["a1", "b2"]).unwrap());
+        let rel = d.relation(s_id);
+        assert_eq!(rel.len(), 2);
+        assert!(rel.contains(&tuple!["a1", "b2"]));
+        assert_eq!(rel.select(AttrId(0), &Value::text("a1")).count(), 2);
+        assert_eq!(rel.select(AttrId(1), &Value::text("b2")).count(), 1);
+        assert_eq!(rel.select_count(AttrId(1), &Value::text("zzz")), 0);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let schema = schema_rs();
+        let r_id = schema.rel_id("R").unwrap();
+        let mut d = Instance::empty(schema);
+        assert!(d.insert(r_id, tuple!["a", "b"]).is_err());
+    }
+
+    #[test]
+    fn subset_and_equality() {
+        let schema = schema_rs();
+        let r_id = schema.rel_id("R").unwrap();
+        let mut d1 = Instance::empty(schema.clone());
+        d1.insert(r_id, tuple!["a"]).unwrap();
+        let d2 = d1.with_tuples([(r_id, tuple!["b"])]).unwrap();
+        assert!(d1.is_subset_of(&d2));
+        assert!(!d2.is_subset_of(&d1));
+        assert!(d1.same_extension(&d1.clone()));
+        assert!(!d1.same_extension(&d2));
+        assert_eq!(d2.total_tuples(), 2);
+    }
+
+    #[test]
+    fn active_values() {
+        let schema = schema_rs();
+        let s_id = schema.rel_id("S").unwrap();
+        let mut d = Instance::empty(schema);
+        d.insert_all(s_id, [tuple!["a", "b"], tuple!["a", "c"]])
+            .unwrap();
+        let mut vals: Vec<String> = d
+            .relation(s_id)
+            .active_values(AttrId(0))
+            .map(|v| v.to_string())
+            .collect();
+        vals.sort();
+        assert_eq!(vals, ["a"]);
+        assert_eq!(d.relation(s_id).active_values(AttrId(1)).count(), 2);
+    }
+}

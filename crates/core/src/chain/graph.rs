@@ -1,0 +1,334 @@
+//! The flow graph of the Step 4 reduction.
+//!
+//! For a chain query `Q = R_0, …, R_k` the paper builds a graph whose
+//! finite-capacity edges correspond one-to-one to the selection views in
+//! `S`, and whose s–t cuts correspond to determining view sets:
+//!
+//! * **view edges** `v_{R.X=a} → w_{R.X=a}` with capacity `p(σ_{R.X=a})`
+//!   (∞ when unpriced);
+//! * **tuple edges** `w_{R.X=a} → v_{R.Y=b}` with capacity ∞ for **every**
+//!   pair `(a, b)` of column values of a binary atom;
+//! * **skip edges** (∞) jumping over partial answers:
+//!   `s → v_{R_i.X=a}` for `a ∈ Lt_i`,
+//!   `w_{R_{i-1}.Y=b} → v_{R_{j+1}.X=a}` for `(b, a) ∈ Md[i:j]`, and
+//!   `w_{R_j.Y=b} → t` for `b ∈ Rt_j`.
+//!
+//! The minimum cut equals the price (Theorem 3.13), and the cut's view
+//! edges are the views the savvy buyer purchases.
+//!
+//! ## Tuple-edge modes
+//!
+//! The literal construction creates `Θ(n²)` tuple edges per binary atom.
+//! [`TupleEdgeMode::Hub`] replaces them with a relay node
+//! (`w_{R.X=a} → hub_R → v_{R.Y=b}`, `Θ(n)` edges): all-infinite capacities
+//! make the two constructions cut-equivalent, which is property-tested and
+//! benchmarked as the `flow_ablation` experiment (E12).
+
+use crate::money::Price;
+use crate::price_points::PriceList;
+use qbdp_catalog::{AttrRef, Catalog, Column, FxHashMap, Value};
+use qbdp_determinacy::selection::SelectionView;
+use qbdp_flow::{EdgeId, FlowGraph, NodeId, INF};
+use qbdp_query::chain::{ChainQuery, PartialAnswers};
+
+/// How tuple edges are materialized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TupleEdgeMode {
+    /// The paper's literal all-pairs construction: `Θ(n²)` ∞-edges.
+    Dense,
+    /// A relay node per binary atom: `Θ(n)` ∞-edges, same min-cut.
+    Hub,
+}
+
+/// The constructed flow network plus the view-edge ↔ view correspondence.
+pub struct ChainGraph {
+    /// The network.
+    pub graph: FlowGraph,
+    /// Source node.
+    pub s: NodeId,
+    /// Sink node.
+    pub t: NodeId,
+    /// Forward edge id → the selection view it represents (finite-priced
+    /// views only; unpriced views become ∞ edges and are not listed).
+    pub view_edges: FxHashMap<EdgeId, SelectionView>,
+}
+
+/// One attribute block: node ids for `v_{attr=a}` / `w_{attr=a}` by the
+/// dense index of `a` in the attribute's column.
+struct AttrBlock {
+    #[allow(dead_code)]
+    attr: AttrRef,
+    col: Column,
+    /// `v` node of value index `i` is `base + 2i`; `w` is `base + 2i + 1`.
+    base: NodeId,
+}
+
+impl AttrBlock {
+    fn v(&self, value: &Value) -> Option<NodeId> {
+        self.col.index_of(value).map(|i| self.base + 2 * i as usize)
+    }
+    fn w(&self, value: &Value) -> Option<NodeId> {
+        self.col
+            .index_of(value)
+            .map(|i| self.base + 2 * i as usize + 1)
+    }
+}
+
+impl ChainGraph {
+    /// Build the Step 4 graph for a chain query.
+    pub fn build(
+        catalog: &Catalog,
+        prices: &PriceList,
+        chain: &ChainQuery,
+        pa: &PartialAnswers,
+        mode: TupleEdgeMode,
+    ) -> ChainGraph {
+        let k = chain.k();
+        let mut g = FlowGraph::new();
+        let s = g.add_node();
+        let t = g.add_node();
+
+        // One block per atom side. Unary atoms have a single block used for
+        // both sides. Relations never repeat (no self-joins), so blocks are
+        // uniquely owned by their atom side.
+        let mut left_blocks: Vec<AttrBlock> = Vec::with_capacity(k + 1);
+        let mut right_blocks: Vec<usize> = Vec::with_capacity(k + 1); // index into left or own
+        let mut all_blocks: Vec<AttrBlock> = Vec::new();
+
+        let mut view_edges: FxHashMap<EdgeId, SelectionView> = FxHashMap::default();
+        let make_block = |g: &mut FlowGraph,
+                          view_edges: &mut FxHashMap<EdgeId, SelectionView>,
+                          attr: AttrRef|
+         -> AttrBlock {
+            let col = catalog.column(attr).clone();
+            let base = g.add_nodes(2 * col.len());
+            // View edges.
+            for (i, value) in col.iter().enumerate() {
+                let v = base + 2 * i;
+                let w = base + 2 * i + 1;
+                let price = prices.get_at(attr, value);
+                let e = g.add_edge(v, w, price.as_capacity());
+                if price.is_finite() {
+                    view_edges.insert(e, SelectionView::new(attr, value.clone()));
+                }
+            }
+            AttrBlock { attr, col, base }
+        };
+
+        for i in 0..=k {
+            let left_attr = chain.left_attr(i);
+            let block = make_block(&mut g, &mut view_edges, left_attr);
+            left_blocks.push(block);
+            if chain.atoms()[i].unary {
+                right_blocks.push(usize::MAX); // same as left
+            } else {
+                let right_attr = chain.right_attr(i);
+                let block = make_block(&mut g, &mut view_edges, right_attr);
+                all_blocks.push(block);
+                right_blocks.push(all_blocks.len() - 1);
+            }
+        }
+        let left = |i: usize| -> &AttrBlock { &left_blocks[i] };
+        let right = |i: usize| -> &AttrBlock {
+            if chain.atoms()[i].unary {
+                &left_blocks[i]
+            } else {
+                &all_blocks[right_blocks[i]]
+            }
+        };
+
+        // Tuple edges for binary atoms.
+        for i in 0..=k {
+            if chain.atoms()[i].unary {
+                continue;
+            }
+            let lb = left(i);
+            let rb = right(i);
+            match mode {
+                TupleEdgeMode::Dense => {
+                    for ai in 0..lb.col.len() {
+                        let w = lb.base + 2 * ai + 1;
+                        for bi in 0..rb.col.len() {
+                            let v = rb.base + 2 * bi;
+                            g.add_edge(w, v, INF);
+                        }
+                    }
+                }
+                TupleEdgeMode::Hub => {
+                    let hub = g.add_node();
+                    for ai in 0..lb.col.len() {
+                        g.add_edge(lb.base + 2 * ai + 1, hub, INF);
+                    }
+                    for bi in 0..rb.col.len() {
+                        g.add_edge(hub, rb.base + 2 * bi, INF);
+                    }
+                }
+            }
+        }
+
+        // Skip edges from s: s → v_{R_i.X=a} for a ∈ Lt_i.
+        for i in 0..=k {
+            let lb = left(i);
+            for a in pa.lt(i) {
+                if let Some(v) = lb.v(a) {
+                    g.add_edge(s, v, INF);
+                }
+            }
+        }
+        // Skip edges to t: w_{R_j.Y=b} → t for b ∈ Rt_j.
+        for j in 0..=k {
+            let rb = right(j);
+            for b in pa.rt(j) {
+                if let Some(w) = rb.w(b) {
+                    g.add_edge(w, t, INF);
+                }
+            }
+        }
+        // Middle skips: w_{R_{i-1}.Y=b} → v_{R_{j+1}.X=a} for (b,a) ∈ Md[i:j].
+        for i in 1..=k {
+            for j in (i - 1)..=(k.saturating_sub(1)) {
+                if j + 1 > k {
+                    continue;
+                }
+                let from_block = right(i - 1);
+                let to_block = left(j + 1);
+                for (b, a) in pa.md(i, j) {
+                    if let (Some(w), Some(v)) = (from_block.w(b), to_block.v(a)) {
+                        g.add_edge(w, v, INF);
+                    }
+                }
+            }
+        }
+
+        ChainGraph {
+            graph: g,
+            s,
+            t,
+            view_edges,
+        }
+    }
+
+    /// Map min-cut edges to purchased views. Panics in debug builds if the
+    /// cut contains an ∞ edge (that would contradict Theorem 3.13 whenever
+    /// the price is finite).
+    pub fn views_of_cut(&self, cut: &[EdgeId]) -> Vec<SelectionView> {
+        cut.iter()
+            .filter_map(|e| {
+                let view = self.view_edges.get(e).cloned();
+                debug_assert!(
+                    view.is_some() || self.graph.edge(*e).2 >= INF,
+                    "finite non-view edge in cut"
+                );
+                view
+            })
+            .collect()
+    }
+
+    /// Total capacity of a cut as a price.
+    pub fn cut_price(&self, cut: &[EdgeId]) -> Price {
+        cut.iter()
+            .map(|&e| Price::from_cut_value(self.graph.edge(e).2))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbdp_catalog::{tuple, CatalogBuilder, Instance};
+    use qbdp_flow::dinic;
+    use qbdp_query::parser::parse_rule;
+
+    fn figure1() -> (Catalog, Instance, ChainQuery, PartialAnswers) {
+        let ax = Column::texts(["a1", "a2", "a3", "a4"]);
+        let by = Column::texts(["b1", "b2", "b3"]);
+        let cat = CatalogBuilder::new()
+            .relation("R", &[("X", ax.clone())])
+            .relation("S", &[("X", ax), ("Y", by.clone())])
+            .relation("T", &[("Y", by)])
+            .build()
+            .unwrap();
+        let mut d = cat.empty_instance();
+        let r = cat.schema().rel_id("R").unwrap();
+        let s = cat.schema().rel_id("S").unwrap();
+        let t = cat.schema().rel_id("T").unwrap();
+        d.insert_all(r, [tuple!["a1"], tuple!["a2"]]).unwrap();
+        d.insert_all(
+            s,
+            [
+                tuple!["a1", "b1"],
+                tuple!["a1", "b2"],
+                tuple!["a2", "b2"],
+                tuple!["a4", "b1"],
+            ],
+        )
+        .unwrap();
+        d.insert_all(t, [tuple!["b1"], tuple!["b3"]]).unwrap();
+        let q = parse_rule(cat.schema(), "Q(x, y) :- R(x), S(x, y), T(y)").unwrap();
+        let chain = ChainQuery::from_cq(&q).unwrap();
+        let pa = chain.partial_answers(&cat, &d);
+        (cat, d, chain, pa)
+    }
+
+    #[test]
+    fn figure1_min_cut_is_six() {
+        let (cat, _d, chain, pa) = figure1();
+        let prices = PriceList::uniform(&cat, Price::dollars(1));
+        for mode in [TupleEdgeMode::Dense, TupleEdgeMode::Hub] {
+            let cg = ChainGraph::build(&cat, &prices, &chain, &pa, mode);
+            let flow = dinic(&cg.graph, cg.s, cg.t);
+            assert_eq!(
+                Price::from_cut_value(flow.value),
+                Price::dollars(6),
+                "{mode:?}"
+            );
+            let cut = flow.min_cut_edges(&cg.graph, cg.s);
+            let views = cg.views_of_cut(&cut);
+            assert_eq!(views.len(), 6, "{mode:?}");
+            assert_eq!(cg.cut_price(&cut), Price::dollars(6));
+            // The minimal set from Example 3.8.
+            let names: std::collections::BTreeSet<String> =
+                views.iter().map(|v| v.display(cat.schema())).collect();
+            let expected: std::collections::BTreeSet<String> = [
+                "σ[R.X=a1]",
+                "σ[R.X=a4]",
+                "σ[S.Y=b1]",
+                "σ[S.Y=b3]",
+                "σ[T.Y=b1]",
+                "σ[T.Y=b2]",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect();
+            assert_eq!(names, expected, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn node_and_edge_counts_scale_as_documented() {
+        let (cat, _d, chain, pa) = figure1();
+        let prices = PriceList::uniform(&cat, Price::dollars(1));
+        let dense = ChainGraph::build(&cat, &prices, &chain, &pa, TupleEdgeMode::Dense);
+        let hub = ChainGraph::build(&cat, &prices, &chain, &pa, TupleEdgeMode::Hub);
+        // Same node count ± hubs (1 binary atom).
+        assert_eq!(hub.graph.num_nodes(), dense.graph.num_nodes() + 1);
+        // Dense has 4·3 = 12 tuple edges; hub has 4 + 3 = 7.
+        assert_eq!(dense.graph.num_edges() - hub.graph.num_edges(), 12 - 7);
+        // View edges: 14 priced views (4 + 4 + 3 + 3).
+        assert_eq!(dense.view_edges.len(), 14);
+    }
+
+    #[test]
+    fn unpriced_views_are_uncuttable() {
+        let (cat, _d, chain, pa) = figure1();
+        // Price only S views: R and T unpriced ⇒ no finite cut.
+        let mut prices = PriceList::new();
+        let sx = cat.schema().resolve_attr("S.X").unwrap();
+        let sy = cat.schema().resolve_attr("S.Y").unwrap();
+        prices.set_attr_uniform(&cat, sx, Price::dollars(1));
+        prices.set_attr_uniform(&cat, sy, Price::dollars(1));
+        let cg = ChainGraph::build(&cat, &prices, &chain, &pa, TupleEdgeMode::Hub);
+        let flow = dinic(&cg.graph, cg.s, cg.t);
+        assert!(Price::from_cut_value(flow.value).is_infinite());
+    }
+}

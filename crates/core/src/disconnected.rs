@@ -1,0 +1,113 @@
+//! Price composition across connected components (Proposition 3.14).
+//!
+//! A disconnected full query is a cartesian product `Q = Q_1 × … × Q_m` of
+//! its components, over disjoint relation sets (a shared relation would be
+//! a self-join). Then:
+//!
+//! * if every component has answers, determining `Q` requires determining
+//!   every component, and their view sets are disjoint ⇒ the price is the
+//!   **sum** of the component prices;
+//! * if some component is empty, `Q(D) = ∅`, and `V` determines `Q` iff it
+//!   forces *some* component to stay empty in every consistent world. A
+//!   component that is nonempty on `D` can never be forced empty (D itself
+//!   is a consistent world), so the price is the **min** over the *empty*
+//!   components of their prices.
+//!
+//! For two components this is exactly the four-case formula of
+//! Proposition 3.14.
+
+use crate::money::Price;
+use qbdp_determinacy::selection::SelectionView;
+
+/// The priced outcome of one component.
+#[derive(Clone, Debug)]
+pub struct ComponentPrice {
+    /// Whether the component's answer on `D` is empty.
+    pub empty: bool,
+    /// The component's price.
+    pub price: Price,
+    /// The component's purchased views.
+    pub views: Vec<SelectionView>,
+}
+
+/// Combine component prices per (the generalization of) Proposition 3.14.
+pub fn combine(components: &[ComponentPrice]) -> (Price, Vec<SelectionView>) {
+    if components.is_empty() {
+        return (Price::ZERO, Vec::new());
+    }
+    if components.iter().all(|c| !c.empty) {
+        let price = components.iter().map(|c| c.price).sum();
+        let views = components
+            .iter()
+            .flat_map(|c| c.views.iter().cloned())
+            .collect();
+        (price, views)
+    } else {
+        components
+            .iter()
+            .filter(|c| c.empty)
+            .min_by_key(|c| c.price)
+            .map(|c| (c.price, c.views.clone()))
+            .expect("some component is empty in this branch")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp(empty: bool, dollars: u64) -> ComponentPrice {
+        ComponentPrice {
+            empty,
+            price: Price::dollars(dollars),
+            views: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn proposition_3_14_cases() {
+        // Both nonempty: sum.
+        assert_eq!(
+            combine(&[comp(false, 3), comp(false, 4)]).0,
+            Price::dollars(7)
+        );
+        // Q1 empty only: p1.
+        assert_eq!(
+            combine(&[comp(true, 3), comp(false, 4)]).0,
+            Price::dollars(3)
+        );
+        // Q2 empty only: p2.
+        assert_eq!(
+            combine(&[comp(false, 3), comp(true, 4)]).0,
+            Price::dollars(4)
+        );
+        // Both empty: min.
+        assert_eq!(
+            combine(&[comp(true, 3), comp(true, 4)]).0,
+            Price::dollars(3)
+        );
+    }
+
+    #[test]
+    fn many_components() {
+        assert_eq!(
+            combine(&[comp(false, 1), comp(false, 2), comp(false, 3)]).0,
+            Price::dollars(6)
+        );
+        assert_eq!(
+            combine(&[comp(false, 1), comp(true, 9), comp(true, 2)]).0,
+            Price::dollars(2)
+        );
+        assert_eq!(combine(&[]).0, Price::ZERO);
+    }
+
+    #[test]
+    fn infinite_components_propagate() {
+        let c = ComponentPrice {
+            empty: false,
+            price: Price::INFINITE,
+            views: Vec::new(),
+        };
+        assert!(combine(&[comp(false, 1), c]).0.is_infinite());
+    }
+}

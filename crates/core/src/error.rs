@@ -1,0 +1,58 @@
+//! Error type for pricing operations.
+
+use qbdp_catalog::CatalogError;
+use qbdp_determinacy::bruteforce::BruteforceError;
+use qbdp_query::QueryError;
+use std::fmt;
+
+/// Errors raised by the pricing engines.
+#[derive(Debug)]
+pub enum PricingError {
+    /// Query construction / evaluation failed.
+    Query(QueryError),
+    /// Catalog manipulation failed (normalization rebuilds catalogs).
+    Catalog(CatalogError),
+    /// The requested engine does not apply to this query; the message names
+    /// the violated requirement.
+    NotApplicable(String),
+    /// An exact engine hit its configured size limit.
+    LimitExceeded(String),
+    /// The seller's price points are inconsistent (admit arbitrage among
+    /// themselves), so no valid pricing function exists (Theorem 2.15).
+    Inconsistent(String),
+}
+
+impl fmt::Display for PricingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PricingError::Query(e) => write!(f, "{e}"),
+            PricingError::Catalog(e) => write!(f, "{e}"),
+            PricingError::NotApplicable(m) => write!(f, "{m}"),
+            PricingError::LimitExceeded(m) => write!(f, "size limit exceeded: {m}"),
+            PricingError::Inconsistent(m) => write!(f, "inconsistent price points: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PricingError {}
+
+impl From<QueryError> for PricingError {
+    fn from(e: QueryError) -> Self {
+        PricingError::Query(e)
+    }
+}
+
+impl From<CatalogError> for PricingError {
+    fn from(e: CatalogError) -> Self {
+        PricingError::Catalog(e)
+    }
+}
+
+impl From<BruteforceError> for PricingError {
+    fn from(e: BruteforceError) -> Self {
+        match e {
+            BruteforceError::TooLarge(l) => PricingError::LimitExceeded(l.to_string()),
+            BruteforceError::Query(q) => PricingError::Query(q),
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Exact weighted hitting set by branch-and-bound.
+//!
+//! Pricing a full CQ is a minimum-weight hitting set over its determinacy
+//! certificates ([`crate::exact::certificates`]). The general problem is
+//! NP-hard — necessarily so, by Theorem 3.5 — but branch-and-bound with a
+//! greedy upper bound and a disjoint-constraint lower bound handles the
+//! instance sizes the exact engine is used for.
+
+use crate::money::Price;
+
+/// Result of a hitting-set computation.
+#[derive(Clone, Debug)]
+pub struct HittingSetResult {
+    /// Total weight of the chosen elements (`INFINITE` iff some constraint
+    /// is empty, i.e. unhittable).
+    pub weight: Price,
+    /// Chosen element indices, ascending.
+    pub chosen: Vec<u32>,
+}
+
+/// Solve min-weight hitting set exactly.
+///
+/// `weights[e]` is element `e`'s weight; each constraint is a set of
+/// element indices of which at least one must be chosen. Zero-weight
+/// elements are taken greedily up front (they can never hurt).
+pub fn solve_hitting_set(weights: &[Price], constraints: &[Vec<u32>]) -> HittingSetResult {
+    // Freebies first.
+    let mut chosen: Vec<u32> = (0..weights.len() as u32)
+        .filter(|&e| weights[e as usize] == Price::ZERO)
+        .collect();
+    let mut open: Vec<&Vec<u32>> = constraints
+        .iter()
+        .filter(|c| !c.iter().any(|e| weights[*e as usize] == Price::ZERO))
+        .collect();
+    if open.iter().any(|c| c.is_empty()) {
+        return HittingSetResult {
+            weight: Price::INFINITE,
+            chosen: Vec::new(),
+        };
+    }
+    if open.is_empty() {
+        return HittingSetResult {
+            weight: Price::ZERO,
+            chosen,
+        };
+    }
+    // Sort so that small constraints branch first.
+    open.sort_by_key(|c| c.len());
+
+    // Greedy upper bound: repeatedly take the element hitting the most open
+    // constraints per unit weight.
+    let greedy = greedy_solution(weights, &open);
+
+    let mut best = greedy.0;
+    let mut best_set = greedy.1;
+    let mut state = Search {
+        weights,
+        best: &mut best,
+        best_set: &mut best_set,
+    };
+    state.branch(&open, &mut Vec::new(), Price::ZERO);
+
+    chosen.extend(best_set);
+    chosen.sort_unstable();
+    chosen.dedup();
+    HittingSetResult {
+        weight: best,
+        chosen,
+    }
+}
+
+fn greedy_solution(weights: &[Price], open: &[&Vec<u32>]) -> (Price, Vec<u32>) {
+    let mut unhit: Vec<&Vec<u32>> = open.to_vec();
+    let mut total = Price::ZERO;
+    let mut picked: Vec<u32> = Vec::new();
+    while !unhit.is_empty() {
+        // Element covering the most constraints, weight as tiebreak.
+        let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        for c in &unhit {
+            for &e in *c {
+                *counts.entry(e).or_insert(0) += 1;
+            }
+        }
+        let (&e, _) = counts
+            .iter()
+            .max_by(|(a, ca), (b, cb)| {
+                // score = count / weight; compare count * w_other.
+                let wa = weights[**a as usize].as_cents().max(1) as u128;
+                let wb = weights[**b as usize].as_cents().max(1) as u128;
+                ((**ca as u128) * wb).cmp(&((**cb as u128) * wa))
+            })
+            .expect("unhit constraints are nonempty");
+        total = total.saturating_add(weights[e as usize]);
+        picked.push(e);
+        unhit.retain(|c| !c.contains(&e));
+    }
+    (total, picked)
+}
+
+struct Search<'a> {
+    weights: &'a [Price],
+    best: &'a mut Price,
+    best_set: &'a mut Vec<u32>,
+}
+
+impl Search<'_> {
+    /// Lower bound: greedily collect pairwise-disjoint open constraints and
+    /// sum their cheapest elements.
+    fn lower_bound(&self, open: &[&Vec<u32>]) -> Price {
+        let mut used: Vec<u32> = Vec::new();
+        let mut bound = Price::ZERO;
+        for c in open {
+            if c.iter().any(|e| used.contains(e)) {
+                continue;
+            }
+            let min = c
+                .iter()
+                .map(|&e| self.weights[e as usize])
+                .min()
+                .unwrap_or(Price::ZERO);
+            bound = bound.saturating_add(min);
+            used.extend(c.iter().copied());
+        }
+        bound
+    }
+
+    fn branch(&mut self, open: &[&Vec<u32>], chosen: &mut Vec<u32>, cost: Price) {
+        if open.is_empty() {
+            if cost < *self.best {
+                *self.best = cost;
+                *self.best_set = chosen.clone();
+            }
+            return;
+        }
+        if cost.saturating_add(self.lower_bound(open)) >= *self.best {
+            return;
+        }
+        // Branch on the smallest open constraint.
+        let pivot = open.iter().min_by_key(|c| c.len()).expect("nonempty");
+        for &e in pivot.iter() {
+            chosen.push(e);
+            let remaining: Vec<&Vec<u32>> =
+                open.iter().filter(|c| !c.contains(&e)).copied().collect();
+            self.branch(
+                &remaining,
+                chosen,
+                cost.saturating_add(self.weights[e as usize]),
+            );
+            chosen.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dollars(ws: &[u64]) -> Vec<Price> {
+        ws.iter().map(|&w| Price::dollars(w)).collect()
+    }
+
+    #[test]
+    fn single_constraint_takes_cheapest() {
+        let w = dollars(&[5, 3, 9]);
+        let r = solve_hitting_set(&w, &[vec![0, 1, 2]]);
+        assert_eq!(r.weight, Price::dollars(3));
+        assert_eq!(r.chosen, vec![1]);
+    }
+
+    #[test]
+    fn overlapping_constraints_share_elements() {
+        // {0,1}, {1,2}: element 1 hits both.
+        let w = dollars(&[2, 3, 2]);
+        let r = solve_hitting_set(&w, &[vec![0, 1], vec![1, 2]]);
+        assert_eq!(r.weight, Price::dollars(3));
+        assert_eq!(r.chosen, vec![1]);
+        // Make 1 expensive: now {0, 2} at $4 wins.
+        let w = dollars(&[2, 10, 2]);
+        let r = solve_hitting_set(&w, &[vec![0, 1], vec![1, 2]]);
+        assert_eq!(r.weight, Price::dollars(4));
+        assert_eq!(r.chosen, vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_constraint_is_infeasible() {
+        let w = dollars(&[1]);
+        let r = solve_hitting_set(&w, &[vec![0], vec![]]);
+        assert!(r.weight.is_infinite());
+    }
+
+    #[test]
+    fn no_constraints_is_free() {
+        let w = dollars(&[1, 2]);
+        let r = solve_hitting_set(&w, &[]);
+        assert_eq!(r.weight, Price::ZERO);
+        assert!(r.chosen.is_empty());
+    }
+
+    #[test]
+    fn zero_weight_elements_taken_free() {
+        let mut w = dollars(&[4, 7]);
+        w.push(Price::ZERO); // element 2
+        let r = solve_hitting_set(&w, &[vec![0, 2], vec![1, 2]]);
+        assert_eq!(r.weight, Price::ZERO);
+        assert_eq!(r.chosen, vec![2]);
+    }
+
+    #[test]
+    fn vertex_cover_instance() {
+        // Path graph a-b-c-d as vertex cover: constraints = edges.
+        // Unit weights: optimal cover {b, c} of size 2.
+        let w = dollars(&[1, 1, 1, 1]);
+        let r = solve_hitting_set(&w, &[vec![0, 1], vec![1, 2], vec![2, 3]]);
+        assert_eq!(r.weight, Price::dollars(2));
+    }
+
+    #[test]
+    fn matches_bruteforce_on_random_instances() {
+        let mut state = 0xc0ffee123u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..60 {
+            let n = 3 + (next() % 8) as usize; // elements
+            let m = 1 + (next() % 10) as usize; // constraints
+            let weights: Vec<Price> = (0..n).map(|_| Price::cents(1 + next() % 50)).collect();
+            let constraints: Vec<Vec<u32>> = (0..m)
+                .map(|_| {
+                    let size = 1 + (next() % 3) as usize;
+                    let mut c: Vec<u32> = (0..size).map(|_| (next() % n as u64) as u32).collect();
+                    c.sort_unstable();
+                    c.dedup();
+                    c
+                })
+                .collect();
+            let fast = solve_hitting_set(&weights, &constraints);
+            // Brute force over all subsets.
+            let mut best = Price::INFINITE;
+            for mask in 0u64..(1 << n) {
+                if constraints
+                    .iter()
+                    .all(|c| c.iter().any(|&e| mask & (1 << e) != 0))
+                {
+                    let w: Price = (0..n)
+                        .filter(|&i| mask & (1 << i) != 0)
+                        .map(|i| weights[i])
+                        .sum();
+                    best = best.min(w);
+                }
+            }
+            assert_eq!(fast.weight, best);
+            // Verify the returned set actually hits everything.
+            if fast.weight.is_finite() {
+                for c in &constraints {
+                    assert!(c.iter().any(|e| fast.chosen.contains(e)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Exact (exponential-time) pricing engines.
+//!
+//! Two independent implementations of the arbitrage-price for the
+//! selection-view setting, used (1) to price the NP-complete queries of
+//! Theorem 3.5 on small instances, and (2) as ground truth for
+//! property-testing the PTIME algorithms:
+//!
+//! * [`subset`] — literal Equation 2: branch-and-bound over subsets of the
+//!   priced views, with the Theorem 3.3 determinacy oracle. Applies to
+//!   **any** monotone query (UCQs, projections, bundles).
+//! * [`certificates`] + [`hitting_set`] — for full CQs: determinacy is
+//!   characterized by a family of covering constraints (one per critical
+//!   present tuple and one per excludable non-answer assignment), and pricing becomes
+//!   a weighted hitting set, solved exactly by branch-and-bound.
+
+pub mod certificates;
+pub mod hitting_set;
+pub mod subset;
+
+pub use certificates::{build_certificates, CertificateSystem};
+pub use hitting_set::{solve_hitting_set, HittingSetResult};
+pub use subset::{subset_price, ExactResult, SubsetConfig};

@@ -1,0 +1,315 @@
+//! Step 3: remove hanging variables (Lemmas 3.10 / 3.11).
+//!
+//! A hanging variable occurs in exactly one atom (at one position, after
+//! Step 2). By Lemma 3.10 an optimal determining view set either **fully
+//! covers** that attribute or **never touches it**, so each hanging
+//! attribute branches the problem in two:
+//!
+//! * **cover**: pay `p(Σ_{R.X})` up front; the whole relation is then known,
+//!   so in the reduced problem (attribute projected away) the relation is
+//!   given out for free — all views of one surviving attribute get price 0;
+//! * **skip**: project the attribute away and delete its price points.
+//!
+//! The final price is the minimum over the `2^h` reduced problems. Each
+//! remaining problem has hanging variables only in unary atoms
+//! (single-atom queries), which the chain reduction prices directly.
+
+use super::{drop_attribute, Problem};
+use crate::error::PricingError;
+use crate::money::Price;
+use qbdp_catalog::AttrRef;
+use qbdp_determinacy::selection::SelectionView;
+use qbdp_query::analysis;
+use qbdp_query::ast::{Atom, ConjunctiveQuery, Term, Var};
+
+/// A fully reduced problem plus the cost and views already committed by the
+/// cover branches taken on the way.
+#[derive(Clone, Debug)]
+pub struct ReducedBranch {
+    /// The reduced problem (no hanging variables in non-unary atoms).
+    pub problem: Problem,
+    /// Price already paid for full covers.
+    pub base_cost: Price,
+    /// Original views bought by those full covers.
+    pub base_views: Vec<SelectionView>,
+}
+
+/// Cap on the number of hanging attributes (the expansion is `2^h`, as the
+/// paper notes).
+pub const MAX_HANGING: usize = 12;
+
+/// Expand a problem into its Step 3 branches.
+pub fn branches(problem: Problem) -> Result<Vec<ReducedBranch>, PricingError> {
+    let h = count_hanging(&problem.query);
+    if h > MAX_HANGING {
+        return Err(PricingError::LimitExceeded(format!(
+            "{h} hanging attributes exceed the 2^h branch cap (max {MAX_HANGING})"
+        )));
+    }
+    let mut out = Vec::new();
+    expand(problem, Price::ZERO, Vec::new(), &mut out)?;
+    Ok(out)
+}
+
+fn count_hanging(q: &ConjunctiveQuery) -> usize {
+    analysis::hanging_vars(q)
+        .into_iter()
+        .filter(|&v| hang_site(q, v).is_some())
+        .count()
+}
+
+/// The (atom, position) of a hanging variable eligible for removal: its
+/// atom must keep at least one other position (unary atoms are left alone —
+/// they are whole single-atom queries, priced directly by the chain
+/// reduction as a full cover).
+fn hang_site(q: &ConjunctiveQuery, v: Var) -> Option<(usize, usize)> {
+    let occ = analysis::var_occurrences(q);
+    let sites = occ.get(&v)?;
+    let (atom_idx, pos) = *sites.first()?;
+    if sites.iter().any(|&(a, _)| a != atom_idx) {
+        return None; // not hanging
+    }
+    if q.atoms()[atom_idx].terms.len() < 2 {
+        return None; // unary atom: leave in place
+    }
+    Some((atom_idx, pos))
+}
+
+fn expand(
+    problem: Problem,
+    base_cost: Price,
+    base_views: Vec<SelectionView>,
+    out: &mut Vec<ReducedBranch>,
+) -> Result<(), PricingError> {
+    // Find the next removable hanging variable.
+    let next = analysis::hanging_vars(&problem.query)
+        .into_iter()
+        .find_map(|v| hang_site(&problem.query, v).map(|site| (v, site)));
+    let Some((var, (atom_idx, pos))) = next else {
+        out.push(ReducedBranch {
+            problem,
+            base_cost,
+            base_views,
+        });
+        return Ok(());
+    };
+    let rel = problem.query.atoms()[atom_idx].rel;
+    let attr = AttrRef::new(rel, pos as u32);
+
+    // ---- Branch A: buy the full cover Σ_{R.X}. ----
+    let cover_price = problem.prices.full_cover_price(&problem.catalog, attr);
+    if cover_price.is_finite() {
+        let mut views = base_views.clone();
+        for v in problem.catalog.column(attr).iter() {
+            views.extend(
+                problem
+                    .provenance
+                    .resolve(&SelectionView::new(attr, v.clone())),
+            );
+        }
+        let mut reduced = project_out(&problem, rel, atom_idx, pos, var)?;
+        // Give the relation out for free on one *surviving* attribute —
+        // prefer a join position so later hanging-removals of this relation
+        // don't erase the freebie.
+        let free_pos = choose_free_position(&reduced.query, atom_idx);
+        let free_attr = AttrRef::new(rel, free_pos as u32);
+        reduced.prices.remove_attr(free_attr);
+        for v in reduced.catalog.column(free_attr).iter() {
+            reduced
+                .prices
+                .set(SelectionView::new(free_attr, v.clone()), Price::ZERO);
+            reduced.provenance.record(free_attr, v.clone(), Vec::new());
+        }
+        expand(reduced, base_cost.saturating_add(cover_price), views, out)?;
+    }
+
+    // ---- Branch B: never touch R.X. ----
+    let reduced = project_out(&problem, rel, atom_idx, pos, var)?;
+    expand(reduced, base_cost, base_views, out)?;
+    Ok(())
+}
+
+/// Position of the reduced atom whose variable is not hanging (a join
+/// variable), falling back to 0.
+fn choose_free_position(q: &ConjunctiveQuery, atom_idx: usize) -> usize {
+    let hanging = analysis::hanging_vars(q);
+    let atom = &q.atoms()[atom_idx];
+    atom.terms
+        .iter()
+        .position(|t| matches!(t, Term::Var(v) if !hanging.contains(v)))
+        .unwrap_or(0)
+}
+
+/// Project attribute `pos` of `rel` out of catalog/instance/prices and
+/// rewrite the query: the atom loses the position; the head loses `var`.
+fn project_out(
+    problem: &Problem,
+    rel: qbdp_catalog::RelId,
+    atom_idx: usize,
+    pos: usize,
+    var: Var,
+) -> Result<Problem, PricingError> {
+    let (catalog, instance, prices, provenance) = drop_attribute(
+        &problem.catalog,
+        &problem.instance,
+        &problem.prices,
+        &problem.provenance,
+        rel,
+        pos,
+    )?;
+    let mut atoms: Vec<Atom> = Vec::with_capacity(problem.query.atoms().len());
+    for (i, a) in problem.query.atoms().iter().enumerate() {
+        if i == atom_idx {
+            let terms = a
+                .terms
+                .iter()
+                .enumerate()
+                .filter(|&(p, _)| p != pos)
+                .map(|(_, t)| t.clone())
+                .collect();
+            atoms.push(Atom { rel, terms });
+        } else {
+            atoms.push(a.clone());
+        }
+    }
+    let head: Vec<Var> = problem
+        .query
+        .head()
+        .iter()
+        .copied()
+        .filter(|&h| h != var)
+        .collect();
+    let query = ConjunctiveQuery::new(
+        problem.query.name().to_string(),
+        head,
+        atoms,
+        problem.query.preds().to_vec(),
+        problem.query.var_names().to_vec(),
+        catalog.schema(),
+    )?;
+    Ok(Problem {
+        catalog,
+        instance,
+        prices,
+        query,
+        provenance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::price_points::PriceList;
+    use qbdp_catalog::{tuple, CatalogBuilder, Column, Value};
+    use qbdp_query::parser::parse_rule;
+
+    /// Q(x, y, z) = R(x, y), S(y, z), T(z): x hangs on R.X.
+    fn setup() -> Problem {
+        let col = Column::int_range(0, 3);
+        let cat = CatalogBuilder::new()
+            .uniform_relation("R", &["X", "Y"], &col)
+            .uniform_relation("S", &["Y", "Z"], &col)
+            .uniform_relation("T", &["Z"], &col)
+            .build()
+            .unwrap();
+        let mut d = cat.empty_instance();
+        d.insert(cat.schema().rel_id("R").unwrap(), tuple![0, 1])
+            .unwrap();
+        d.insert(cat.schema().rel_id("S").unwrap(), tuple![1, 2])
+            .unwrap();
+        d.insert(cat.schema().rel_id("T").unwrap(), tuple![2])
+            .unwrap();
+        let q = parse_rule(cat.schema(), "Q(x, y, z) :- R(x, y), S(y, z), T(z)").unwrap();
+        let prices = PriceList::uniform(&cat, Price::dollars(1));
+        Problem::new(cat, d, prices, q)
+    }
+
+    #[test]
+    fn one_hanging_var_gives_two_branches() {
+        let p = setup();
+        let bs = branches(p).unwrap();
+        assert_eq!(bs.len(), 2);
+        // Branch A: paid the $3 full cover of R.X, bought its 3 views, and
+        // some attribute of R' is free.
+        let a = bs
+            .iter()
+            .find(|b| b.base_cost == Price::dollars(3))
+            .unwrap();
+        assert_eq!(a.base_views.len(), 3);
+        let r = a.problem.catalog.schema().rel_id("R").unwrap();
+        assert_eq!(a.problem.catalog.schema().relation(r).arity(), 1);
+        let free = AttrRef::new(r, 0);
+        assert_eq!(a.problem.prices.get_at(free, &Value::Int(0)), Price::ZERO);
+        // Free views resolve to nothing (already paid).
+        assert!(a
+            .problem
+            .provenance
+            .resolve(&SelectionView::new(free, Value::Int(0)))
+            .is_empty());
+        // Branch B: nothing paid; R' has no prices on the erased attr but
+        // keeps Y's (now position 0) original prices.
+        let b = bs.iter().find(|b| b.base_cost == Price::ZERO).unwrap();
+        assert!(b.base_views.is_empty());
+        let rb = b.problem.catalog.schema().rel_id("R").unwrap();
+        assert_eq!(
+            b.problem.prices.get_at(AttrRef::new(rb, 0), &Value::Int(1)),
+            Price::dollars(1)
+        );
+        // Both branches: query is now R'(y), S(y, z), T(z) — a chain.
+        for br in &bs {
+            assert_eq!(br.problem.query.atoms()[0].terms.len(), 1);
+            assert!(qbdp_query::chain::ChainQuery::from_cq(&br.problem.query).is_ok());
+        }
+    }
+
+    #[test]
+    fn star_query_reduces_to_unary_chain() {
+        // Star: R(x,y), S(x,z), T(x): y and z hang.
+        let col = Column::int_range(0, 2);
+        let cat = CatalogBuilder::new()
+            .uniform_relation("R", &["X", "Y"], &col)
+            .uniform_relation("S", &["X", "Z"], &col)
+            .uniform_relation("T", &["X"], &col)
+            .build()
+            .unwrap();
+        let d = cat.empty_instance();
+        let q = parse_rule(cat.schema(), "Q(x, y, z) :- R(x, y), S(x, z), T(x)").unwrap();
+        let prices = PriceList::uniform(&cat, Price::dollars(1));
+        let bs = branches(Problem::new(cat, d, prices, q)).unwrap();
+        assert_eq!(bs.len(), 4); // 2 hanging attrs ⇒ 4 branches
+        for b in &bs {
+            // All atoms unary: R'(x), S'(x), T(x) — a chain of unaries.
+            assert!(b.problem.query.atoms().iter().all(|a| a.terms.len() == 1));
+            assert!(qbdp_query::chain::ChainQuery::from_cq(&b.problem.query).is_ok());
+        }
+    }
+
+    #[test]
+    fn unpriced_cover_skips_branch_a() {
+        let mut p = setup();
+        // Unprice one R.X value: the full cover is impossible.
+        let rx = p.catalog.schema().resolve_attr("R.X").unwrap();
+        p.prices.remove(&SelectionView::new(rx, Value::Int(0)));
+        let bs = branches(p).unwrap();
+        assert_eq!(bs.len(), 1);
+        assert_eq!(bs[0].base_cost, Price::ZERO);
+    }
+
+    #[test]
+    fn single_binary_atom_fully_branches() {
+        let col = Column::int_range(0, 2);
+        let cat = CatalogBuilder::new()
+            .uniform_relation("R", &["X", "Y"], &col)
+            .build()
+            .unwrap();
+        let d = cat.empty_instance();
+        let q = parse_rule(cat.schema(), "Q(x, y) :- R(x, y)").unwrap();
+        let prices = PriceList::uniform(&cat, Price::dollars(1));
+        let bs = branches(Problem::new(cat, d, prices, q)).unwrap();
+        // x removed (2 branches); the result R'(y) is unary so y stays.
+        assert_eq!(bs.len(), 2);
+        for b in &bs {
+            assert_eq!(b.problem.query.atoms()[0].terms.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,675 @@
+//! The pricing façade: classify a query (Theorem 3.16) and dispatch it to
+//! the cheapest-complexity engine that applies.
+
+use crate::boolean::secure_witness_price;
+use crate::chain::graph::TupleEdgeMode;
+use crate::chain::price::{chain_price, FlowAlgo};
+use crate::consistency::{find_list_arbitrage, ListArbitrage};
+use crate::cycle::cycle_price;
+use crate::dichotomy::{classify, component_query, QueryClass};
+use crate::disconnected::{combine, ComponentPrice};
+use crate::error::PricingError;
+use crate::exact::certificates::{certificate_price, CertificateConfig};
+use crate::exact::subset::{subset_price, SubsetConfig};
+use crate::gchq::reorder_to_gchq;
+use crate::money::Price;
+use crate::normalize::{step1_predicates, step2_repeated, step3_hanging, Problem};
+use crate::price_points::PriceList;
+use qbdp_catalog::{Catalog, Instance};
+use qbdp_determinacy::selection::SelectionView;
+use qbdp_query::analysis;
+use qbdp_query::ast::{ConjunctiveQuery, Ucq};
+use qbdp_query::bundle::Bundle;
+use qbdp_query::eval;
+
+/// Which engine produced a quote.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PricingMethod {
+    /// GChQ pipeline: Steps 1–3 + Min-Cut (Theorem 3.7). PTIME.
+    ChainFlow,
+    /// Definition 3.9 chain bundle priced by a shared-graph Min-Cut. PTIME.
+    ChainBundleFlow,
+    /// Cycle queries via the exact certificate engine (Theorem 3.15).
+    CycleCertificates,
+    /// Component-wise composition (Proposition 3.14); methods per part.
+    Disconnected(Vec<PricingMethod>),
+    /// Boolean query, true on `D`: cheapest secured witness.
+    BooleanWitness,
+    /// Boolean query, false on `D`: priced as its fullification.
+    BooleanEmpty(Box<PricingMethod>),
+    /// Exact hitting set over determinacy certificates (full CQs).
+    ExactCertificates,
+    /// Exact subset search over Equation 2 (any monotone query).
+    ExactSubset,
+    /// The empty query bundle (price 0, Proposition 2.8).
+    Trivial,
+}
+
+/// A priced query: the arbitrage-price plus the realizing purchase.
+#[derive(Clone, Debug)]
+pub struct Quote {
+    /// The arbitrage-price `pS_D(Q)`; `INFINITE` when the seller's price
+    /// list cannot determine the query.
+    pub price: Price,
+    /// The views of the cheapest support, against the seller's original
+    /// price list.
+    pub views: Vec<SelectionView>,
+    /// The engine that produced the quote.
+    pub method: PricingMethod,
+    /// The query's dichotomy class.
+    pub class: QueryClass,
+}
+
+impl Quote {
+    /// A human-readable, multi-line explanation of the quote: what class
+    /// the query fell into, which engine priced it, and the itemized views
+    /// the arbitrage-price stands for.
+    pub fn explain(&self, catalog: &Catalog, prices: &PriceList) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "dichotomy class : {:?}", self.class);
+        let _ = writeln!(
+            out,
+            "pricing engine  : {:?}{}",
+            self.method,
+            match &self.method {
+                PricingMethod::ChainFlow | PricingMethod::ChainBundleFlow =>
+                    "  (PTIME Min-Cut, Theorem 3.7)",
+                PricingMethod::CycleCertificates => "  (Theorem 3.15)",
+                PricingMethod::BooleanWitness => "  (cheapest secured witness)",
+                PricingMethod::ExactCertificates | PricingMethod::ExactSubset =>
+                    "  (exact engine — NP-complete class)",
+                _ => "",
+            }
+        );
+        if self.price.is_infinite() {
+            let _ = write!(
+                out,
+                "price           : ∞ — the explicit price points do not determine this query"
+            );
+            return out;
+        }
+        let _ = writeln!(out, "price           : {}", self.price);
+        let _ = writeln!(
+            out,
+            "cheapest determining view set ({} view(s)):",
+            self.views.len()
+        );
+        for v in &self.views {
+            let _ = writeln!(out, "  {} @ {}", v.display(catalog.schema()), prices.get(v));
+        }
+        let _ = write!(
+            out,
+            "any other way to answer the query from priced views costs at least this much \
+             (arbitrage-freeness, Definition 2.7)"
+        );
+        out
+    }
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PricerConfig {
+    /// Tuple-edge mode for the flow reduction.
+    pub tuple_mode: TupleEdgeMode,
+    /// Max-flow algorithm.
+    pub flow_algo: FlowAlgo,
+    /// Subset-search limits (exact engine).
+    pub subset: SubsetConfig,
+    /// Certificate-generation limits (exact engine).
+    pub certificates: CertificateConfig,
+}
+
+impl Default for PricerConfig {
+    fn default() -> Self {
+        PricerConfig {
+            tuple_mode: TupleEdgeMode::Hub,
+            flow_algo: FlowAlgo::Dinic,
+            subset: SubsetConfig::default(),
+            certificates: CertificateConfig::default(),
+        }
+    }
+}
+
+/// The pricing engine: a catalog, an instance, and a selection price list.
+#[derive(Clone, Debug)]
+pub struct Pricer {
+    catalog: Catalog,
+    instance: Instance,
+    prices: PriceList,
+    config: PricerConfig,
+}
+
+impl Pricer {
+    /// Assemble a pricer. The instance must satisfy the catalog's inclusion
+    /// constraints; the price list is *not* required to be consistent —
+    /// call [`Pricer::check_consistency`] to validate it (Theorem 2.15
+    /// makes the arbitrage-price meaningful only for consistent lists).
+    pub fn new(
+        catalog: Catalog,
+        instance: Instance,
+        prices: PriceList,
+    ) -> Result<Self, PricingError> {
+        catalog.check_instance(&instance)?;
+        Ok(Pricer {
+            catalog,
+            instance,
+            prices,
+            config: PricerConfig::default(),
+        })
+    }
+
+    /// Replace the engine configuration.
+    pub fn with_config(mut self, config: PricerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The current instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The price list.
+    pub fn prices(&self) -> &PriceList {
+        &self.prices
+    }
+
+    /// Proposition 3.2 violations (empty ⇒ consistent).
+    pub fn check_consistency(&self) -> Vec<ListArbitrage> {
+        find_list_arbitrage(&self.catalog, &self.prices)
+    }
+
+    /// Insert tuples (the dynamic setting of §2.7 — insertions only).
+    pub fn insert(
+        &mut self,
+        rel: qbdp_catalog::RelId,
+        tuples: impl IntoIterator<Item = qbdp_catalog::Tuple>,
+    ) -> Result<usize, PricingError> {
+        let mut staged = self.instance.clone();
+        let added = staged.insert_all(rel, tuples)?;
+        self.catalog.check_instance(&staged)?;
+        self.instance = staged;
+        Ok(added)
+    }
+
+    /// Parse a datalog rule against this pricer's schema and price it.
+    pub fn price_rule(&self, rule: &str) -> Result<Quote, PricingError> {
+        let q = qbdp_query::parser::parse_rule(self.catalog.schema(), rule)?;
+        self.price_cq(&q)
+    }
+
+    /// Independently audit a quote: the quoted views must (a) sum to the
+    /// quoted price against the current price list, and (b) actually
+    /// determine the query (checked with the Theorem 3.3 oracle — a
+    /// different code path than any pricing engine). A buyer can run this
+    /// before paying; a `false` return means the quote is stale (the data
+    /// changed) or wrong.
+    pub fn verify_quote(&self, q: &ConjunctiveQuery, quote: &Quote) -> Result<bool, PricingError> {
+        if quote.price.is_infinite() {
+            return Ok(quote.views.is_empty());
+        }
+        let total: Price = quote.views.iter().map(|v| self.prices.get(v)).sum();
+        if total != quote.price {
+            return Ok(false);
+        }
+        let vs: qbdp_determinacy::selection::ViewSet = quote.views.iter().cloned().collect();
+        Ok(qbdp_determinacy::selection::determines_monotone_cq(
+            &self.catalog,
+            &self.instance,
+            &vs,
+            q,
+        )?)
+    }
+
+    /// Price a conjunctive query.
+    pub fn price_cq(&self, q: &ConjunctiveQuery) -> Result<Quote, PricingError> {
+        let class = classify(q);
+        let (price, views, method) = self.dispatch(q, &class)?;
+        let mut views = views;
+        views.sort();
+        views.dedup();
+        Ok(Quote {
+            price,
+            views,
+            method,
+            class,
+        })
+    }
+
+    /// Price a UCQ: single-CQ UCQs go through the dichotomy dispatch;
+    /// genuine unions use the exact subset engine (Equation 2 verbatim).
+    pub fn price_ucq(&self, q: &Ucq) -> Result<Quote, PricingError> {
+        match q.as_single_cq() {
+            Some(cq) => self.price_cq(cq),
+            None => self.price_bundle(&Bundle::single(q.clone())),
+        }
+    }
+
+    /// Price a query bundle (the general object of §2). Bundles are priced
+    /// by the exact subset engine — the PTIME GChQ-bundle extension
+    /// (Definition 3.9) is future work recorded in DESIGN.md.
+    pub fn price_bundle(&self, bundle: &Bundle) -> Result<Quote, PricingError> {
+        if bundle.is_empty() {
+            return Ok(Quote {
+                price: Price::ZERO,
+                views: Vec::new(),
+                method: PricingMethod::Trivial,
+                class: QueryClass::GeneralizedChain,
+            });
+        }
+        // Bundles of full CQs go through the shared-certificate engine
+        // (Lemma 2.6(b): determine every member), which both scales better
+        // and realizes Proposition 2.8's subadditivity exactly.
+        let full_cqs: Option<Vec<&ConjunctiveQuery>> = bundle
+            .queries()
+            .iter()
+            .map(|u| u.as_single_cq().filter(|cq| analysis::is_full(cq)))
+            .collect();
+        if let Some(cqs) = full_cqs {
+            // A bundle of chain queries sharing only prefixes/suffixes
+            // (Definition 3.9) prices in PTIME through the shared-graph
+            // Min-Cut; anything else falls back to exact certificates.
+            let owned: Vec<ConjunctiveQuery> = cqs.iter().map(|q| (*q).clone()).collect();
+            if let Ok(r) = crate::chain::bundle::chain_bundle_price(
+                &self.catalog,
+                &self.instance,
+                &self.prices,
+                &owned,
+                &crate::normalize::Provenance::identity(),
+            ) {
+                let class = cqs
+                    .first()
+                    .map(|cq| classify(cq))
+                    .unwrap_or(QueryClass::GeneralizedChain);
+                return Ok(Quote {
+                    price: r.price,
+                    views: r.views,
+                    method: PricingMethod::ChainBundleFlow,
+                    class,
+                });
+            }
+            let res = crate::exact::certificates::certificate_price_bundle(
+                &self.catalog,
+                &self.instance,
+                &self.prices,
+                &cqs,
+                self.config.certificates,
+            )?;
+            let class = cqs
+                .first()
+                .map(|cq| classify(cq))
+                .unwrap_or(QueryClass::GeneralizedChain);
+            return Ok(Quote {
+                price: res.price,
+                views: res.views,
+                method: PricingMethod::ExactCertificates,
+                class,
+            });
+        }
+        let res = subset_price(
+            &self.catalog,
+            &self.instance,
+            &self.prices,
+            bundle,
+            self.config.subset,
+        )?;
+        let class = bundle
+            .queries()
+            .iter()
+            .filter_map(Ucq::as_single_cq)
+            .map(classify)
+            .next()
+            .unwrap_or(QueryClass::OutsideDichotomy);
+        Ok(Quote {
+            price: res.price,
+            views: res.views,
+            method: PricingMethod::ExactSubset,
+            class,
+        })
+    }
+
+    fn dispatch(
+        &self,
+        q: &ConjunctiveQuery,
+        class: &QueryClass,
+    ) -> Result<(Price, Vec<SelectionView>, PricingMethod), PricingError> {
+        if q.atoms().is_empty() {
+            return Ok((Price::ZERO, Vec::new(), PricingMethod::Trivial));
+        }
+        match class {
+            QueryClass::Disconnected(parts) => {
+                let components = analysis::connected_components(q);
+                let mut priced = Vec::with_capacity(components.len());
+                let mut methods = Vec::with_capacity(components.len());
+                for (comp, part_class) in components.iter().zip(parts) {
+                    let sub = component_query(q, comp);
+                    let (price, views, method) = self.dispatch(&sub, part_class)?;
+                    let empty = !eval::is_satisfiable(&sub, &self.instance)?;
+                    priced.push(ComponentPrice {
+                        empty,
+                        price,
+                        views,
+                    });
+                    methods.push(method);
+                }
+                let (price, views) = combine(&priced);
+                Ok((price, views, PricingMethod::Disconnected(methods)))
+            }
+            QueryClass::GeneralizedChain => self.price_gchq(q),
+            QueryClass::Cycle(_) => {
+                let problem = Problem::new(
+                    self.catalog.clone(),
+                    self.instance.clone(),
+                    self.prices.clone(),
+                    q.clone(),
+                );
+                let r = cycle_price(&problem, self.config.certificates)?;
+                Ok((r.price, r.views, PricingMethod::CycleCertificates))
+            }
+            QueryClass::NpComplete(_) | QueryClass::OutsideDichotomy => {
+                if q.is_boolean() {
+                    return self.price_boolean(q);
+                }
+                if analysis::is_full(q) {
+                    let r = certificate_price(
+                        &self.catalog,
+                        &self.instance,
+                        &self.prices,
+                        q,
+                        self.config.certificates,
+                    )?;
+                    return Ok((r.price, r.views, PricingMethod::ExactCertificates));
+                }
+                let r = subset_price(
+                    &self.catalog,
+                    &self.instance,
+                    &self.prices,
+                    &Bundle::from(q.clone()),
+                    self.config.subset,
+                )?;
+                Ok((r.price, r.views, PricingMethod::ExactSubset))
+            }
+        }
+    }
+
+    /// Boolean queries (any class): witness cover when true, fullification
+    /// when false.
+    fn price_boolean(
+        &self,
+        q: &ConjunctiveQuery,
+    ) -> Result<(Price, Vec<SelectionView>, PricingMethod), PricingError> {
+        if eval::is_satisfiable(q, &self.instance)? {
+            let (price, views) =
+                secure_witness_price(&self.catalog, &self.instance, &self.prices, q)?;
+            return Ok((price, views, PricingMethod::BooleanWitness));
+        }
+        let full = q.with_head(q.body_vars())?;
+        if full.is_boolean() {
+            // All-constant body: fullification is the query itself (still
+            // boolean). It is vacuously full, so the certificate engine
+            // prices its single emptiness constraint directly.
+            let r = certificate_price(
+                &self.catalog,
+                &self.instance,
+                &self.prices,
+                &full,
+                self.config.certificates,
+            )?;
+            return Ok((
+                r.price,
+                r.views,
+                PricingMethod::BooleanEmpty(Box::new(PricingMethod::ExactCertificates)),
+            ));
+        }
+        let class = classify(&full);
+        let (price, views, inner) = self.dispatch(&full, &class)?;
+        Ok((price, views, PricingMethod::BooleanEmpty(Box::new(inner))))
+    }
+
+    /// The GChQ pipeline (Theorem 3.7): boolean shortcut, reorder,
+    /// Steps 1–3, then one Min-Cut per hanging-variable branch.
+    fn price_gchq(
+        &self,
+        q: &ConjunctiveQuery,
+    ) -> Result<(Price, Vec<SelectionView>, PricingMethod), PricingError> {
+        if q.is_boolean() {
+            return self.price_boolean(q);
+        }
+        let ordered = reorder_to_gchq(q).ok_or_else(|| {
+            PricingError::NotApplicable(format!(
+                "query {} classified GChQ but no chain order found",
+                q.name()
+            ))
+        })?;
+        let problem = Problem::new(
+            self.catalog.clone(),
+            self.instance.clone(),
+            self.prices.clone(),
+            ordered,
+        );
+        let problem = step1_predicates::apply(problem)?;
+        let problem = step2_repeated::apply(problem)?;
+        let mut best = Price::INFINITE;
+        let mut best_views: Vec<SelectionView> = Vec::new();
+        for branch in step3_hanging::branches(problem)? {
+            let r = chain_price(
+                &branch.problem,
+                self.config.tuple_mode,
+                self.config.flow_algo,
+            )?;
+            let total = branch.base_cost.saturating_add(r.price);
+            if total < best {
+                best = total;
+                best_views = branch.base_views;
+                best_views.extend(r.original_views);
+            }
+        }
+        Ok((best, best_views, PricingMethod::ChainFlow))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbdp_catalog::{tuple, CatalogBuilder, Column};
+    use qbdp_query::parser::parse_rule;
+
+    fn figure1_pricer() -> Pricer {
+        let ax = Column::texts(["a1", "a2", "a3", "a4"]);
+        let by = Column::texts(["b1", "b2", "b3"]);
+        let cat = CatalogBuilder::new()
+            .relation("R", &[("X", ax.clone())])
+            .relation("S", &[("X", ax), ("Y", by.clone())])
+            .relation("T", &[("Y", by)])
+            .build()
+            .unwrap();
+        let mut d = cat.empty_instance();
+        d.insert_all(
+            cat.schema().rel_id("R").unwrap(),
+            [tuple!["a1"], tuple!["a2"]],
+        )
+        .unwrap();
+        d.insert_all(
+            cat.schema().rel_id("S").unwrap(),
+            [
+                tuple!["a1", "b1"],
+                tuple!["a1", "b2"],
+                tuple!["a2", "b2"],
+                tuple!["a4", "b1"],
+            ],
+        )
+        .unwrap();
+        d.insert_all(
+            cat.schema().rel_id("T").unwrap(),
+            [tuple!["b1"], tuple!["b3"]],
+        )
+        .unwrap();
+        let prices = PriceList::uniform(&cat, Price::dollars(1));
+        Pricer::new(cat, d, prices).unwrap()
+    }
+
+    #[test]
+    fn figure1_quote() {
+        let p = figure1_pricer();
+        let q = parse_rule(p.catalog().schema(), "Q(x, y) :- R(x), S(x, y), T(y)").unwrap();
+        let quote = p.price_cq(&q).unwrap();
+        assert_eq!(quote.price, Price::dollars(6));
+        assert_eq!(quote.method, PricingMethod::ChainFlow);
+        assert_eq!(quote.class, QueryClass::GeneralizedChain);
+        assert_eq!(quote.views.len(), 6);
+        assert!(p.check_consistency().is_empty());
+    }
+
+    #[test]
+    fn flow_agrees_with_both_exact_engines_on_figure1() {
+        let p = figure1_pricer();
+        let q = parse_rule(p.catalog().schema(), "Q(x, y) :- R(x), S(x, y), T(y)").unwrap();
+        let flow = p.price_cq(&q).unwrap();
+        let cert = certificate_price(
+            &p.catalog,
+            &p.instance,
+            &p.prices,
+            &q,
+            CertificateConfig::default(),
+        )
+        .unwrap();
+        let subset = subset_price(
+            &p.catalog,
+            &p.instance,
+            &p.prices,
+            &Bundle::from(q.clone()),
+            SubsetConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(flow.price, cert.price);
+        assert_eq!(flow.price, subset.price);
+    }
+
+    #[test]
+    fn hanging_vars_priced_via_branches() {
+        // Q(x, y, z) = R(x, y), S(y, z), T(z): x hangs.
+        let col = Column::int_range(0, 3);
+        let cat = CatalogBuilder::new()
+            .uniform_relation("R", &["X", "Y"], &col)
+            .uniform_relation("S", &["Y", "Z"], &col)
+            .uniform_relation("T", &["Z"], &col)
+            .build()
+            .unwrap();
+        let mut d = cat.empty_instance();
+        d.insert(cat.schema().rel_id("R").unwrap(), tuple![0, 1])
+            .unwrap();
+        d.insert(cat.schema().rel_id("S").unwrap(), tuple![1, 2])
+            .unwrap();
+        d.insert(cat.schema().rel_id("T").unwrap(), tuple![2])
+            .unwrap();
+        let prices = PriceList::uniform(&cat, Price::dollars(1));
+        let pricer = Pricer::new(cat, d, prices).unwrap();
+        let q = parse_rule(
+            pricer.catalog().schema(),
+            "Q(x, y, z) :- R(x, y), S(y, z), T(z)",
+        )
+        .unwrap();
+        let quote = pricer.price_cq(&q).unwrap();
+        // Cross-validate against both exact engines.
+        let cert = certificate_price(
+            &pricer.catalog,
+            &pricer.instance,
+            &pricer.prices,
+            &q,
+            CertificateConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(quote.price, cert.price);
+        assert!(quote.price.is_finite());
+    }
+
+    #[test]
+    fn boolean_quotes() {
+        let p = figure1_pricer();
+        // True on D: secure the (a1, b1) witness = 3 views at $1.
+        let q = parse_rule(p.catalog().schema(), "B() :- R(x), S(x, y), T(y)").unwrap();
+        let quote = p.price_cq(&q).unwrap();
+        assert_eq!(quote.price, Price::dollars(3));
+        assert_eq!(quote.method, PricingMethod::BooleanWitness);
+        // False on D: Q joins through T(b2) which is absent... use S(a3, y):
+        let q = parse_rule(p.catalog().schema(), "B() :- R(x), S(x, y), T(y), x = 'a3'").unwrap();
+        let quote = p.price_cq(&q).unwrap();
+        assert!(matches!(quote.method, PricingMethod::BooleanEmpty(_)));
+        assert!(quote.price.is_finite());
+    }
+
+    #[test]
+    fn disconnected_quote() {
+        let col = Column::int_range(0, 2);
+        let cat = CatalogBuilder::new()
+            .uniform_relation("A", &["X"], &col)
+            .uniform_relation("B", &["X"], &col)
+            .build()
+            .unwrap();
+        let mut d = cat.empty_instance();
+        d.insert(cat.schema().rel_id("A").unwrap(), tuple![0])
+            .unwrap();
+        d.insert(cat.schema().rel_id("B").unwrap(), tuple![1])
+            .unwrap();
+        let prices = PriceList::uniform(&cat, Price::dollars(1));
+        let pricer = Pricer::new(cat, d, prices).unwrap();
+        let q = parse_rule(pricer.catalog().schema(), "Q(x, y) :- A(x), B(y)").unwrap();
+        let quote = pricer.price_cq(&q).unwrap();
+        // Both components nonempty: sum of two full covers ($2 each).
+        assert_eq!(quote.price, Price::dollars(4));
+        assert!(matches!(quote.method, PricingMethod::Disconnected(_)));
+    }
+
+    #[test]
+    fn np_hard_queries_priced_exactly() {
+        // H1 on a tiny instance.
+        let col = Column::int_range(0, 2);
+        let cat = CatalogBuilder::new()
+            .uniform_relation("R", &["X", "Y", "Z"], &col)
+            .uniform_relation("S", &["X"], &col)
+            .uniform_relation("T", &["X"], &col)
+            .uniform_relation("U", &["X"], &col)
+            .build()
+            .unwrap();
+        let mut d = cat.empty_instance();
+        d.insert(cat.schema().rel_id("R").unwrap(), tuple![0, 1, 0])
+            .unwrap();
+        d.insert(cat.schema().rel_id("S").unwrap(), tuple![0])
+            .unwrap();
+        let prices = PriceList::uniform(&cat, Price::dollars(1));
+        let pricer = Pricer::new(cat, d, prices).unwrap();
+        let q = parse_rule(
+            pricer.catalog().schema(),
+            "H1(x, y, z) :- R(x, y, z), S(x), T(y), U(z)",
+        )
+        .unwrap();
+        let quote = pricer.price_cq(&q).unwrap();
+        assert_eq!(quote.method, PricingMethod::ExactCertificates);
+        assert!(quote.price.is_finite());
+        assert!(matches!(quote.class, QueryClass::NpComplete(_)));
+    }
+
+    #[test]
+    fn empty_bundle_is_free() {
+        let p = figure1_pricer();
+        let quote = p.price_bundle(&Bundle::empty()).unwrap();
+        assert_eq!(quote.price, Price::ZERO);
+        assert_eq!(quote.method, PricingMethod::Trivial);
+    }
+
+    #[test]
+    fn insertions_are_validated() {
+        let mut p = figure1_pricer();
+        let r = p.catalog().schema().rel_id("R").unwrap();
+        assert_eq!(p.insert(r, [tuple!["a3"]]).unwrap(), 1);
+        // Outside the column: rejected, instance unchanged.
+        assert!(p.insert(r, [tuple!["zz"]]).is_err());
+        assert_eq!(p.instance().relation(r).len(), 3);
+    }
+}

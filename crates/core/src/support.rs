@@ -1,0 +1,453 @@
+//! The fundamental query pricing formula (§2.6).
+//!
+//! The *support* of a query bundle `Q` is the family of price-point subsets
+//! whose combined views determine `Q` (Equation 1); the *arbitrage-price*
+//! is the cost of the cheapest support (Equation 2):
+//!
+//! ```text
+//! pS_D(Q) = min { p(C) : C ⊆ S,  D ⊢ ⊔C ։ Q }
+//! ```
+//!
+//! By Theorem 2.15, if `S` is consistent this is the **unique** valid,
+//! discount-free pricing function, and consistency itself reduces to the
+//! finitely many checks `p_i ≤ pS_D(V_i)`.
+//!
+//! The subset search is exponential in `|S|` (unavoidable in general —
+//! Corollary 2.16 places the problem in Σᵖ₂/coNP) and is implemented as
+//! branch-and-bound, using the fact that determinacy is monotone in the view
+//! set: once a subset determines `Q`, supersets are never cheaper.
+
+use crate::error::PricingError;
+use crate::money::Price;
+use crate::price_points::PriceSchedule;
+use qbdp_catalog::{Catalog, FxHashMap, Instance};
+use qbdp_determinacy::bruteforce::determines_bruteforce;
+use qbdp_determinacy::restricted::RestrictedError;
+use qbdp_determinacy::selection::{determines_monotone_bundle, ViewSet};
+use qbdp_query::bundle::Bundle;
+
+/// Result of an arbitrage-price computation.
+#[derive(Clone, Debug)]
+pub struct SupportResult {
+    /// The arbitrage-price `pS_D(Q)`; `INFINITE` when no subset of `S`
+    /// determines `Q` (the seller does not sell enough of the data).
+    pub price: Price,
+    /// Indices (into `schedule.points()`) of the cheapest support found.
+    pub support: Vec<usize>,
+}
+
+/// Configuration for the subset search.
+#[derive(Clone, Copy, Debug)]
+pub struct SupportConfig {
+    /// Maximum number of price points (the search is `O(2^points)`).
+    pub max_points: usize,
+    /// Candidate-tuple cap for the brute-force determinacy oracle, used
+    /// when some price point's views are general query bundles.
+    pub bruteforce_limit: usize,
+}
+
+impl Default for SupportConfig {
+    fn default() -> Self {
+        SupportConfig {
+            max_points: 24,
+            bruteforce_limit: 18,
+        }
+    }
+}
+
+/// Which determinacy relation prices are computed under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DeterminacyRelation {
+    /// Instance-based determinacy `D ⊢ V ։ Q` (Definition 2.2).
+    #[default]
+    Plain,
+    /// The restriction `։*` of Proposition 2.24: monotone for monotone
+    /// views, so prices never drop under insertions and consistency is
+    /// never lost. Prices are ≥ the plain prices (Prop 2.24(c)). The
+    /// restricted oracle is brute-force, so this works on tiny instances
+    /// only (the §2.7 demonstrations).
+    Restricted,
+}
+
+/// Compute the arbitrage-price of a query bundle under the **restricted**
+/// determinacy relation `։*` (the paper's dynamic-pricing repair,
+/// Prop 2.24). See [`arbitrage_price`] for the plain relation.
+pub fn arbitrage_price_restricted(
+    catalog: &Catalog,
+    d: &Instance,
+    schedule: &PriceSchedule,
+    target: &Bundle,
+    config: SupportConfig,
+) -> Result<SupportResult, PricingError> {
+    arbitrage_price_with(
+        catalog,
+        d,
+        schedule,
+        target,
+        config,
+        DeterminacyRelation::Restricted,
+    )
+}
+
+/// Compute the arbitrage-price (Equation 2) of a query bundle under a
+/// general price schedule.
+pub fn arbitrage_price(
+    catalog: &Catalog,
+    d: &Instance,
+    schedule: &PriceSchedule,
+    target: &Bundle,
+    config: SupportConfig,
+) -> Result<SupportResult, PricingError> {
+    arbitrage_price_with(
+        catalog,
+        d,
+        schedule,
+        target,
+        config,
+        DeterminacyRelation::Plain,
+    )
+}
+
+fn arbitrage_price_with(
+    catalog: &Catalog,
+    d: &Instance,
+    schedule: &PriceSchedule,
+    target: &Bundle,
+    config: SupportConfig,
+    relation: DeterminacyRelation,
+) -> Result<SupportResult, PricingError> {
+    let n = schedule.len();
+    if n > config.max_points {
+        return Err(PricingError::LimitExceeded(format!(
+            "{n} price points exceed the subset-search cap of {}",
+            config.max_points
+        )));
+    }
+
+    // Determinacy oracle over subsets (bitmask), memoized.
+    let atomic = schedule.all_atomic();
+    let mut memo: FxHashMap<u64, bool> = FxHashMap::default();
+    let mut determines = |mask: u64| -> Result<bool, PricingError> {
+        if let Some(&r) = memo.get(&mask) {
+            return Ok(r);
+        }
+        let result = match (atomic, relation) {
+            (true, DeterminacyRelation::Plain) => {
+                let mut vs = ViewSet::new();
+                for (i, p) in schedule.points().iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        let pv = p.views.as_viewset(catalog).expect("atomic");
+                        for v in pv.iter() {
+                            vs.insert(v);
+                        }
+                    }
+                }
+                determines_monotone_bundle(catalog, d, &vs, target)?
+            }
+            (true, DeterminacyRelation::Restricted) => {
+                let mut vs = ViewSet::new();
+                for (i, p) in schedule.points().iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        let pv = p.views.as_viewset(catalog).expect("atomic");
+                        for v in pv.iter() {
+                            vs.insert(v);
+                        }
+                    }
+                }
+                let mut all = true;
+                for ucq in target.queries() {
+                    if !qbdp_determinacy::restricted::determines_restricted(
+                        catalog,
+                        d,
+                        &vs,
+                        ucq,
+                        config.bruteforce_limit,
+                    )
+                    .map_err(restricted_err)?
+                    {
+                        all = false;
+                        break;
+                    }
+                }
+                all
+            }
+            (false, rel) => {
+                let mut views = Bundle::empty();
+                for (i, p) in schedule.points().iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        views = views.union(&p.views.as_bundle(catalog));
+                    }
+                }
+                match rel {
+                    DeterminacyRelation::Plain => {
+                        determines_bruteforce(catalog, d, &views, target, config.bruteforce_limit)?
+                    }
+                    DeterminacyRelation::Restricted => {
+                        qbdp_determinacy::restricted::determines_restricted_bundle(
+                            catalog,
+                            d,
+                            &views,
+                            target,
+                            config.bruteforce_limit,
+                        )?
+                    }
+                }
+            }
+        };
+        memo.insert(mask, result);
+        Ok(result)
+    };
+
+    // Quick feasibility: does the full schedule determine the target?
+    let full_mask: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    if !determines(full_mask)? {
+        return Ok(SupportResult {
+            price: Price::INFINITE,
+            support: Vec::new(),
+        });
+    }
+
+    // Order points by ascending price so cheap supports are found early.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| schedule.points()[i].price);
+
+    let mut best = Price::INFINITE;
+    let mut best_mask = full_mask;
+
+    // DFS include/exclude with cost pruning and early determinacy cuts.
+    // `stack`: (next position in `order`, chosen mask, cost).
+    let mut stack: Vec<(usize, u64, Price)> = vec![(0, 0, Price::ZERO)];
+    while let Some((idx, mask, cost)) = stack.pop() {
+        if cost >= best {
+            continue;
+        }
+        if determines(mask)? {
+            if cost < best {
+                best = cost;
+                best_mask = mask;
+            }
+            continue; // supersets only cost more
+        }
+        if idx == n {
+            continue;
+        }
+        let point = order[idx];
+        // Exclude first (pushed first → explored last), include second.
+        stack.push((idx + 1, mask, cost));
+        stack.push((
+            idx + 1,
+            mask | (1 << point),
+            cost.saturating_add(schedule.points()[point].price),
+        ));
+    }
+
+    let mut support: Vec<usize> = (0..n).filter(|i| best_mask & (1 << i) != 0).collect();
+    support.sort_unstable();
+    Ok(SupportResult {
+        price: best,
+        support,
+    })
+}
+
+fn restricted_err(e: RestrictedError) -> PricingError {
+    match e {
+        RestrictedError::TooLarge(l) => PricingError::LimitExceeded(l.to_string()),
+        RestrictedError::Query(q) => PricingError::Query(q),
+    }
+}
+
+/// A consistency violation: price point `point` is overpriced — it can be
+/// obtained for `cheaper` through other points (arbitrage, Theorem 2.15).
+#[derive(Clone, Debug)]
+pub struct Arbitrage {
+    /// Index of the violated price point.
+    pub point: usize,
+    /// The cheaper arbitrage price.
+    pub cheaper: Price,
+    /// The support realizing the arbitrage.
+    pub via: Vec<usize>,
+}
+
+/// Check consistency of a schedule (Theorem 2.15(1)): `S` is consistent iff
+/// for every point `(V_i, p_i)`, `p_i ≤ pS_D(V_i)`. Returns all violations
+/// (empty ⇒ consistent, and the arbitrage-price is the unique discount-free
+/// pricing function, Theorem 2.15(2)).
+pub fn find_arbitrage(
+    catalog: &Catalog,
+    d: &Instance,
+    schedule: &PriceSchedule,
+    config: SupportConfig,
+) -> Result<Vec<Arbitrage>, PricingError> {
+    let mut out = Vec::new();
+    for (i, point) in schedule.points().iter().enumerate() {
+        let target = point.views.as_bundle(catalog);
+        let r = arbitrage_price(catalog, d, schedule, &target, config)?;
+        if r.price < point.price {
+            out.push(Arbitrage {
+                point: i,
+                cheaper: r.price,
+                via: r.support,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// `true` iff the schedule admits a valid pricing function on `D`.
+pub fn is_consistent(
+    catalog: &Catalog,
+    d: &Instance,
+    schedule: &PriceSchedule,
+    config: SupportConfig,
+) -> Result<bool, PricingError> {
+    Ok(find_arbitrage(catalog, d, schedule, config)?.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::price_points::{AtomicView, PricePoint, ViewDef};
+    use qbdp_catalog::{tuple, CatalogBuilder, Column, Value};
+    use qbdp_determinacy::selection::SelectionView;
+    use qbdp_query::ast::Ucq;
+    use qbdp_query::parser::parse_rule;
+
+    fn cat() -> Catalog {
+        CatalogBuilder::new()
+            .relation("R", &[("X", Column::int_range(0, 2))])
+            .relation(
+                "S",
+                &[
+                    ("X", Column::int_range(0, 2)),
+                    ("Y", Column::int_range(0, 2)),
+                ],
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn state_point(c: &Catalog, dotted: &str, v: i64, price: Price) -> PricePoint {
+        let attr = c.schema().resolve_attr(dotted).unwrap();
+        PricePoint::new(
+            format!("{dotted}={v}"),
+            ViewDef::Atomic(vec![AtomicView::Selection(SelectionView::new(
+                attr,
+                Value::Int(v),
+            ))]),
+            price,
+        )
+    }
+
+    #[test]
+    fn arbitrage_price_prefers_cheapest_support() {
+        let c = cat();
+        let mut d = c.empty_instance();
+        let r = c.schema().rel_id("R").unwrap();
+        d.insert(r, tuple![0]).unwrap();
+        let mut s = PriceSchedule::new();
+        s.add(state_point(&c, "R.X", 0, Price::dollars(2)));
+        s.add(state_point(&c, "R.X", 1, Price::dollars(3)));
+        s.add(PricePoint::new(
+            "ID",
+            ViewDef::identity(&c),
+            Price::dollars(100),
+        ));
+        // Target: the whole of R. Cheapest: both R.X selections ($5) beats ID.
+        let target = Bundle::single(Ucq::single(
+            parse_rule(c.schema(), "QR(x) :- R(x)").unwrap(),
+        ));
+        let res = arbitrage_price(&c, &d, &s, &target, SupportConfig::default()).unwrap();
+        assert_eq!(res.price, Price::dollars(5));
+        assert_eq!(res.support, vec![0, 1]);
+    }
+
+    #[test]
+    fn unsellable_target_is_infinite() {
+        let c = cat();
+        let d = c.empty_instance();
+        let mut s = PriceSchedule::new();
+        s.add(state_point(&c, "R.X", 0, Price::dollars(2)));
+        // S is not sold at all: a query over S has empty support... except D
+        // is empty, so emptiness might still leak. Put a tuple in S to make
+        // it genuinely undetermined.
+        let mut d = d;
+        let srel = c.schema().rel_id("S").unwrap();
+        d.insert(srel, tuple![0, 1]).unwrap();
+        let target = Bundle::single(Ucq::single(
+            parse_rule(c.schema(), "QS(x, y) :- S(x, y)").unwrap(),
+        ));
+        let res = arbitrage_price(&c, &d, &s, &target, SupportConfig::default()).unwrap();
+        assert!(res.price.is_infinite());
+    }
+
+    #[test]
+    fn consistency_detects_overpriced_bundle() {
+        // ID at $100 but the parts sum to $5 → arbitrage against ID.
+        let c = cat();
+        let d = c.empty_instance();
+        let mut s = PriceSchedule::new();
+        s.add(state_point(&c, "R.X", 0, Price::dollars(1)));
+        s.add(state_point(&c, "R.X", 1, Price::dollars(1)));
+        s.add(state_point(&c, "S.X", 0, Price::dollars(1)));
+        s.add(state_point(&c, "S.X", 1, Price::dollars(1)));
+        s.add(PricePoint::new(
+            "ID",
+            ViewDef::identity(&c),
+            Price::dollars(100),
+        ));
+        let arb = find_arbitrage(&c, &d, &s, SupportConfig::default()).unwrap();
+        assert_eq!(arb.len(), 1);
+        assert_eq!(arb[0].point, 4);
+        assert_eq!(arb[0].cheaper, Price::dollars(4));
+        assert!(!is_consistent(&c, &d, &s, SupportConfig::default()).unwrap());
+        // Repricing ID at the parts' price restores consistency.
+        let mut s2 = PriceSchedule::new();
+        for p in s.points().iter().take(4).cloned() {
+            s2.add(p);
+        }
+        s2.add(PricePoint::new(
+            "ID",
+            ViewDef::identity(&c),
+            Price::dollars(4),
+        ));
+        assert!(is_consistent(&c, &d, &s2, SupportConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn example_2_18_dynamic_inconsistency() {
+        // S1 = {(V, $1), (Q, $10), (ID, $100)} with V(x,y) = R(x), S(x,y) and
+        // Q() = ∃x R(x): consistent on D1 = ∅, inconsistent on
+        // D2 = {R(0), S(0,1)} (buy V for $1, learn Q, dodge its $10 price).
+        let c = cat();
+        let v = parse_rule(c.schema(), "V(x, y) :- R(x), S(x, y)").unwrap();
+        let q = parse_rule(c.schema(), "Q() :- R(x)").unwrap();
+        let mut s = PriceSchedule::new();
+        s.add(PricePoint::new(
+            "V",
+            ViewDef::Queries(Bundle::single(Ucq::single(v))),
+            Price::dollars(1),
+        ));
+        s.add(PricePoint::new(
+            "Q",
+            ViewDef::Queries(Bundle::single(Ucq::single(q))),
+            Price::dollars(10),
+        ));
+        s.add(PricePoint::new(
+            "ID",
+            ViewDef::identity(&c),
+            Price::dollars(100),
+        ));
+        let d1 = c.empty_instance();
+        assert!(is_consistent(&c, &d1, &s, SupportConfig::default()).unwrap());
+        let mut d2 = c.empty_instance();
+        d2.insert(c.schema().rel_id("R").unwrap(), tuple![0])
+            .unwrap();
+        d2.insert(c.schema().rel_id("S").unwrap(), tuple![0, 1])
+            .unwrap();
+        let arb = find_arbitrage(&c, &d2, &s, SupportConfig::default()).unwrap();
+        assert_eq!(arb.len(), 1);
+        assert_eq!(arb[0].point, 1); // Q is the violated point
+        assert_eq!(arb[0].cheaper, Price::dollars(1)); // via V
+        assert_eq!(arb[0].via, vec![0]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Edmonds–Karp max-flow: BFS shortest augmenting paths.
+//!
+//! Independently implemented from [`crate::dinic()`](fn@crate::dinic) so the two can
+//! cross-validate each other in property tests, and benchmarked against it
+//! in the `flow_ablation` experiment (E12).
+
+use crate::graph::{FlowGraph, MaxFlowResult, NodeId};
+
+/// Compute the maximum `s`–`t` flow with the Edmonds–Karp algorithm
+/// (`O(V·E²)`).
+pub fn edmonds_karp(g: &FlowGraph, s: NodeId, t: NodeId) -> MaxFlowResult {
+    assert_ne!(s, t, "source and sink must differ");
+    let n = g.num_nodes();
+    let mut residual = g.cap.clone();
+    let mut parent_edge: Vec<u32> = vec![u32::MAX; n];
+    let mut queue: Vec<usize> = Vec::with_capacity(n);
+    let mut value: u64 = 0;
+
+    loop {
+        // BFS for an augmenting path.
+        parent_edge.fill(u32::MAX);
+        queue.clear();
+        queue.push(s);
+        let mut head = 0;
+        let mut found = false;
+        'bfs: while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            for &e in &g.adj[v] {
+                let e = e as usize;
+                let w = g.to[e] as usize;
+                if residual[e] > 0 && parent_edge[w] == u32::MAX && w != s {
+                    parent_edge[w] = e as u32;
+                    if w == t {
+                        found = true;
+                        break 'bfs;
+                    }
+                    queue.push(w);
+                }
+            }
+        }
+        if !found {
+            break;
+        }
+        // Bottleneck along the path.
+        let mut bottleneck = u64::MAX;
+        let mut v = t;
+        while v != s {
+            let e = parent_edge[v] as usize;
+            bottleneck = bottleneck.min(residual[e]);
+            v = g.to[e ^ 1] as usize;
+        }
+        // Augment.
+        let mut v = t;
+        while v != s {
+            let e = parent_edge[v] as usize;
+            residual[e] -= bottleneck;
+            residual[e ^ 1] = residual[e ^ 1].saturating_add(bottleneck);
+            v = g.to[e ^ 1] as usize;
+        }
+        value = value.saturating_add(bottleneck);
+    }
+    MaxFlowResult { value, residual }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dinic::dinic;
+    use crate::graph::INF;
+
+    #[test]
+    fn agrees_with_dinic_on_textbook() {
+        let mut g = FlowGraph::with_nodes(6);
+        let (s, a, b, c, d, t) = (0, 1, 2, 3, 4, 5);
+        g.add_edge(s, a, 16);
+        g.add_edge(s, b, 13);
+        g.add_edge(a, b, 10);
+        g.add_edge(b, a, 4);
+        g.add_edge(a, c, 12);
+        g.add_edge(b, d, 14);
+        g.add_edge(c, b, 9);
+        g.add_edge(d, c, 7);
+        g.add_edge(c, t, 20);
+        g.add_edge(d, t, 4);
+        assert_eq!(edmonds_karp(&g, s, t).value, 23);
+        assert_eq!(edmonds_karp(&g, s, t).value, dinic(&g, s, t).value);
+    }
+
+    #[test]
+    fn random_graphs_agree_with_dinic() {
+        // Deterministic xorshift so the test is reproducible without rand.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..50 {
+            let n = 4 + (next() % 10) as usize;
+            let m = 2 * n + (next() % (3 * n as u64)) as usize;
+            let mut g = FlowGraph::with_nodes(n);
+            for _ in 0..m {
+                let u = (next() % n as u64) as usize;
+                let v = (next() % n as u64) as usize;
+                if u == v {
+                    continue;
+                }
+                let cap = if next() % 8 == 0 { INF } else { next() % 50 };
+                g.add_edge(u, v, cap);
+            }
+            let d = dinic(&g, 0, n - 1);
+            let ek = edmonds_karp(&g, 0, n - 1);
+            assert_eq!(d.value, ek.value, "case {case}: dinic vs edmonds-karp");
+            // Cut weight == flow value when finite.
+            if d.value < INF {
+                let w: u64 = d.min_cut_edges(&g, 0).iter().map(|&e| g.edge(e).2).sum();
+                assert_eq!(w, d.value, "case {case}: cut weight");
+                // Removing the cut disconnects t from s.
+                let side = d.source_side(&g, 0);
+                assert!(side[0]);
+                assert!(!side[n - 1]);
+            }
+        }
+    }
+}

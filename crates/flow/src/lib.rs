@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # qbdp-flow — max-flow / min-cut, from scratch
+//!
+//! Step 4 of the paper's GChQ pricing algorithm reduces price computation to
+//! **Min-Cut** in a weighted directed graph ("which is the dual of the
+//! Max-Flow problem", §3.1). This crate provides:
+//!
+//! * [`graph::FlowGraph`] — a compact directed graph with `u64` capacities
+//!   and an [`graph::INF`] sentinel for uncuttable edges,
+//! * [`dinic()`](fn@crate::dinic) — Dinic's algorithm (BFS level graph + blocking flow),
+//!   `O(V²E)` worst case and much faster on the unit-ish graphs produced by
+//!   the pricing reduction,
+//! * [`edmonds_karp()`](fn@crate::edmonds_karp) — the textbook BFS augmenting-path algorithm, kept as
+//!   an independently-implemented baseline for cross-validation and for the
+//!   `flow_ablation` benchmark,
+//! * [`graph::MaxFlowResult::min_cut_edges`] — extraction of a minimum cut
+//!   from the residual network (the cut is what the pricing algorithm
+//!   actually returns: the set of views the savvy buyer purchases).
+
+pub mod dinic;
+pub mod edmonds_karp;
+pub mod graph;
+
+pub use dinic::dinic;
+pub use edmonds_karp::edmonds_karp;
+pub use graph::{EdgeId, FlowGraph, MaxFlowResult, NodeId, INF};

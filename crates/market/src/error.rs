@@ -1,0 +1,52 @@
+//! Market-layer errors.
+
+use qbdp_core::PricingError;
+use qbdp_query::QueryError;
+use std::fmt;
+
+/// Errors surfaced by the marketplace.
+#[derive(Debug)]
+pub enum MarketError {
+    /// The seller's price list admits arbitrage (Proposition 3.2); the
+    /// violations are rendered in the message.
+    InconsistentPrices(String),
+    /// Pricing failed.
+    Pricing(PricingError),
+    /// The buyer's query did not parse or validate.
+    Query(QueryError),
+    /// The query is not for sale at any finite price (the price points do
+    /// not determine it).
+    NotForSale,
+    /// Data update rejected (e.g. value outside a declared column).
+    Update(String),
+}
+
+impl fmt::Display for MarketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarketError::InconsistentPrices(m) => {
+                write!(f, "price list admits arbitrage: {m}")
+            }
+            MarketError::Pricing(e) => write!(f, "{e}"),
+            MarketError::Query(e) => write!(f, "{e}"),
+            MarketError::NotForSale => {
+                write!(f, "the explicit price points do not determine this query")
+            }
+            MarketError::Update(m) => write!(f, "update rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MarketError {}
+
+impl From<PricingError> for MarketError {
+    fn from(e: PricingError) -> Self {
+        MarketError::Pricing(e)
+    }
+}
+
+impl From<QueryError> for MarketError {
+    fn from(e: QueryError) -> Self {
+        MarketError::Query(e)
+    }
+}

@@ -1,0 +1,131 @@
+//! The transaction ledger: every quote that turned into a purchase, plus
+//! data-update events, with running revenue.
+
+use qbdp_core::Price;
+use std::time::Instant;
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+pub enum Transaction {
+    /// A completed purchase.
+    Sale {
+        /// Monotone id.
+        id: u64,
+        /// The query, rendered.
+        query: String,
+        /// The price paid.
+        price: Price,
+        /// Number of answer tuples delivered.
+        answer_tuples: usize,
+        /// Number of views in the receipt.
+        views: usize,
+        /// When it happened (relative to ledger creation).
+        at: Instant,
+    },
+    /// A data update by the seller.
+    Update {
+        /// Monotone id.
+        id: u64,
+        /// Relation name.
+        relation: String,
+        /// Tuples added.
+        added: usize,
+        /// When it happened.
+        at: Instant,
+    },
+}
+
+/// Append-only ledger with revenue accounting.
+#[derive(Debug)]
+pub struct Ledger {
+    transactions: Vec<Transaction>,
+    revenue: Price,
+    next_id: u64,
+}
+
+impl Default for Ledger {
+    fn default() -> Self {
+        Ledger::new()
+    }
+}
+
+impl Ledger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Ledger {
+            transactions: Vec::new(),
+            revenue: Price::ZERO,
+            next_id: 1,
+        }
+    }
+
+    /// Record a sale; returns its id.
+    pub fn record_sale(
+        &mut self,
+        query: String,
+        price: Price,
+        answer_tuples: usize,
+        views: usize,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.revenue = self.revenue.saturating_add(price);
+        self.transactions.push(Transaction::Sale {
+            id,
+            query,
+            price,
+            answer_tuples,
+            views,
+            at: Instant::now(),
+        });
+        id
+    }
+
+    /// Record an update; returns its id.
+    pub fn record_update(&mut self, relation: String, added: usize) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.transactions.push(Transaction::Update {
+            id,
+            relation,
+            added,
+            at: Instant::now(),
+        });
+        id
+    }
+
+    /// All transactions, oldest first.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// Total revenue.
+    pub fn revenue(&self) -> Price {
+        self.revenue
+    }
+
+    /// Number of sales.
+    pub fn sales(&self) -> usize {
+        self.transactions
+            .iter()
+            .filter(|t| matches!(t, Transaction::Sale { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn revenue_accumulates() {
+        let mut l = Ledger::new();
+        let a = l.record_sale("Q1".into(), Price::dollars(3), 10, 2);
+        let b = l.record_sale("Q2".into(), Price::dollars(4), 0, 1);
+        let c = l.record_update("R".into(), 5);
+        assert!(a < b && b < c);
+        assert_eq!(l.revenue(), Price::dollars(7));
+        assert_eq!(l.sales(), 2);
+        assert_eq!(l.transactions().len(), 3);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # qbdp-market — a query-priced data marketplace
+//!
+//! The downstream-facing layer: a thread-safe [`Market`] wrapping the
+//! pricing engine with the workflow a real marketplace needs —
+//!
+//! * sellers publish a catalog, data, and explicit selection-view prices,
+//!   validated against Proposition 3.2 so no arbitrage is possible;
+//! * buyers ask for **quotes** on arbitrary queries (datalog-syntax
+//!   strings or ASTs) and **purchase** them, receiving the answer plus an
+//!   itemized receipt of the views their payment stands for;
+//! * the seller inserts new data at any time (§2.7); consistency is
+//!   preserved automatically (Prop 3.2 is instance-independent) and
+//!   full-query prices never drop (Prop 2.22);
+//! * a [`ledger::Ledger`] records every transaction and the running
+//!   revenue.
+//!
+//! Concurrency: quoting is read-only and proceeds under a shared lock;
+//! insertions take the write lock. The `concurrent` test module hammers a
+//! market from multiple threads (crossbeam) to validate the locking.
+
+pub mod error;
+pub mod ledger;
+pub mod market;
+
+pub use error::MarketError;
+pub use ledger::{Ledger, Transaction};
+pub use market::{Market, MarketQuote, Purchase};

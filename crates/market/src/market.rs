@@ -1,0 +1,455 @@
+//! The [`Market`]: quotes, purchases, and live updates over the pricing
+//! engine, behind a `parking_lot::RwLock`.
+
+use crate::error::MarketError;
+use crate::ledger::Ledger;
+use parking_lot::RwLock;
+use qbdp_catalog::{Catalog, Instance, QdpFile, RelId, Tuple};
+use qbdp_core::dichotomy::QueryClass;
+use qbdp_core::price_points::PriceList;
+use qbdp_core::{Price, Pricer, PricingMethod};
+use qbdp_determinacy::selection::SelectionView;
+use qbdp_query::ast::ConjunctiveQuery;
+use qbdp_query::parser::parse_rule;
+use qbdp_query::pretty;
+
+/// A buyer-facing quote.
+#[derive(Clone, Debug)]
+pub struct MarketQuote {
+    /// The query, rendered back in datalog syntax.
+    pub query: String,
+    /// The arbitrage-price.
+    pub price: Price,
+    /// Itemized receipt: the explicit views this price stands for, rendered.
+    pub receipt: Vec<String>,
+    /// The raw views (for programmatic consumers).
+    pub views: Vec<SelectionView>,
+    /// Which engine priced it.
+    pub method: PricingMethod,
+    /// The query's dichotomy class.
+    pub class: QueryClass,
+}
+
+/// A completed purchase: the quote plus the delivered answer.
+#[derive(Clone, Debug)]
+pub struct Purchase {
+    /// Ledger transaction id.
+    pub transaction_id: u64,
+    /// The quote honoured.
+    pub quote: MarketQuote,
+    /// The answer tuples, sorted for determinism.
+    pub answer: Vec<Tuple>,
+}
+
+struct State {
+    pricer: Pricer,
+    ledger: Ledger,
+    /// Quote cache keyed by the *rendered* query (canonical form), cleared
+    /// on every data update. Quoting is idempotent between updates, and
+    /// markets see the same queries repeatedly, so this turns the common
+    /// case into a hash lookup.
+    quote_cache: qbdp_catalog::FxHashMap<String, MarketQuote>,
+}
+
+/// A thread-safe, query-priced data marketplace.
+pub struct Market {
+    state: RwLock<State>,
+}
+
+impl Market {
+    /// Open a market. Rejects price lists that admit arbitrage among the
+    /// explicit price points (Proposition 3.2) — by Theorem 2.15 no valid
+    /// pricing function would exist.
+    pub fn open(
+        catalog: Catalog,
+        instance: Instance,
+        prices: PriceList,
+    ) -> Result<Market, MarketError> {
+        let pricer = Pricer::new(catalog, instance, prices)?;
+        let violations = pricer.check_consistency();
+        if !violations.is_empty() {
+            let rendered: Vec<String> = violations
+                .iter()
+                .take(3)
+                .map(|v| v.display(pricer.catalog()))
+                .collect();
+            return Err(MarketError::InconsistentPrices(rendered.join("; ")));
+        }
+        Ok(Market {
+            state: RwLock::new(State {
+                pricer,
+                ledger: Ledger::new(),
+                quote_cache: Default::default(),
+            }),
+        })
+    }
+
+    /// Open a market from a `.qdp` document (schema, columns, tuples, and
+    /// `price R.X=a <cents>` directives).
+    pub fn open_qdp(text: &str) -> Result<Market, MarketError> {
+        let file = QdpFile::parse(text).map_err(|e| MarketError::Update(e.to_string()))?;
+        let mut prices = PriceList::new();
+        for (attr, value, cents) in file.prices {
+            prices.set(SelectionView::new(attr, value), Price::cents(cents));
+        }
+        Market::open(file.catalog, file.instance, prices)
+    }
+
+    /// Quote a query given in datalog syntax
+    /// (`"Q(x, y) :- R(x), S(x, y)"`). Quotes are cached until the next
+    /// data update.
+    pub fn quote_str(&self, query: &str) -> Result<MarketQuote, MarketError> {
+        let state = self.state.read();
+        let q = parse_rule(state.pricer.catalog().schema(), query)?;
+        let key = pretty::render(&q, state.pricer.catalog().schema());
+        if let Some(hit) = state.quote_cache.get(&key) {
+            return Ok(hit.clone());
+        }
+        let quote = Self::quote_inner(&state, &q)?;
+        drop(state);
+        let mut state = self.state.write();
+        state.quote_cache.insert(key, quote.clone());
+        Ok(quote)
+    }
+
+    /// Quote a parsed query (uncached path).
+    pub fn quote(&self, q: &ConjunctiveQuery) -> Result<MarketQuote, MarketError> {
+        let state = self.state.read();
+        Self::quote_inner(&state, q)
+    }
+
+    fn quote_inner(state: &State, q: &ConjunctiveQuery) -> Result<MarketQuote, MarketError> {
+        let quote = state.pricer.price_cq(q)?;
+        if quote.price.is_infinite() {
+            return Err(MarketError::NotForSale);
+        }
+        let schema = state.pricer.catalog().schema();
+        let receipt = quote
+            .views
+            .iter()
+            .map(|v| format!("{} @ {}", v.display(schema), state.pricer.prices().get(v)))
+            .collect();
+        Ok(MarketQuote {
+            query: pretty::render(q, schema),
+            price: quote.price,
+            receipt,
+            views: quote.views,
+            method: quote.method,
+            class: quote.class,
+        })
+    }
+
+    /// Purchase a query (datalog syntax): quote, evaluate, record, deliver.
+    pub fn purchase_str(&self, query: &str) -> Result<Purchase, MarketError> {
+        let mut state = self.state.write();
+        let q = parse_rule(state.pricer.catalog().schema(), query)?;
+        let quote = Self::quote_inner(&state, &q)?;
+        let mut answer: Vec<Tuple> = qbdp_query::eval::eval_cq(&q, state.pricer.instance())?
+            .into_iter()
+            .collect();
+        answer.sort();
+        let transaction_id = state.ledger.record_sale(
+            quote.query.clone(),
+            quote.price,
+            answer.len(),
+            quote.views.len(),
+        );
+        Ok(Purchase {
+            transaction_id,
+            quote,
+            answer,
+        })
+    }
+
+    /// Seller-side data insertion (§2.7). Prices stay fixed; consistency is
+    /// automatic for selection-view lists.
+    pub fn insert(
+        &self,
+        relation: &str,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<usize, MarketError> {
+        let mut state = self.state.write();
+        let rel: RelId = state
+            .pricer
+            .catalog()
+            .schema()
+            .rel_id(relation)
+            .ok_or_else(|| MarketError::Update(format!("unknown relation {relation}")))?;
+        let added = state
+            .pricer
+            .insert(rel, tuples)
+            .map_err(|e| MarketError::Update(e.to_string()))?;
+        state.quote_cache.clear();
+        state.ledger.record_update(relation.to_string(), added);
+        Ok(added)
+    }
+
+    /// Snapshot of the running revenue.
+    pub fn revenue(&self) -> Price {
+        self.state.read().ledger.revenue()
+    }
+
+    /// Number of completed sales.
+    pub fn sales(&self) -> usize {
+        self.state.read().ledger.sales()
+    }
+
+    /// Run a closure over the ledger (snapshot access without cloning).
+    pub fn with_ledger<R>(&self, f: impl FnOnce(&Ledger) -> R) -> R {
+        f(&self.state.read().ledger)
+    }
+
+    /// Run a closure over the pricer (schema/catalog introspection).
+    pub fn with_pricer<R>(&self, f: impl FnOnce(&Pricer) -> R) -> R {
+        f(&self.state.read().pricer)
+    }
+
+    /// A full explanation of a quote (class, engine, itemized receipt).
+    pub fn explain_str(&self, query: &str) -> Result<String, MarketError> {
+        let state = self.state.read();
+        let q = parse_rule(state.pricer.catalog().schema(), query)?;
+        let quote = state.pricer.price_cq(&q)?;
+        Ok(quote.explain(state.pricer.catalog(), state.pricer.prices()))
+    }
+
+    /// Seller-side price revision: set (or add) the price of one selection
+    /// view. The revised list must remain arbitrage-free (Proposition 3.2)
+    /// or the update is rejected and nothing changes. Quotes are
+    /// re-derived from the new list (the cache is cleared).
+    pub fn set_price(&self, view: &str, price: Price) -> Result<(), MarketError> {
+        let mut state = self.state.write();
+        // `view` syntax: `R.X=a`.
+        let (attr, value) = view.split_once('=').ok_or_else(|| {
+            MarketError::Update(format!("price selector must be `R.X=a`, got `{view}`"))
+        })?;
+        let aref = state
+            .pricer
+            .catalog()
+            .schema()
+            .resolve_attr(attr.trim())
+            .map_err(|e| MarketError::Update(e.to_string()))?;
+        let value = qbdp_catalog::Value::parse_literal(value)
+            .ok_or_else(|| MarketError::Update(format!("bad value in `{view}`")))?;
+        if !state.pricer.catalog().column(aref).contains(&value) {
+            return Err(MarketError::Update(format!(
+                "value {value} is outside the column of {attr}"
+            )));
+        }
+        // Stage the change and re-check Prop 3.2.
+        let mut staged = state.pricer.prices().clone();
+        staged.set(SelectionView::new(aref, value), price);
+        let violations =
+            qbdp_core::consistency::find_list_arbitrage(state.pricer.catalog(), &staged);
+        if let Some(v) = violations.first() {
+            return Err(MarketError::InconsistentPrices(
+                v.display(state.pricer.catalog()),
+            ));
+        }
+        let pricer = Pricer::new(
+            state.pricer.catalog().clone(),
+            state.pricer.instance().clone(),
+            staged,
+        )
+        .map_err(MarketError::Pricing)?;
+        state.pricer = pricer;
+        state.quote_cache.clear();
+        Ok(())
+    }
+
+    /// Serialize the market's current state (catalog, data, prices) back to
+    /// `.qdp` text — reopening it reproduces the same prices.
+    pub fn to_qdp(&self) -> String {
+        let state = self.state.read();
+        let pricer = &state.pricer;
+        let prices = pricer
+            .prices()
+            .iter()
+            .map(|(v, p)| (v.attr, v.value, p.as_cents()))
+            .collect();
+        let file = QdpFile {
+            catalog: pricer.catalog().clone(),
+            instance: pricer.instance().clone(),
+            prices,
+        };
+        file.to_text()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbdp_catalog::tuple;
+
+    const FIG1_QDP: &str = r#"
+schema R(X)
+schema S(X, Y)
+schema T(Y)
+column R.X = {a1, a2, a3, a4}
+column S.X = {a1, a2, a3, a4}
+column S.Y = {b1, b2, b3}
+column T.Y = {b1, b2, b3}
+tuple R(a1)
+tuple R(a2)
+tuple S(a1, b1)
+tuple S(a1, b2)
+tuple S(a2, b2)
+tuple S(a4, b1)
+tuple T(b1)
+tuple T(b3)
+price R.X=a1 100
+price R.X=a2 100
+price R.X=a3 100
+price R.X=a4 100
+price S.X=a1 100
+price S.X=a2 100
+price S.X=a3 100
+price S.X=a4 100
+price S.Y=b1 100
+price S.Y=b2 100
+price S.Y=b3 100
+price T.Y=b1 100
+price T.Y=b2 100
+price T.Y=b3 100
+"#;
+
+    #[test]
+    fn figure1_market_end_to_end() {
+        let market = Market::open_qdp(FIG1_QDP).unwrap();
+        let quote = market.quote_str("Q(x, y) :- R(x), S(x, y), T(y)").unwrap();
+        assert_eq!(quote.price, Price::dollars(6));
+        assert_eq!(quote.receipt.len(), 6);
+        let purchase = market
+            .purchase_str("Q(x, y) :- R(x), S(x, y), T(y)")
+            .unwrap();
+        assert_eq!(purchase.answer, vec![tuple!["a1", "b1"]]);
+        assert_eq!(market.revenue(), Price::dollars(6));
+        assert_eq!(market.sales(), 1);
+    }
+
+    #[test]
+    fn unsellable_query_rejected() {
+        // Remove all T prices: queries over T are not for sale.
+        let qdp: String = FIG1_QDP
+            .lines()
+            .filter(|l| !l.starts_with("price T"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let market = Market::open_qdp(&qdp).unwrap();
+        let err = market.quote_str("Q(y) :- T(y)");
+        assert!(matches!(err, Err(MarketError::NotForSale)));
+        // But R-only queries still work.
+        assert!(market.quote_str("Q(x) :- R(x)").is_ok());
+    }
+
+    #[test]
+    fn arbitrage_priced_lists_rejected_at_open() {
+        // σ_{S.X=a1} at $100 vs full cover of S.Y at... raise S.X=a1 price
+        // beyond Σ_{S.Y} = $3.
+        let qdp = FIG1_QDP.replace("price S.X=a1 100", "price S.X=a1 99999");
+        let err = Market::open_qdp(&qdp);
+        assert!(matches!(err, Err(MarketError::InconsistentPrices(_))));
+    }
+
+    #[test]
+    fn insertions_update_prices_monotonically() {
+        let market = Market::open_qdp(FIG1_QDP).unwrap();
+        let before = market
+            .quote_str("Q(x, y) :- R(x), S(x, y), T(y)")
+            .unwrap()
+            .price;
+        market.insert("T", [tuple!["b2"]]).unwrap();
+        let after = market
+            .quote_str("Q(x, y) :- R(x), S(x, y), T(y)")
+            .unwrap()
+            .price;
+        assert!(after >= before, "price dropped: {before} -> {after}");
+        // Two new answers appear: (a1, b2) and (a2, b2).
+        let p = market
+            .purchase_str("Q(x, y) :- R(x), S(x, y), T(y)")
+            .unwrap();
+        assert_eq!(p.answer.len(), 3);
+    }
+
+    #[test]
+    fn seller_price_revisions_validated() {
+        let market = Market::open_qdp(FIG1_QDP).unwrap();
+        let q = "Q(x, y) :- R(x), S(x, y), T(y)";
+        assert_eq!(market.quote_str(q).unwrap().price, Price::dollars(6));
+        // A discount on σ_{S.Y=b1} flows into the derived price.
+        market.set_price("S.Y=b1", Price::cents(25)).unwrap();
+        assert_eq!(market.quote_str(q).unwrap().price, Price::cents(525));
+        // An inconsistent revision is rejected atomically: σ_{S.X=a1}
+        // above the full cover of S.Y ($2.25 now).
+        let err = market.set_price("S.X=a1", Price::dollars(3));
+        assert!(matches!(err, Err(MarketError::InconsistentPrices(_))));
+        assert_eq!(market.quote_str(q).unwrap().price, Price::cents(525));
+        // Garbage selectors rejected.
+        assert!(market.set_price("S.X", Price::ZERO).is_err());
+        assert!(market.set_price("S.X=zz", Price::ZERO).is_err());
+        assert!(market.set_price("Nope.X=a1", Price::ZERO).is_err());
+    }
+
+    #[test]
+    fn quote_cache_hits_and_invalidates() {
+        let market = Market::open_qdp(FIG1_QDP).unwrap();
+        let q = "Q(x, y) :- R(x), S(x, y), T(y)";
+        let first = market.quote_str(q).unwrap();
+        // Cached: same (equivalent) query, different whitespace.
+        let second = market.quote_str("Q(x,y) :- R(x), S(x,y), T(y)").unwrap();
+        assert_eq!(first.price, second.price);
+        assert_eq!(first.views, second.views);
+        // Insertion invalidates: price may change (and here does).
+        market.insert("T", [tuple!["b2"]]).unwrap();
+        let third = market.quote_str(q).unwrap();
+        assert!(
+            third.price > first.price,
+            "{} !> {}",
+            third.price,
+            first.price
+        );
+    }
+
+    #[test]
+    fn explain_narrates_the_quote() {
+        let market = Market::open_qdp(FIG1_QDP).unwrap();
+        let text = market
+            .explain_str("Q(x, y) :- R(x), S(x, y), T(y)")
+            .unwrap();
+        assert!(text.contains("GeneralizedChain"), "{text}");
+        assert!(text.contains("price           : $6.00"), "{text}");
+        assert!(text.contains("σ[S.Y=b1] @ $1.00"), "{text}");
+        assert!(text.contains("arbitrage-freeness"), "{text}");
+    }
+
+    #[test]
+    fn qdp_roundtrip_preserves_prices() {
+        let market = Market::open_qdp(FIG1_QDP).unwrap();
+        market.insert("T", [tuple!["b2"]]).unwrap();
+        let before = market
+            .quote_str("Q(x, y) :- R(x), S(x, y), T(y)")
+            .unwrap()
+            .price;
+        let saved = market.to_qdp();
+        let reopened = Market::open_qdp(&saved).unwrap();
+        let after = reopened
+            .quote_str("Q(x, y) :- R(x), S(x, y), T(y)")
+            .unwrap()
+            .price;
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn bad_updates_rejected() {
+        let market = Market::open_qdp(FIG1_QDP).unwrap();
+        assert!(market.insert("Nope", [tuple!["a1"]]).is_err());
+        assert!(market.insert("R", [tuple!["outside-column"]]).is_err());
+        // State unchanged: the query still quotes at $6.
+        assert_eq!(
+            market
+                .quote_str("Q(x, y) :- R(x), S(x, y), T(y)")
+                .unwrap()
+                .price,
+            Price::dollars(6)
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Concurrency stress: many buyer threads quoting and purchasing while the
+//! seller inserts data. Validates the locking discipline and that observed
+//! prices never decrease over time (Proposition 2.22 for full CQs under
+//! selection-view prices).
+
+use crossbeam::thread;
+use qbdp_catalog::{tuple, Tuple, Value};
+use qbdp_core::Price;
+use qbdp_market::Market;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const QDP: &str = r#"
+schema R(X)
+schema S(X, Y)
+schema T(Y)
+column R.X = {0, 1, 2, 3, 4, 5}
+column S.X = {0, 1, 2, 3, 4, 5}
+column S.Y = {0, 1, 2, 3, 4, 5}
+column T.Y = {0, 1, 2, 3, 4, 5}
+price R.X=0 100
+price R.X=1 100
+price R.X=2 100
+price R.X=3 100
+price R.X=4 100
+price R.X=5 100
+price S.X=0 150
+price S.X=1 150
+price S.X=2 150
+price S.X=3 150
+price S.X=4 150
+price S.X=5 150
+price S.Y=0 150
+price S.Y=1 150
+price S.Y=2 150
+price S.Y=3 150
+price S.Y=4 150
+price S.Y=5 150
+price T.Y=0 100
+price T.Y=1 100
+price T.Y=2 100
+price T.Y=3 100
+price T.Y=4 100
+price T.Y=5 100
+"#;
+
+#[test]
+fn concurrent_quotes_and_inserts() {
+    let market = Market::open_qdp(QDP).unwrap();
+    let query = "Q(x, y) :- R(x), S(x, y), T(y)";
+    // Highest price observed so far, as raw cents; monotonicity means no
+    // thread may ever observe a price below a previously observed one
+    // *after* the writer thread has finished the corresponding insert —
+    // but across threads we can only assert a per-thread monotone view
+    // plus the global before/after relation.
+    let global_before = market.quote_str(query).unwrap().price;
+    let writer_done = AtomicU64::new(0);
+
+    thread::scope(|scope| {
+        // Seller: insert a trickle of data.
+        scope.spawn(|_| {
+            for i in 0..6i64 {
+                market.insert("R", [Tuple::new([Value::Int(i)])]).unwrap();
+                market
+                    .insert("S", [tuple![i, (i + 1) % 6], tuple![i, (i + 2) % 6]])
+                    .unwrap();
+                market
+                    .insert("T", [Tuple::new([Value::Int((i + 1) % 6)])])
+                    .unwrap();
+            }
+            writer_done.store(1, Ordering::SeqCst);
+        });
+        // Buyers: quote in a loop; each thread's observed prices must be
+        // non-decreasing (full CQ + selection views, Prop 2.22).
+        for t in 0..4 {
+            scope.spawn(|_| {
+                let mut last = Price::ZERO;
+                for _ in 0..25 {
+                    let quote = market.quote_str(query).unwrap();
+                    assert!(
+                        quote.price >= last,
+                        "observed price dropped from {last} to {}",
+                        quote.price
+                    );
+                    last = quote.price;
+                }
+                last
+            });
+            let _ = t;
+        }
+    })
+    .unwrap();
+
+    let global_after = market.quote_str(query).unwrap().price;
+    assert!(global_after >= global_before);
+    // A purchase after the dust settles delivers all current answers.
+    let purchase = market.purchase_str(query).unwrap();
+    assert!(!purchase.answer.is_empty());
+    assert_eq!(market.sales(), 1);
+}

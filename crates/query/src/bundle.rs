@@ -1,0 +1,145 @@
+//! Query bundles (paper §2.1): finite sets of queries priced *together*.
+//!
+//! A bundle defines a function `InstR → InstRQ` with one output relation per
+//! member query. The pricing function is subadditive over bundles
+//! (Proposition 2.8), so buying `(Q1, Q2)` never costs more than buying the
+//! two queries separately.
+
+use crate::ast::{Atom, ConjunctiveQuery, Term, Ucq, Var};
+use crate::error::QueryError;
+use qbdp_catalog::Schema;
+
+/// A finite bundle of UCQs. The *empty* bundle `()` is allowed (its price is
+/// 0 by Proposition 2.8); it is distinct from a bundle containing an
+/// unsatisfiable query.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Bundle {
+    queries: Vec<Ucq>,
+}
+
+impl Bundle {
+    /// The empty bundle `()`.
+    pub fn empty() -> Self {
+        Bundle::default()
+    }
+
+    /// A bundle from queries.
+    pub fn new(queries: impl IntoIterator<Item = Ucq>) -> Self {
+        Bundle {
+            queries: queries.into_iter().collect(),
+        }
+    }
+
+    /// A single-query bundle.
+    pub fn single(q: impl Into<Ucq>) -> Self {
+        Bundle {
+            queries: vec![q.into()],
+        }
+    }
+
+    /// The member queries.
+    pub fn queries(&self) -> &[Ucq] {
+        &self.queries
+    }
+
+    /// Number of member queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether this is the empty bundle.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Bundle union `Q1, Q2` (concatenation; duplicates are harmless since
+    /// determinacy and pricing are set-like over bundles).
+    pub fn union(&self, other: &Bundle) -> Bundle {
+        let mut queries = self.queries.clone();
+        queries.extend(other.queries.iter().cloned());
+        Bundle { queries }
+    }
+
+    /// The **identity bundle** `ID` (paper §2.1): one full query per
+    /// relation, returning the entire dataset. `ID` determines every query,
+    /// so its price upper-bounds every price (Proposition 2.8, item 4).
+    pub fn identity(schema: &Schema) -> Result<Bundle, QueryError> {
+        let mut queries = Vec::with_capacity(schema.len());
+        for (rid, rel) in schema.iter() {
+            let vars: Vec<Var> = (0..rel.arity() as u32).map(Var).collect();
+            let var_names: Vec<String> = rel.attrs().iter().map(|a| format!("x_{a}")).collect();
+            let atom = Atom::new(rid, vars.iter().map(|&v| Term::Var(v)));
+            let cq = ConjunctiveQuery::new(
+                format!("ID_{}", rel.name()),
+                vars,
+                vec![atom],
+                Vec::new(),
+                var_names,
+                schema,
+            )?;
+            queries.push(Ucq::single(cq));
+        }
+        Ok(Bundle { queries })
+    }
+}
+
+impl From<Ucq> for Bundle {
+    fn from(q: Ucq) -> Self {
+        Bundle::single(q)
+    }
+}
+
+impl From<ConjunctiveQuery> for Bundle {
+    fn from(q: ConjunctiveQuery) -> Self {
+        Bundle::single(Ucq::single(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CqBuilder;
+    use crate::eval::eval_bundle;
+    use qbdp_catalog::{tuple, CatalogBuilder, Column};
+
+    #[test]
+    fn identity_returns_everything() {
+        let col = Column::int_range(0, 3);
+        let cat = CatalogBuilder::new()
+            .uniform_relation("R", &["X"], &col)
+            .uniform_relation("S", &["X", "Y"], &col)
+            .build()
+            .unwrap();
+        let mut d = cat.empty_instance();
+        let r = cat.schema().rel_id("R").unwrap();
+        let s = cat.schema().rel_id("S").unwrap();
+        d.insert_all(r, [tuple![0], tuple![1]]).unwrap();
+        d.insert_all(s, [tuple![0, 1]]).unwrap();
+        let id = Bundle::identity(cat.schema()).unwrap();
+        let answers = eval_bundle(&id, &d).unwrap();
+        assert_eq!(answers.len(), 2);
+        assert_eq!(answers[0].len(), 2);
+        assert_eq!(answers[1].len(), 1);
+        assert!(answers[1].contains(&tuple![0, 1]));
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let col = Column::int_range(0, 3);
+        let cat = CatalogBuilder::new()
+            .uniform_relation("R", &["X"], &col)
+            .build()
+            .unwrap();
+        let q = CqBuilder::new("Q")
+            .head_var("x")
+            .atom("R", &["x"])
+            .build(cat.schema())
+            .unwrap();
+        let b1 = Bundle::single(Ucq::single(q.clone()));
+        let b2 = Bundle::single(Ucq::single(q));
+        let u = b1.union(&b2);
+        assert_eq!(u.len(), 2);
+        assert!(Bundle::empty().is_empty());
+        assert_eq!(Bundle::empty().union(&b1).len(), 1);
+    }
+}

@@ -1,0 +1,542 @@
+//! Chain queries (Definition 3.12) and their partial-answer tables.
+//!
+//! A chain query is a full CQ without self-joins `Q = R_0, R_1, ..., R_k`
+//! where every atom is unary or binary, consecutive atoms share exactly one
+//! variable, and the first and last atoms are unary. Writing `x_i, x_{i+1}`
+//! for the variables of `R_i` (with `x_i = x_{i+1}` for unary atoms), the
+//! Min-Cut reduction (paper Step 4) needs the *partial answers*:
+//!
+//! ```text
+//! Lt_i     = Π_{x_i}(Q[0:i-1](D))            0 ≤ i ≤ k   (Lt_0 = Col_{x_0})
+//! Md[i:j]  = Π_{x_i, x_{j+1}}(Q[i:j](D))     1 ≤ i ≤ k, i-1 ≤ j ≤ k-1
+//! Rt_j     = Π_{x_{j+1}}(Q[j+1:k](D))        0 ≤ j ≤ k   (Rt_k = Col_{x_{k+1}})
+//! ```
+//!
+//! with the degenerate diagonal `Md[i:i-1] = Col_{x_i}`. All tables are
+//! computed by left/right dynamic programming over the chain in
+//! `O(k² · |D| + k · |Col|)` time.
+
+use crate::ast::{ConjunctiveQuery, Term, Var};
+use crate::error::QueryError;
+use qbdp_catalog::{AttrId, Catalog, Column, FxHashSet, Instance, RelId, Value};
+
+/// One atom of a chain, with its left/right attribute positions resolved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainAtom {
+    /// The relation.
+    pub rel: RelId,
+    /// Attribute position of the left variable `x_i` within the relation.
+    pub left_pos: usize,
+    /// Attribute position of the right variable `x_{i+1}`; equals
+    /// `left_pos` for unary atoms.
+    pub right_pos: usize,
+    /// Whether the atom is unary (`x_i = x_{i+1}`).
+    pub unary: bool,
+}
+
+/// A validated chain query: the atom sequence `R_0 … R_k` plus the resolved
+/// join variables `x_0 … x_{k+1}`.
+#[derive(Clone, Debug)]
+pub struct ChainQuery {
+    atoms: Vec<ChainAtom>,
+    /// `x_0 ..= x_{k+1}` as variables of the underlying CQ (length k+2).
+    join_vars: Vec<Var>,
+}
+
+impl ChainQuery {
+    /// Validate that `q`'s atoms — in their **given order** — form a chain
+    /// query. Interpreted predicates must have been removed already (Step 1)
+    /// and atoms must have no constants or repeated variables (Step 2).
+    pub fn from_cq(q: &ConjunctiveQuery) -> Result<ChainQuery, QueryError> {
+        let fail = |m: &str| Err(QueryError::NotApplicable(format!("not a chain query: {m}")));
+        if !q.preds().is_empty() {
+            return fail("interpreted predicates present (run Step 1 first)");
+        }
+        if !crate::analysis::is_full(q) {
+            return fail("query is not full");
+        }
+        if crate::analysis::has_self_join(q) {
+            return fail("query has a self-join");
+        }
+        let n = q.atoms().len();
+        if n == 0 {
+            return fail("no atoms");
+        }
+        // Extract per-atom variable lists, rejecting constants/repeats.
+        let mut atom_vars: Vec<Vec<Var>> = Vec::with_capacity(n);
+        for a in q.atoms() {
+            let mut vs = Vec::new();
+            for t in &a.terms {
+                match t {
+                    Term::Const(_) => return fail("constants present (run Step 1 first)"),
+                    Term::Var(v) => {
+                        if vs.contains(v) {
+                            return fail("repeated variable in an atom (run Step 2 first)");
+                        }
+                        vs.push(*v);
+                    }
+                }
+            }
+            if vs.is_empty() || vs.len() > 2 {
+                return fail("atoms must be unary or binary");
+            }
+            atom_vars.push(vs);
+        }
+        if atom_vars[0].len() != 1 || atom_vars[n - 1].len() != 1 {
+            return fail("first and last atoms must be unary");
+        }
+        // Walk the chain, resolving x_i / x_{i+1}.
+        let mut join_vars: Vec<Var> = Vec::with_capacity(n + 1);
+        let x0 = atom_vars[0][0];
+        join_vars.push(x0); // x_0
+        join_vars.push(x0); // x_1 (= x_0, first atom unary)
+        let mut atoms: Vec<ChainAtom> = Vec::with_capacity(n);
+        atoms.push(ChainAtom {
+            rel: q.atoms()[0].rel,
+            left_pos: 0,
+            right_pos: 0,
+            unary: true,
+        });
+        for i in 1..n {
+            let prev_right = *join_vars.last().unwrap(); // x_i
+            let vs = &atom_vars[i];
+            let atom = &q.atoms()[i];
+            if vs.len() == 1 {
+                if vs[0] != prev_right {
+                    return fail("consecutive atoms must share their join variable");
+                }
+                join_vars.push(prev_right); // x_{i+1} = x_i
+                atoms.push(ChainAtom {
+                    rel: atom.rel,
+                    left_pos: 0,
+                    right_pos: 0,
+                    unary: true,
+                });
+            } else {
+                let (left_pos, right_pos, right_var) = if vs[0] == prev_right {
+                    (
+                        atom.positions_of(vs[0])[0],
+                        atom.positions_of(vs[1])[0],
+                        vs[1],
+                    )
+                } else if vs[1] == prev_right {
+                    (
+                        atom.positions_of(vs[1])[0],
+                        atom.positions_of(vs[0])[0],
+                        vs[0],
+                    )
+                } else {
+                    return fail("consecutive atoms share no variable");
+                };
+                // The shared variable must be exactly one: the other variable
+                // must be fresh relative to the previous atom.
+                if atom_vars[i - 1].contains(&right_var) {
+                    return fail("consecutive atoms share two variables");
+                }
+                join_vars.push(right_var);
+                atoms.push(ChainAtom {
+                    rel: atom.rel,
+                    left_pos,
+                    right_pos,
+                    unary: false,
+                });
+            }
+        }
+        // Each join variable must occupy one contiguous run of positions
+        // (runs longer than one come from unary atoms); a variable that
+        // *re*-appears after a different variable makes the query a cycle or
+        // a non-chain sharing pattern.
+        for i in 1..join_vars.len() {
+            if join_vars[i] != join_vars[i - 1] && join_vars[..i].contains(&join_vars[i]) {
+                return fail("a join variable reappears later in the chain");
+            }
+        }
+        Ok(ChainQuery { atoms, join_vars })
+    }
+
+    /// The chain atoms in order.
+    pub fn atoms(&self) -> &[ChainAtom] {
+        &self.atoms
+    }
+
+    /// `k`: the index of the last atom (`R_0 … R_k`).
+    pub fn k(&self) -> usize {
+        self.atoms.len() - 1
+    }
+
+    /// The join variable `x_i` (0 ≤ i ≤ k+1).
+    pub fn join_var(&self, i: usize) -> Var {
+        self.join_vars[i]
+    }
+
+    /// Attribute reference of atom `i`'s left position.
+    pub fn left_attr(&self, i: usize) -> qbdp_catalog::AttrRef {
+        qbdp_catalog::AttrRef::new(self.atoms[i].rel, self.atoms[i].left_pos as u32)
+    }
+
+    /// Attribute reference of atom `i`'s right position.
+    pub fn right_attr(&self, i: usize) -> qbdp_catalog::AttrRef {
+        qbdp_catalog::AttrRef::new(self.atoms[i].rel, self.atoms[i].right_pos as u32)
+    }
+
+    /// `Col_{x_i}` for an **interior** position `1 ≤ i ≤ k`: the intersection
+    /// of the adjacent attribute columns `Col_{R_{i-1}.right} ∩
+    /// Col_{R_i.left}` (paper: `Q[i:i-1] = Col_{x_i}`). For `i = 0` it is
+    /// `Col_{R_0.X}`, and for `i = k+1` it is `Col_{R_k.Y}`.
+    pub fn position_column(&self, catalog: &Catalog, i: usize) -> Column {
+        let k = self.k();
+        if i == 0 {
+            catalog.column(self.left_attr(0)).clone()
+        } else if i == k + 1 {
+            catalog.column(self.right_attr(k)).clone()
+        } else {
+            let a = catalog.column(self.right_attr(i - 1));
+            let b = catalog.column(self.left_attr(i));
+            a.intersect(b)
+        }
+    }
+
+    /// Compute all partial-answer tables on `d`.
+    pub fn partial_answers(&self, catalog: &Catalog, d: &Instance) -> PartialAnswers {
+        let k = self.k();
+        let cols: Vec<Column> = (0..=k + 1)
+            .map(|i| self.position_column(catalog, i))
+            .collect();
+
+        // Lt DP, left to right. Lt_0 = Col_{x_0}.
+        let mut lt: Vec<FxHashSet<Value>> = Vec::with_capacity(k + 1);
+        lt.push(cols[0].iter().cloned().collect());
+        for i in 0..k {
+            // Lt_{i+1} = image of Lt_i through atom i, clipped to Col_{x_{i+1}}.
+            let prev = &lt[i];
+            let mut next: FxHashSet<Value> = FxHashSet::default();
+            self.for_each_transition(d, i, |a, b| {
+                if prev.contains(a) && cols[i + 1].contains(b) {
+                    next.insert(b.clone());
+                }
+            });
+            lt.push(next);
+        }
+
+        // Rt DP, right to left. Rt_k = Col_{x_{k+1}}.
+        let mut rt: Vec<FxHashSet<Value>> = vec![FxHashSet::default(); k + 1];
+        rt[k] = cols[k + 1].iter().cloned().collect();
+        for j in (1..=k).rev() {
+            // Rt_{j-1} = preimage of Rt_j through atom j, clipped to Col_{x_j}.
+            let mut prev: FxHashSet<Value> = FxHashSet::default();
+            {
+                let nxt = &rt[j];
+                self.for_each_transition(d, j, |a, b| {
+                    if nxt.contains(b) && cols[j].contains(a) {
+                        prev.insert(a.clone());
+                    }
+                });
+            }
+            rt[j - 1] = prev;
+        }
+
+        // Md DP: for each start i, extend to the right.
+        // md[i-1][j-(i-1)] = Md[i:j] for j = i-1 ..= k-1.
+        let mut md: Vec<Vec<FxHashSet<(Value, Value)>>> = Vec::with_capacity(k);
+        for i in 1..=k {
+            let mut row: Vec<FxHashSet<(Value, Value)>> = Vec::with_capacity(k - i + 1);
+            // Diagonal Md[i:i-1] = Col_{x_i}.
+            row.push(cols[i].iter().map(|v| (v.clone(), v.clone())).collect());
+            for j in i..=k.saturating_sub(1) {
+                // Md[i:j] = Md[i:j-1] ∘ atom j transitions.
+                let prev = row.last().unwrap();
+                // Index prev by right endpoint for the DP join.
+                let mut by_right: qbdp_catalog::FxHashMap<&Value, Vec<&Value>> =
+                    qbdp_catalog::FxHashMap::default();
+                for (a, b) in prev {
+                    by_right.entry(b).or_default().push(a);
+                }
+                let mut next: FxHashSet<(Value, Value)> = FxHashSet::default();
+                self.for_each_transition(d, j, |b, c| {
+                    if let Some(starts) = by_right.get(b) {
+                        if cols[j + 1].contains(c) {
+                            for a in starts {
+                                next.insert(((*a).clone(), c.clone()));
+                            }
+                        }
+                    }
+                });
+                row.push(next);
+            }
+            md.push(row);
+        }
+
+        // Q(D) ≠ ∅: for k ≥ 1 iff Lt_k ∩ Rt_{k-1} ≠ ∅; for a single unary
+        // atom iff some column value is present in the relation.
+        let has_answers = if k >= 1 {
+            lt[k].iter().any(|v| rt[k - 1].contains(v))
+        } else {
+            let atom = &self.atoms[0];
+            cols[0].iter().any(|v| {
+                d.relation(atom.rel)
+                    .select_count(AttrId(atom.left_pos as u32), v)
+                    > 0
+            })
+        };
+
+        PartialAnswers {
+            k,
+            cols,
+            lt,
+            rt,
+            md,
+            has_answers,
+        }
+    }
+
+    /// Drive `f(a, b)` over the transitions of atom `i` present in `D`:
+    /// `(t[left], t[right])` for every tuple `t` of the relation (for unary
+    /// atoms `a = b`).
+    fn for_each_transition(&self, d: &Instance, i: usize, mut f: impl FnMut(&Value, &Value)) {
+        let atom = &self.atoms[i];
+        for t in d.relation(atom.rel).iter() {
+            f(t.get(atom.left_pos), t.get(atom.right_pos));
+        }
+    }
+}
+
+/// The partial-answer tables of a chain query on an instance.
+#[derive(Clone, Debug)]
+pub struct PartialAnswers {
+    k: usize,
+    /// `Col_{x_i}` for i = 0 ..= k+1.
+    cols: Vec<Column>,
+    /// `Lt_i` for i = 0 ..= k.
+    lt: Vec<FxHashSet<Value>>,
+    /// `Rt_j` for j = 0 ..= k.
+    rt: Vec<FxHashSet<Value>>,
+    /// `md[i-1][j-(i-1)]` = `Md[i:j]`, 1 ≤ i ≤ k, i-1 ≤ j ≤ k-1.
+    md: Vec<Vec<FxHashSet<(Value, Value)>>>,
+    has_answers: bool,
+}
+
+impl PartialAnswers {
+    /// `k`: index of the last atom.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// `Col_{x_i}`, 0 ≤ i ≤ k+1.
+    pub fn col(&self, i: usize) -> &Column {
+        &self.cols[i]
+    }
+
+    /// `Lt_i`, 0 ≤ i ≤ k.
+    pub fn lt(&self, i: usize) -> &FxHashSet<Value> {
+        &self.lt[i]
+    }
+
+    /// `Rt_j`, 0 ≤ j ≤ k.
+    pub fn rt(&self, j: usize) -> &FxHashSet<Value> {
+        &self.rt[j]
+    }
+
+    /// `Md[i:j]`, 1 ≤ i ≤ k, i-1 ≤ j ≤ k-1.
+    pub fn md(&self, i: usize, j: usize) -> &FxHashSet<(Value, Value)> {
+        &self.md[i - 1][j + 1 - i]
+    }
+
+    /// Whether `Q(D) ≠ ∅` (computed at construction: for k ≥ 1 this is
+    /// `Lt_k ∩ Rt_{k-1} ≠ ∅`; the Min-Cut construction itself needs only
+    /// `Lt`, `Md`, `Rt`).
+    pub fn has_answers(&self) -> bool {
+        self.has_answers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CqBuilder;
+    use qbdp_catalog::{tuple, CatalogBuilder};
+
+    /// Figure 1 database and query.
+    fn figure1() -> (Catalog, Instance, ConjunctiveQuery) {
+        let ax = Column::texts(["a1", "a2", "a3", "a4"]);
+        let by = Column::texts(["b1", "b2", "b3"]);
+        let cat = CatalogBuilder::new()
+            .relation("R", &[("X", ax.clone())])
+            .relation("S", &[("X", ax), ("Y", by.clone())])
+            .relation("T", &[("Y", by)])
+            .build()
+            .unwrap();
+        let mut d = cat.empty_instance();
+        let r = cat.schema().rel_id("R").unwrap();
+        let s = cat.schema().rel_id("S").unwrap();
+        let t = cat.schema().rel_id("T").unwrap();
+        d.insert_all(r, [tuple!["a1"], tuple!["a2"]]).unwrap();
+        d.insert_all(
+            s,
+            [
+                tuple!["a1", "b1"],
+                tuple!["a1", "b2"],
+                tuple!["a2", "b2"],
+                tuple!["a4", "b1"],
+            ],
+        )
+        .unwrap();
+        d.insert_all(t, [tuple!["b1"], tuple!["b3"]]).unwrap();
+        let q = CqBuilder::new("Q")
+            .head_vars(["x", "y"])
+            .atom("R", &["x"])
+            .atom("S", &["x", "y"])
+            .atom("T", &["y"])
+            .build(cat.schema())
+            .unwrap();
+        (cat, d, q)
+    }
+
+    #[test]
+    fn chain_structure() {
+        let (_, _, q) = figure1();
+        let c = ChainQuery::from_cq(&q).unwrap();
+        assert_eq!(c.k(), 2);
+        assert!(c.atoms()[0].unary);
+        assert!(!c.atoms()[1].unary);
+        assert!(c.atoms()[2].unary);
+        assert_eq!(c.join_var(0), c.join_var(1)); // x_0 = x_1
+        assert_eq!(c.join_var(2), c.join_var(3)); // x_2 = x_3
+        assert_ne!(c.join_var(1), c.join_var(2));
+    }
+
+    #[test]
+    fn figure1_partial_answers() {
+        let (cat, d, q) = figure1();
+        let c = ChainQuery::from_cq(&q).unwrap();
+        let pa = c.partial_answers(&cat, &d);
+        // Lt_0 = Col_x (4 values); Lt_1 = R(D) = {a1, a2};
+        // Lt_2 = Π_y(R ⋈ S) = {b1, b2}.
+        assert_eq!(pa.lt(0).len(), 4);
+        assert_eq!(pa.lt(1).len(), 2);
+        assert!(pa.lt(1).contains(&Value::text("a1")));
+        assert_eq!(pa.lt(2).len(), 2);
+        assert!(pa.lt(2).contains(&Value::text("b2")));
+        // Rt_2 = Col_y (3 values); Rt_1 = T(D) = {b1, b3};
+        // Rt_0 = Π_x(S ⋈ T) = {a1, a4}.
+        assert_eq!(pa.rt(2).len(), 3);
+        assert_eq!(pa.rt(1).len(), 2);
+        assert!(pa.rt(1).contains(&Value::text("b3")));
+        assert_eq!(pa.rt(0).len(), 2);
+        assert!(pa.rt(0).contains(&Value::text("a4")));
+        // Md[1:0] = Col_{x_1} diagonal (4 pairs); Md[1:1] = S(D) (4 pairs);
+        // Md[2:1] = Col_{x_2} diagonal (3 pairs).
+        assert_eq!(pa.md(1, 0).len(), 4);
+        assert_eq!(pa.md(1, 1).len(), 4);
+        assert!(pa
+            .md(1, 1)
+            .contains(&(Value::text("a4"), Value::text("b1"))));
+        assert_eq!(pa.md(2, 1).len(), 3);
+        assert!(pa.has_answers());
+    }
+
+    #[test]
+    fn rejects_non_chains() {
+        let col = Column::int_range(0, 3);
+        let cat = CatalogBuilder::new()
+            .uniform_relation("R", &["X", "Y"], &col)
+            .uniform_relation("S", &["X", "Y"], &col)
+            .uniform_relation("T", &["X"], &col)
+            .build()
+            .unwrap();
+        // Binary first atom.
+        let q = CqBuilder::new("Q")
+            .head_vars(["x", "y"])
+            .atom("R", &["x", "y"])
+            .atom("T", &["y"])
+            .build(cat.schema())
+            .unwrap();
+        assert!(ChainQuery::from_cq(&q).is_err());
+        // Two shared variables (C2 with unary caps missing anyway).
+        let q = CqBuilder::new("Q")
+            .head_vars(["x", "y"])
+            .atom("T", &["x"])
+            .atom("R", &["x", "y"])
+            .atom("S", &["y", "x"])
+            .build(cat.schema())
+            .unwrap();
+        assert!(ChainQuery::from_cq(&q).is_err());
+        // Projection.
+        let q = CqBuilder::new("Q")
+            .head_var("x")
+            .atom("T", &["x"])
+            .build(cat.schema())
+            .unwrap();
+        let c = ChainQuery::from_cq(&q);
+        assert!(c.is_ok()); // T(x) with head x IS full and a chain
+        let q = CqBuilder::new("Q")
+            .head_var("x")
+            .atom("R", &["x", "y"])
+            .build(cat.schema())
+            .unwrap();
+        assert!(ChainQuery::from_cq(&q).is_err()); // y projected out
+    }
+
+    #[test]
+    fn middle_unary_atoms() {
+        // R0(x), S(x,y), T(y), U(y), V(y,z), W(z): paper's Q2 shape.
+        let col = Column::int_range(0, 4);
+        let cat = CatalogBuilder::new()
+            .uniform_relation("R0", &["X"], &col)
+            .uniform_relation("S", &["X", "Y"], &col)
+            .uniform_relation("T", &["Y"], &col)
+            .uniform_relation("U", &["Y"], &col)
+            .uniform_relation("V", &["Y", "Z"], &col)
+            .uniform_relation("W", &["Z"], &col)
+            .build()
+            .unwrap();
+        let q = CqBuilder::new("Q2")
+            .head_vars(["x", "y", "z"])
+            .atom("R0", &["x"])
+            .atom("S", &["x", "y"])
+            .atom("T", &["y"])
+            .atom("U", &["y"])
+            .atom("V", &["y", "z"])
+            .atom("W", &["z"])
+            .build(cat.schema())
+            .unwrap();
+        let c = ChainQuery::from_cq(&q).unwrap();
+        assert_eq!(c.k(), 5);
+        let mut d = cat.empty_instance();
+        for (name, tuples) in [
+            ("R0", vec![tuple![0], tuple![1]]),
+            ("T", vec![tuple![2]]),
+            ("U", vec![tuple![2]]),
+            ("W", vec![tuple![3]]),
+        ] {
+            let rid = cat.schema().rel_id(name).unwrap();
+            d.insert_all(rid, tuples).unwrap();
+        }
+        let s = cat.schema().rel_id("S").unwrap();
+        let v = cat.schema().rel_id("V").unwrap();
+        d.insert_all(s, [tuple![0, 2], tuple![1, 3]]).unwrap();
+        d.insert_all(v, [tuple![2, 3]]).unwrap();
+        let pa = c.partial_answers(&cat, &d);
+        // Lt: Col_x → {0,1} → {2,3} → {2} → {2} → {3} ...
+        assert_eq!(pa.lt(1).len(), 2);
+        assert_eq!(pa.lt(2).len(), 2);
+        assert_eq!(pa.lt(3).len(), 1); // after T(y): only 2
+        assert_eq!(pa.lt(4).len(), 1); // after U(y)
+        assert_eq!(pa.lt(5).len(), 1); // after V: {3}
+        assert!(pa.has_answers()); // W(3) present
+                                   // Md[2:3] = pairs (y, y) surviving T, U = {(2, 2)}.
+        assert_eq!(pa.md(2, 3).len(), 1);
+        assert!(pa.md(2, 3).contains(&(Value::Int(2), Value::Int(2))));
+    }
+
+    #[test]
+    fn empty_database_partials() {
+        let (cat, _, q) = figure1();
+        let d = cat.empty_instance();
+        let c = ChainQuery::from_cq(&q).unwrap();
+        let pa = c.partial_answers(&cat, &d);
+        assert_eq!(pa.lt(0).len(), 4); // Col_x regardless of D
+        assert!(pa.lt(1).is_empty());
+        assert!(pa.rt(1).is_empty());
+        assert!(!pa.has_answers());
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for query construction, parsing, and evaluation.
+
+use std::fmt;
+
+/// Errors raised by query construction, parsing, and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A head variable does not occur in any relational atom (unsafe rule).
+    UnsafeHeadVar(String),
+    /// A predicate constrains a variable not occurring in any atom.
+    UnsafePredVar(String),
+    /// An atom's arity does not match the schema.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Arity per schema.
+        expected: usize,
+        /// Arity used in the atom.
+        got: usize,
+    },
+    /// An atom references a relation absent from the schema.
+    UnknownRelation(String),
+    /// The disjuncts of a UCQ have different head arities.
+    MixedArity,
+    /// A UCQ must have at least one disjunct.
+    EmptyUnion,
+    /// Parse error with position info.
+    Parse {
+        /// Human-readable message.
+        message: String,
+    },
+    /// An interpreted predicate was applied to a value of the wrong type
+    /// (e.g. `x < 3` on a text value).
+    PredicateType {
+        /// The predicate, rendered.
+        pred: String,
+        /// The offending value, rendered.
+        value: String,
+    },
+    /// The operation requires a structural property the query lacks
+    /// (e.g. chain form); the message says which.
+    NotApplicable(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnsafeHeadVar(v) => {
+                write!(f, "head variable {v} does not occur in the body")
+            }
+            QueryError::UnsafePredVar(v) => {
+                write!(
+                    f,
+                    "predicate variable {v} does not occur in any relational atom"
+                )
+            }
+            QueryError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => {
+                write!(f, "atom {relation} has arity {got}, schema says {expected}")
+            }
+            QueryError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            QueryError::MixedArity => write!(f, "UCQ disjuncts have different head arities"),
+            QueryError::EmptyUnion => write!(f, "a UCQ needs at least one disjunct"),
+            QueryError::Parse { message } => write!(f, "query parse error: {message}"),
+            QueryError::PredicateType { pred, value } => {
+                write!(f, "predicate {pred} not applicable to value {value}")
+            }
+            QueryError::NotApplicable(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

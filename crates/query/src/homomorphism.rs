@@ -1,0 +1,174 @@
+//! Classical CQ homomorphisms and containment (Chandra–Merlin).
+//!
+//! The pricing paper uses containment only negatively: §4 argues that an
+//! arbitrage-free pricing function must **not** be monotone w.r.t.
+//! containment (otherwise all boolean queries get the same price). This
+//! module lets the experiment harness and tests demonstrate `Q1 ⊆ Q2` while
+//! `price(Q1) > price(Q2)` (Example 4.1).
+//!
+//! Containment here is for CQs without interpreted predicates; predicates
+//! would need a theory solver and the paper never compares priced queries
+//! through them.
+
+use crate::ast::{ConjunctiveQuery, Term, Var};
+use qbdp_catalog::Value;
+
+/// A variable mapping from one query into another's terms.
+type Mapping = Vec<Option<Term>>;
+
+/// Search for a homomorphism `h : from → to`: a mapping of `from`'s
+/// variables to `to`'s terms such that every atom of `from` maps to an atom
+/// of `to` and the head of `from` maps to the head of `to` position-wise.
+/// Returns the mapping (indexed by `from`'s variable ids) if one exists.
+///
+/// `Q1 ⊆ Q2` iff a homomorphism `Q2 → Q1` exists (Chandra–Merlin).
+pub fn find_homomorphism(from: &ConjunctiveQuery, to: &ConjunctiveQuery) -> Option<Mapping> {
+    if !from.preds().is_empty() || !to.preds().is_empty() {
+        return None; // containment with interpreted predicates unsupported
+    }
+    if from.head().len() != to.head().len() {
+        return None;
+    }
+    let mut mapping: Mapping = vec![None; from.num_vars()];
+    // Head constraint: h(from.head[i]) = to.head[i].
+    for (hv, tv) in from.head().iter().zip(to.head()) {
+        let target = Term::Var(*tv);
+        match &mapping[hv.0 as usize] {
+            Some(existing) if *existing != target => return None,
+            _ => mapping[hv.0 as usize] = Some(target),
+        }
+    }
+    if map_atoms(from, to, 0, &mut mapping) {
+        Some(mapping)
+    } else {
+        None
+    }
+}
+
+/// `Q1 ⊆ Q2` (as query results on all databases).
+pub fn is_contained_in(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    find_homomorphism(q2, q1).is_some()
+}
+
+/// `Q1 ≡ Q2`.
+pub fn is_equivalent(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    is_contained_in(q1, q2) && is_contained_in(q2, q1)
+}
+
+fn map_atoms(
+    from: &ConjunctiveQuery,
+    to: &ConjunctiveQuery,
+    atom_idx: usize,
+    mapping: &mut Mapping,
+) -> bool {
+    let Some(atom) = from.atoms().get(atom_idx) else {
+        return true;
+    };
+    for target in to.atoms() {
+        if target.rel != atom.rel || target.terms.len() != atom.terms.len() {
+            continue;
+        }
+        // Try mapping `atom` onto `target`.
+        let mut bound_here: Vec<Var> = Vec::new();
+        let mut ok = true;
+        for (t_from, t_to) in atom.terms.iter().zip(&target.terms) {
+            match t_from {
+                Term::Const(c) => {
+                    if !term_equals_const(t_to, c) {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match &mapping[v.0 as usize] {
+                    Some(existing) => {
+                        if existing != t_to {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        mapping[v.0 as usize] = Some(t_to.clone());
+                        bound_here.push(*v);
+                    }
+                },
+            }
+        }
+        if ok && map_atoms(from, to, atom_idx + 1, mapping) {
+            return true;
+        }
+        for v in bound_here {
+            mapping[v.0 as usize] = None;
+        }
+    }
+    false
+}
+
+fn term_equals_const(t: &Term, c: &Value) -> bool {
+    matches!(t, Term::Const(d) if d == c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+    use qbdp_catalog::{Catalog, CatalogBuilder, Column};
+
+    fn cat() -> Catalog {
+        let col = Column::int_range(0, 5);
+        CatalogBuilder::new()
+            .uniform_relation("R", &["X"], &col)
+            .uniform_relation("S", &["X", "Y"], &col)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn example_4_1_containment() {
+        // Q1(x,y) = R(x), S(x,y) ⊆ Q2(x,y) = S(x,y).
+        let c = cat();
+        let q1 = parse_rule(c.schema(), "Q(x, y) :- R(x), S(x, y)").unwrap();
+        let q2 = parse_rule(c.schema(), "Q(x, y) :- S(x, y)").unwrap();
+        assert!(is_contained_in(&q1, &q2));
+        assert!(!is_contained_in(&q2, &q1));
+        assert!(!is_equivalent(&q1, &q2));
+    }
+
+    #[test]
+    fn equivalence_up_to_renaming_and_redundancy() {
+        let c = cat();
+        let q1 = parse_rule(c.schema(), "Q(a) :- R(a)").unwrap();
+        let q2 = parse_rule(c.schema(), "Q(z) :- R(z)").unwrap();
+        assert!(is_equivalent(&q1, &q2));
+        // Redundant atom: S(x,y), S(x,z) ≡ S(x,y) as a projection query.
+        let q3 = parse_rule(c.schema(), "Q(x) :- S(x, y), S(x, z)").unwrap();
+        let q4 = parse_rule(c.schema(), "Q(x) :- S(x, y)").unwrap();
+        assert!(is_equivalent(&q3, &q4));
+    }
+
+    #[test]
+    fn constants_must_match() {
+        let c = cat();
+        let q1 = parse_rule(c.schema(), "Q(y) :- S(3, y)").unwrap();
+        let q2 = parse_rule(c.schema(), "Q(y) :- S(x, y)").unwrap();
+        assert!(is_contained_in(&q1, &q2));
+        assert!(!is_contained_in(&q2, &q1));
+        let q3 = parse_rule(c.schema(), "Q(y) :- S(4, y)").unwrap();
+        assert!(!is_contained_in(&q1, &q3));
+    }
+
+    #[test]
+    fn arity_mismatch_not_contained() {
+        let c = cat();
+        let q1 = parse_rule(c.schema(), "Q(x) :- R(x)").unwrap();
+        let q2 = parse_rule(c.schema(), "Q(x, y) :- S(x, y)").unwrap();
+        assert!(!is_contained_in(&q1, &q2));
+    }
+
+    #[test]
+    fn predicates_unsupported() {
+        let c = cat();
+        let q1 = parse_rule(c.schema(), "Q(x) :- R(x), x > 2").unwrap();
+        let q2 = parse_rule(c.schema(), "Q(x) :- R(x)").unwrap();
+        assert!(find_homomorphism(&q1, &q2).is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! Human-readable rendering of queries (round-trips through the parser).
+
+use crate::ast::{ConjunctiveQuery, Pred, Term, Ucq};
+use crate::bundle::Bundle;
+use std::fmt;
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name())?;
+        for (i, v) in self.head().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.var_name(*v))?;
+        }
+        write!(f, ") :- ")?;
+        let mut first = true;
+        for atom in self.atoms() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{}", render_rel(self, atom.rel))?;
+            write!(f, "(")?;
+            for (i, t) in atom.terms.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                match t {
+                    Term::Var(v) => write!(f, "{}", self.var_name(*v))?,
+                    Term::Const(c) => write!(f, "{c:?}")?,
+                }
+            }
+            write!(f, ")")?;
+        }
+        for p in self.preds() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            let v = self.var_name(p.var);
+            match &p.pred {
+                Pred::Eq(c) => write!(f, "{v} = {c:?}")?,
+                Pred::Ne(c) => write!(f, "{v} != {c:?}")?,
+                Pred::Lt(c) => write!(f, "{v} < {c}")?,
+                Pred::Le(c) => write!(f, "{v} <= {c}")?,
+                Pred::Gt(c) => write!(f, "{v} > {c}")?,
+                Pred::Ge(c) => write!(f, "{v} >= {c}")?,
+                Pred::InSet(cs) => {
+                    write!(f, "{v} in {{")?;
+                    for (i, c) in cs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{c:?}")?;
+                    }
+                    write!(f, "}}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Ucq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.disjuncts().iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Ucq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Bundle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, q) in self.queries().iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{q}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Bundle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Relation ids do not carry names; rendering needs the schema, which the
+/// query does not hold. We render `R#<id>` as a fallback. [`render`] accepts
+/// a schema for fully-named output.
+fn render_rel(_q: &ConjunctiveQuery, rel: qbdp_catalog::RelId) -> String {
+    format!("R#{}", rel.0)
+}
+
+/// Render a CQ with relation names resolved against a schema; the output
+/// re-parses to an equivalent query.
+pub fn render(q: &ConjunctiveQuery, schema: &qbdp_catalog::Schema) -> String {
+    let base = q.to_string();
+    // Replace each `R#<id>` with the relation name. Ids are unambiguous
+    // because `#` never appears in identifiers.
+    let mut out = base;
+    // Replace longer ids first so `R#10(` is not corrupted by `R#1(`.
+    let mut rels: Vec<_> = schema.iter().collect();
+    rels.sort_by_key(|(rid, _)| std::cmp::Reverse(rid.0));
+    for (rid, rel) in rels {
+        out = out.replace(&format!("R#{}(", rid.0), &format!("{}(", rel.name()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_query, parse_rule};
+    use qbdp_catalog::{CatalogBuilder, Column};
+
+    #[test]
+    fn render_roundtrip() {
+        let col = Column::int_range(0, 5);
+        let cat = CatalogBuilder::new()
+            .uniform_relation("R", &["X"], &col)
+            .uniform_relation("S", &["X", "Y"], &col)
+            .build()
+            .unwrap();
+        let src = "Q(x, y) :- R(x), S(x, y), y > 2, x in {1, 2}";
+        let q = parse_rule(cat.schema(), src).unwrap();
+        let rendered = render(&q, cat.schema());
+        let q2 = parse_rule(cat.schema(), &rendered).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn render_constants() {
+        let col = Column::texts(["a1", "a2"]);
+        let cat = CatalogBuilder::new()
+            .relation("R", &[("X", col.clone()), ("Y", col)])
+            .build()
+            .unwrap();
+        let q = parse_rule(cat.schema(), "Q(x) :- R(x, 'a1')").unwrap();
+        let rendered = render(&q, cat.schema());
+        assert!(rendered.contains("'a1'"));
+        let q2 = parse_rule(cat.schema(), &rendered).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn ucq_display() {
+        let col = Column::int_range(0, 5);
+        let cat = CatalogBuilder::new()
+            .uniform_relation("R", &["X"], &col)
+            .uniform_relation("T", &["X"], &col)
+            .build()
+            .unwrap();
+        let u = parse_query(cat.schema(), "U(x) :- R(x); U(x) :- T(x)").unwrap();
+        let s = u.to_string();
+        assert!(s.contains(';'));
+    }
+}

@@ -1,0 +1,102 @@
+//! Pricing schemes for generated catalogs.
+
+use qbdp_catalog::{AttrRef, Catalog};
+use qbdp_core::price_points::PriceList;
+use qbdp_core::Price;
+use qbdp_determinacy::selection::SelectionView;
+use rand::Rng;
+
+/// Every selection view at one price (Example 3.8 uses $1 everywhere).
+pub fn uniform(catalog: &Catalog, price: Price) -> PriceList {
+    PriceList::uniform(catalog, price)
+}
+
+/// Random per-view prices in `[lo, hi]` dollars. Always fully covering, so
+/// every query stays finitely priced.
+pub fn random(catalog: &Catalog, rng: &mut impl Rng, lo: u64, hi: u64) -> PriceList {
+    let mut pl = PriceList::new();
+    for attr in catalog.schema().all_attrs() {
+        for v in catalog.column(attr).iter() {
+            pl.set(
+                SelectionView::new(attr, v.clone()),
+                Price::dollars(rng.gen_range(lo..=hi)),
+            );
+        }
+    }
+    pl
+}
+
+/// Tiered prices: attribute 0 of every relation is "retail" (expensive),
+/// later attributes are discounted — a shape that makes full covers of
+/// different attributes genuinely compete, like CustomLists' state-vs-email
+/// subsets.
+pub fn tiered(catalog: &Catalog, retail: Price, discount: Price) -> PriceList {
+    let mut pl = PriceList::new();
+    for (rid, rel) in catalog.schema().iter() {
+        for pos in 0..rel.arity() {
+            let attr = AttrRef::new(rid, pos as u32);
+            let price = if pos == 0 { retail } else { discount };
+            for v in catalog.column(attr).iter() {
+                pl.set(SelectionView::new(attr, v.clone()), price);
+            }
+        }
+    }
+    pl
+}
+
+/// A price list with deliberate arbitrage (for the consistency
+/// experiments): one selection priced above the full cover of the other
+/// attribute of a binary relation. Returns `None` if the catalog has no
+/// binary-or-wider relation.
+pub fn with_arbitrage(catalog: &Catalog, base: Price) -> Option<PriceList> {
+    let mut pl = PriceList::uniform(catalog, base);
+    let (rid, rel) = catalog.schema().iter().find(|(_, r)| r.arity() >= 2)?;
+    let other_cover: Price = (0..catalog.column(AttrRef::new(rid, 1)).len())
+        .map(|_| base)
+        .sum();
+    let overpriced = other_cover.saturating_add(Price::dollars(1));
+    let attr0 = AttrRef::new(rid, 0);
+    let value = catalog.column(attr0).iter().next()?.clone();
+    let _ = rel;
+    pl.set(SelectionView::new(attr0, value), overpriced);
+    Some(pl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::chain_schema;
+    use qbdp_core::consistency::list_is_consistent;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_and_random_are_consistent() {
+        let qs = chain_schema(2, 4).unwrap();
+        assert!(list_is_consistent(
+            &qs.catalog,
+            &uniform(&qs.catalog, Price::dollars(2))
+        ));
+        let mut rng = StdRng::seed_from_u64(5);
+        // Random prices may violate Prop 3.2 when a view exceeds a full
+        // cover; with lo=hi they cannot.
+        assert!(list_is_consistent(
+            &qs.catalog,
+            &random(&qs.catalog, &mut rng, 3, 3)
+        ));
+    }
+
+    #[test]
+    fn tiered_covers_everything() {
+        let qs = chain_schema(2, 4).unwrap();
+        let pl = tiered(&qs.catalog, Price::dollars(10), Price::dollars(2));
+        assert!(pl.sells_identity(&qs.catalog));
+    }
+
+    #[test]
+    fn engineered_arbitrage_detected() {
+        let qs = chain_schema(1, 4).unwrap();
+        let pl = with_arbitrage(&qs.catalog, Price::dollars(1)).unwrap();
+        assert!(!list_is_consistent(&qs.catalog, &pl));
+    }
+}

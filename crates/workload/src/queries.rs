@@ -1,0 +1,146 @@
+//! Schema + query builders for the paper's query families.
+
+use qbdp_catalog::{Catalog, CatalogBuilder, CatalogError, Column};
+use qbdp_query::ast::ConjunctiveQuery;
+use qbdp_query::parser::parse_rule;
+
+/// A catalog together with the family query over it.
+pub struct QuerySet {
+    /// The catalog.
+    pub catalog: Catalog,
+    /// The family query.
+    pub query: ConjunctiveQuery,
+}
+
+/// Chain (path-join) schema with `k` binary hops and unary caps, all over
+/// the integer column `{0..n}`:
+/// `Q(x0..xk) = A(x0), E1(x0,x1), …, Ek(x_{k-1},x_k), B(x_k)`.
+pub fn chain_schema(k: usize, n: i64) -> Result<QuerySet, CatalogError> {
+    assert!(k >= 1);
+    let col = Column::int_range(0, n);
+    let mut builder = CatalogBuilder::new().uniform_relation("A", &["X"], &col);
+    for i in 1..=k {
+        builder = builder.uniform_relation(format!("E{i}"), &["X", "Y"], &col);
+    }
+    builder = builder.uniform_relation("B", &["X"], &col);
+    let catalog = builder.build()?;
+    let head: Vec<String> = (0..=k).map(|i| format!("x{i}")).collect();
+    let mut body = vec![format!("A(x0)")];
+    for i in 1..=k {
+        body.push(format!("E{i}(x{}, x{})", i - 1, i));
+    }
+    body.push(format!("B(x{k})"));
+    let src = format!("Q({}) :- {}", head.join(", "), body.join(", "));
+    let query = parse_rule(catalog.schema(), &src).expect("generated chain parses");
+    Ok(QuerySet { catalog, query })
+}
+
+/// Star schema: `Q(x, y1..yk) = C(x), S1(x,y1), …, Sk(x,yk)` — a GChQ with
+/// `k` hanging variables, exercising Step 3's `2^k` branches.
+pub fn star_schema(k: usize, n: i64) -> Result<QuerySet, CatalogError> {
+    assert!(k >= 1);
+    let col = Column::int_range(0, n);
+    let mut builder = CatalogBuilder::new().uniform_relation("C", &["X"], &col);
+    for i in 1..=k {
+        builder = builder.uniform_relation(format!("S{i}"), &["X", "Y"], &col);
+    }
+    let catalog = builder.build()?;
+    let mut head = vec!["x".to_string()];
+    let mut body = vec!["C(x)".to_string()];
+    for i in 1..=k {
+        head.push(format!("y{i}"));
+        body.push(format!("S{i}(x, y{i})"));
+    }
+    let src = format!("Q({}) :- {}", head.join(", "), body.join(", "));
+    let query = parse_rule(catalog.schema(), &src).expect("generated star parses");
+    Ok(QuerySet { catalog, query })
+}
+
+/// Cycle schema: `C_k(x1..xk) = R1(x1,x2), …, Rk(xk,x1)` (Theorem 3.15).
+pub fn cycle_schema(k: usize, n: i64) -> Result<QuerySet, CatalogError> {
+    assert!(k >= 2);
+    let col = Column::int_range(0, n);
+    let mut builder = CatalogBuilder::new();
+    for i in 1..=k {
+        builder = builder.uniform_relation(format!("R{i}"), &["X", "Y"], &col);
+    }
+    let catalog = builder.build()?;
+    let head: Vec<String> = (1..=k).map(|i| format!("x{i}")).collect();
+    let mut body = Vec::with_capacity(k);
+    for i in 1..=k {
+        let j = if i == k { 1 } else { i + 1 };
+        body.push(format!("R{i}(x{i}, x{j})"));
+    }
+    let src = format!("C{k}({}) :- {}", head.join(", "), body.join(", "));
+    let query = parse_rule(catalog.schema(), &src).expect("generated cycle parses");
+    Ok(QuerySet { catalog, query })
+}
+
+/// The NP-complete `H1(x,y,z) = R(x,y,z), S(x), T(y), U(z)` (Theorem 3.5).
+pub fn h1_schema(n: i64) -> Result<QuerySet, CatalogError> {
+    let col = Column::int_range(0, n);
+    let catalog = CatalogBuilder::new()
+        .uniform_relation("R", &["X", "Y", "Z"], &col)
+        .uniform_relation("S", &["X"], &col)
+        .uniform_relation("T", &["X"], &col)
+        .uniform_relation("U", &["X"], &col)
+        .build()?;
+    let query = parse_rule(
+        catalog.schema(),
+        "H1(x, y, z) :- R(x, y, z), S(x), T(y), U(z)",
+    )
+    .unwrap();
+    Ok(QuerySet { catalog, query })
+}
+
+/// The NP-complete `H2(x,y) = P(x), R(x,y), S(x,y)` (Theorem 3.5; `C_2`
+/// plus one unary atom — the cycle class's brittleness).
+pub fn h2_schema(n: i64) -> Result<QuerySet, CatalogError> {
+    let col = Column::int_range(0, n);
+    let catalog = CatalogBuilder::new()
+        .uniform_relation("P", &["X"], &col)
+        .uniform_relation("R", &["X", "Y"], &col)
+        .uniform_relation("S", &["X", "Y"], &col)
+        .build()?;
+    let query = parse_rule(catalog.schema(), "H2(x, y) :- P(x), R(x, y), S(x, y)").unwrap();
+    Ok(QuerySet { catalog, query })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbdp_core::dichotomy::{classify, QueryClass};
+
+    #[test]
+    fn families_classify_as_expected() {
+        assert_eq!(
+            classify(&chain_schema(3, 4).unwrap().query),
+            QueryClass::GeneralizedChain
+        );
+        assert_eq!(
+            classify(&star_schema(3, 4).unwrap().query),
+            QueryClass::GeneralizedChain
+        );
+        assert_eq!(
+            classify(&cycle_schema(3, 4).unwrap().query),
+            QueryClass::Cycle(3)
+        );
+        assert!(matches!(
+            classify(&h1_schema(3).unwrap().query),
+            QueryClass::NpComplete(_)
+        ));
+        assert!(matches!(
+            classify(&h2_schema(3).unwrap().query),
+            QueryClass::NpComplete(_)
+        ));
+    }
+
+    #[test]
+    fn sizes_scale() {
+        let qs = chain_schema(4, 8).unwrap();
+        assert_eq!(qs.catalog.schema().len(), 6); // A, E1..E4, B
+        assert_eq!(qs.query.atoms().len(), 6);
+        let qs = cycle_schema(5, 3).unwrap();
+        assert_eq!(qs.query.atoms().len(), 5);
+    }
+}

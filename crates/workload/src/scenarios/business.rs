@@ -1,0 +1,202 @@
+//! The USA business directory of the paper's introduction, modeled on
+//! CustomLists: `Business(name, state, county)` plus a `Restaurant(name)`
+//! tag relation, with per-state selection prices (the "$199 per state"
+//! model) and per-county prices.
+//!
+//! The arbitrage anecdote of §1 reproduces directly: when some fraction of
+//! a state's counties hold no businesses, buying the remaining counties is
+//! cheaper than buying the state yet yields the same information.
+
+use qbdp_catalog::{Catalog, CatalogBuilder, CatalogError, Column, Instance, Tuple, Value};
+use qbdp_core::price_points::PriceList;
+use qbdp_core::Price;
+use qbdp_determinacy::selection::SelectionView;
+use rand::Rng;
+
+/// A generated business-directory market.
+pub struct BusinessMarket {
+    /// Schema + columns: `Business(Name, State, County)`, `Restaurant(Name)`.
+    pub catalog: Catalog,
+    /// The data.
+    pub instance: Instance,
+    /// Selection prices: per-state, per-county, per-name (cheap).
+    pub prices: PriceList,
+    /// The state codes, `S0..`.
+    pub states: Vec<String>,
+    /// County names per state, `S3_C2`-style.
+    pub counties: Vec<String>,
+}
+
+/// Generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BusinessConfig {
+    /// Number of states (CustomLists sells 50).
+    pub states: usize,
+    /// Counties per state.
+    pub counties_per_state: usize,
+    /// Businesses to draw.
+    pub businesses: usize,
+    /// Fraction of counties left empty (drives the §1 arbitrage).
+    pub empty_county_fraction: f64,
+    /// Price per state view.
+    pub state_price: Price,
+    /// Price per county view.
+    pub county_price: Price,
+    /// Price per single-business (name) lookup. Must be high enough that
+    /// the full name cover does not undercut a state view (Prop 3.2) —
+    /// `generate` bumps it automatically if not.
+    pub name_price: Price,
+}
+
+impl Default for BusinessConfig {
+    fn default() -> Self {
+        BusinessConfig {
+            states: 10,
+            counties_per_state: 6,
+            businesses: 400,
+            empty_county_fraction: 0.3,
+            state_price: Price::dollars(199),
+            county_price: Price::dollars(49),
+            name_price: Price::dollars(2),
+        }
+    }
+}
+
+/// Generate the market.
+pub fn generate(
+    rng: &mut impl Rng,
+    config: BusinessConfig,
+) -> Result<BusinessMarket, CatalogError> {
+    let states: Vec<String> = (0..config.states).map(|i| format!("S{i}")).collect();
+    let counties: Vec<String> = (0..config.states)
+        .flat_map(|s| (0..config.counties_per_state).map(move |c| format!("S{s}_C{c}")))
+        .collect();
+    let names: Vec<String> = (0..config.businesses).map(|i| format!("biz{i}")).collect();
+
+    let name_col = Column::texts(names.iter().map(String::as_str));
+    let state_col = Column::texts(states.iter().map(String::as_str));
+    let county_col = Column::texts(counties.iter().map(String::as_str));
+
+    let catalog = CatalogBuilder::new()
+        .relation(
+            "Business",
+            &[
+                ("Name", name_col.clone()),
+                ("State", state_col),
+                ("County", county_col),
+            ],
+        )
+        .relation("Restaurant", &[("Name", name_col)])
+        .build()?;
+
+    // Mark a deterministic subset of counties empty.
+    let live_counties: Vec<Vec<usize>> = (0..config.states)
+        .map(|_| {
+            (0..config.counties_per_state)
+                .filter(|_| !rng.gen_bool(config.empty_county_fraction))
+                .collect()
+        })
+        .collect();
+
+    let mut instance = catalog.empty_instance();
+    let business = catalog.schema().rel_id("Business").unwrap();
+    let restaurant = catalog.schema().rel_id("Restaurant").unwrap();
+    for name in &names {
+        let s = rng.gen_range(0..config.states);
+        let live = &live_counties[s];
+        if live.is_empty() {
+            continue; // a state whose every county is empty holds nothing
+        }
+        let c = live[rng.gen_range(0..live.len())];
+        instance.insert(
+            business,
+            Tuple::new([
+                Value::text(name.as_str()),
+                Value::text(format!("S{s}")),
+                Value::text(format!("S{s}_C{c}")),
+            ]),
+        )?;
+        if rng.gen_bool(0.25) {
+            instance.insert(restaurant, Tuple::new([Value::text(name.as_str())]))?;
+        }
+    }
+
+    // Prices: states $199 by default, counties $49, names per config (the
+    // "buy one business record" API), restaurant tags 10¢. Proposition 3.2
+    // constrains the name price: the full Name cover must not undercut any
+    // state or county selection, so bump it if the config is too low.
+    let covers_needed = config.state_price.max(config.county_price);
+    let min_name_cents = covers_needed.as_cents() / (config.businesses as u64).max(1) + 1;
+    let name_price = config.name_price.max(Price::cents(min_name_cents));
+    let mut prices = PriceList::new();
+    let name_attr = catalog.schema().resolve_attr("Business.Name").unwrap();
+    let state_attr = catalog.schema().resolve_attr("Business.State").unwrap();
+    let county_attr = catalog.schema().resolve_attr("Business.County").unwrap();
+    let rest_attr = catalog.schema().resolve_attr("Restaurant.Name").unwrap();
+    for v in catalog.column(name_attr).iter() {
+        prices.set(SelectionView::new(name_attr, v.clone()), name_price);
+    }
+    for v in catalog.column(state_attr).iter() {
+        prices.set(
+            SelectionView::new(state_attr, v.clone()),
+            config.state_price,
+        );
+    }
+    for v in catalog.column(county_attr).iter() {
+        prices.set(
+            SelectionView::new(county_attr, v.clone()),
+            config.county_price,
+        );
+    }
+    for v in catalog.column(rest_attr).iter() {
+        prices.set(SelectionView::new(rest_attr, v.clone()), Price::cents(10));
+    }
+
+    Ok(BusinessMarket {
+        catalog,
+        instance,
+        prices,
+        states,
+        counties,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_valid_market() {
+        let mut rng = StdRng::seed_from_u64(2012);
+        let m = generate(&mut rng, BusinessConfig::default()).unwrap();
+        assert!(m.catalog.check_instance(&m.instance).is_ok());
+        assert!(m.prices.sells_identity(&m.catalog));
+        assert!(qbdp_core::consistency::list_is_consistent(
+            &m.catalog, &m.prices
+        ));
+        let business = m.catalog.schema().rel_id("Business").unwrap();
+        assert!(m.instance.relation(business).len() > 100);
+    }
+
+    #[test]
+    fn some_counties_are_empty() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = generate(&mut rng, BusinessConfig::default()).unwrap();
+        let county_attr = m.catalog.schema().resolve_attr("Business.County").unwrap();
+        let business = county_attr.rel;
+        let empty = m
+            .catalog
+            .column(county_attr)
+            .iter()
+            .filter(|c| {
+                m.instance
+                    .relation(business)
+                    .select_count(county_attr.attr, c)
+                    == 0
+            })
+            .count();
+        assert!(empty > 0, "expected some empty counties");
+    }
+}

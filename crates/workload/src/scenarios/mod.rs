@@ -1,0 +1,5 @@
+//! Named, realistic scenarios modeled on the data markets the paper cites.
+
+pub mod business;
+pub mod sports;
+pub mod webgraph;

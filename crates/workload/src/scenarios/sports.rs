@@ -1,0 +1,164 @@
+//! An Infochimps-style MLB data market (paper §3, "The Views"): selection
+//! APIs keyed by team name, team id, and game id.
+//!
+//! Schema:
+//! * `Team(name, team_id)` — the MLB Baseball API ("given an MLB team name,
+//!   retrieve … team ids");
+//! * `Stats(team_id, wins, losses)` — the Team API;
+//! * `Game(game_id, team_id, attendance)` — the Game API.
+//!
+//! Chain queries join the three ("attendance of every game of the team
+//! named T"), which the GChQ algorithm prices in PTIME.
+
+use qbdp_catalog::{Catalog, CatalogBuilder, CatalogError, Column, Instance, Tuple, Value};
+use qbdp_core::price_points::PriceList;
+use qbdp_core::Price;
+use qbdp_determinacy::selection::SelectionView;
+use rand::Rng;
+
+/// A generated sports market.
+pub struct SportsMarket {
+    /// Schema + columns.
+    pub catalog: Catalog,
+    /// The data.
+    pub instance: Instance,
+    /// Per-API selection prices.
+    pub prices: PriceList,
+}
+
+/// Generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SportsConfig {
+    /// Number of teams (MLB has 30).
+    pub teams: usize,
+    /// Games to draw.
+    pub games: usize,
+    /// Price of one team-name lookup.
+    pub team_api_price: Price,
+    /// Price of one team-id stats lookup.
+    pub stats_api_price: Price,
+    /// Price of one game lookup.
+    pub game_api_price: Price,
+}
+
+impl Default for SportsConfig {
+    fn default() -> Self {
+        SportsConfig {
+            teams: 12,
+            games: 60,
+            team_api_price: Price::dollars(2),
+            stats_api_price: Price::dollars(3),
+            game_api_price: Price::dollars(1),
+        }
+    }
+}
+
+/// Generate the market.
+pub fn generate(rng: &mut impl Rng, config: SportsConfig) -> Result<SportsMarket, CatalogError> {
+    let team_names: Vec<String> = (0..config.teams).map(|i| format!("team{i}")).collect();
+    let name_col = Column::texts(team_names.iter().map(String::as_str));
+    let team_id_col = Column::int_range(100, 100 + config.teams as i64);
+    let game_id_col = Column::int_range(0, config.games as i64);
+    // Counts are bucketed (wins, losses, attendance-in-thousands) to keep
+    // column products — and thus determinacy max-worlds — demo-sized.
+    let count_col = Column::int_range(0, 30);
+
+    let catalog = CatalogBuilder::new()
+        .relation(
+            "Team",
+            &[("Name", name_col), ("TeamId", team_id_col.clone())],
+        )
+        .relation(
+            "Stats",
+            &[
+                ("TeamId", team_id_col.clone()),
+                ("Wins", count_col.clone()),
+                ("Losses", count_col.clone()),
+            ],
+        )
+        .relation(
+            "Game",
+            &[
+                ("GameId", game_id_col),
+                ("TeamId", team_id_col),
+                ("Attendance", count_col),
+            ],
+        )
+        .build()?;
+
+    let mut instance = catalog.empty_instance();
+    let team = catalog.schema().rel_id("Team").unwrap();
+    let stats = catalog.schema().rel_id("Stats").unwrap();
+    let game = catalog.schema().rel_id("Game").unwrap();
+    for (i, name) in team_names.iter().enumerate() {
+        let id = 100 + i as i64;
+        instance.insert(
+            team,
+            Tuple::new([Value::text(name.as_str()), Value::Int(id)]),
+        )?;
+        instance.insert(
+            stats,
+            Tuple::new([
+                Value::Int(id),
+                Value::Int(rng.gen_range(0..30)),
+                Value::Int(rng.gen_range(0..30)),
+            ]),
+        )?;
+    }
+    for g in 0..config.games {
+        instance.insert(
+            game,
+            Tuple::new([
+                Value::Int(g as i64),
+                Value::Int(100 + rng.gen_range(0..config.teams) as i64),
+                Value::Int(rng.gen_range(0..30)),
+            ]),
+        )?;
+    }
+
+    // API prices: selections on the key attribute of each relation; the
+    // non-key attributes are not directly sellable (∞), exactly like the
+    // real APIs (you cannot ask "all games with attendance 37").
+    let mut prices = PriceList::new();
+    for (attr_name, price) in [
+        ("Team.Name", config.team_api_price),
+        ("Stats.TeamId", config.stats_api_price),
+        ("Game.GameId", config.game_api_price),
+        // Game lookups by team id are also sold (the Team API returns
+        // game ids), a bit dearer.
+        (
+            "Game.TeamId",
+            config.game_api_price.saturating_add(Price::dollars(1)),
+        ),
+    ] {
+        let attr = catalog.schema().resolve_attr(attr_name).unwrap();
+        for v in catalog.column(attr).iter() {
+            prices.set(SelectionView::new(attr, v.clone()), price);
+        }
+    }
+
+    Ok(SportsMarket {
+        catalog,
+        instance,
+        prices,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn market_is_valid_and_sellable() {
+        let mut rng = StdRng::seed_from_u64(1908);
+        let m = generate(&mut rng, SportsConfig::default()).unwrap();
+        assert!(m.catalog.check_instance(&m.instance).is_ok());
+        // Every relation reachable through some fully-priced attribute.
+        assert!(m.prices.sells_identity(&m.catalog));
+        // Attendance-by-value is not for sale.
+        let att = m.catalog.schema().resolve_attr("Game.Attendance").unwrap();
+        assert!(m.prices.get_at(att, &Value::Int(0)).is_infinite());
+    }
+}

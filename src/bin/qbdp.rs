@@ -1,0 +1,46 @@
+//! `qbdp` — price queries against a `.qdp` market from the command line.
+//!
+//! ```text
+//! qbdp <market.qdp> quote "Q(x, y) :- R(x), S(x, y), T(y)"
+//! qbdp <market.qdp> repl
+//! ```
+
+use qbdp::cli;
+use qbdp::prelude::Market;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (path, rest) = match args.split_first() {
+        Some((p, r)) if !r.is_empty() => (p, r),
+        _ => {
+            eprintln!(
+                "usage: qbdp <market.qdp> <command> [args…]\n\
+                 commands: quote | buy | classify | insert | catalog | ledger | repl"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let market = match Market::open_qdp(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot open market: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if rest[0] == "repl" {
+        let stdin = std::io::stdin();
+        cli::repl(&market, stdin.lock(), std::io::stdout());
+        return ExitCode::SUCCESS;
+    }
+    let command = rest.join(" ");
+    println!("{}", cli::run_command(&market, &command));
+    ExitCode::SUCCESS
+}

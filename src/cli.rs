@@ -1,0 +1,277 @@
+//! The `qbdp` command-line driver: load a `.qdp` market and run pricing
+//! commands against it.
+//!
+//! ```text
+//! qbdp data/figure1.qdp quote    "Q(x, y) :- R(x), S(x, y), T(y)"
+//! qbdp data/figure1.qdp buy      "Q(x, y) :- R(x), S(x, y), T(y)"
+//! qbdp data/figure1.qdp classify "Q(x) :- S(x, y)"
+//! qbdp data/figure1.qdp catalog
+//! qbdp data/figure1.qdp repl     # interactive session on stdin
+//! ```
+//!
+//! The command logic lives here (library-tested); `src/bin/qbdp.rs` is a
+//! thin argv/stdin wrapper.
+
+use qbdp_catalog::{AttrRef, Tuple, Value};
+use qbdp_core::dichotomy::classify;
+use qbdp_market::{Market, MarketError};
+use std::fmt::Write as _;
+
+/// Run one CLI command against a market; returns the text to print.
+pub fn run_command(market: &Market, command: &str) -> String {
+    let command = command.trim();
+    let (verb, rest) = match command.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (command, ""),
+    };
+    match verb {
+        "" => String::new(),
+        "help" => help_text(),
+        "quote" => quote(market, rest),
+        "explain" => match market.explain_str(rest) {
+            Ok(text) => text,
+            Err(e) => render_err(e),
+        },
+        "save" => {
+            let qdp = market.to_qdp();
+            match std::fs::write(rest, &qdp) {
+                Ok(()) => format!("market saved to {rest} ({} bytes)", qdp.len()),
+                Err(e) => format!("cannot write {rest}: {e}"),
+            }
+        }
+        "buy" | "purchase" => buy(market, rest),
+        "classify" => classify_cmd(market, rest),
+        "insert" => insert(market, rest),
+        "catalog" => catalog(market),
+        "ledger" => ledger(market),
+        other => format!("unknown command `{other}` — try `help`"),
+    }
+}
+
+/// The REPL: feed lines from `input`, collect output into `output`. Stops
+/// at EOF or `quit`.
+pub fn repl(market: &Market, input: impl std::io::BufRead, mut output: impl std::io::Write) {
+    let _ = writeln!(
+        output,
+        "qbdp marketplace — `help` lists commands, `quit` exits"
+    );
+    for line in input.lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let _ = writeln!(output, "{}", run_command(market, line));
+    }
+}
+
+fn help_text() -> String {
+    "commands:\n\
+     \x20 quote <rule>      price a query, e.g. quote Q(x) :- R(x)\n\
+     \x20 explain <rule>    quote with a full narrative\n\
+     \x20 save <path>       write the market back to a .qdp file\n\
+     \x20 buy <rule>        purchase: price + answer + ledger entry\n\
+     \x20 classify <rule>   dichotomy class (Theorem 3.16)\n\
+     \x20 insert R(a, b)    seller-side tuple insertion\n\
+     \x20 catalog           schema, columns, price list summary\n\
+     \x20 ledger            sales and revenue\n\
+     \x20 quit              leave the repl"
+        .to_string()
+}
+
+fn quote(market: &Market, rule: &str) -> String {
+    match market.quote_str(rule) {
+        Ok(q) => {
+            let mut out = String::new();
+            let _ = writeln!(out, "query : {}", q.query);
+            let _ = writeln!(out, "class : {:?}  (engine: {:?})", q.class, q.method);
+            let _ = writeln!(out, "price : {}", q.price);
+            let _ = writeln!(out, "views :");
+            for item in &q.receipt {
+                let _ = writeln!(out, "  {item}");
+            }
+            out.truncate(out.trim_end().len());
+            out
+        }
+        Err(e) => render_err(e),
+    }
+}
+
+fn buy(market: &Market, rule: &str) -> String {
+    match market.purchase_str(rule) {
+        Ok(p) => {
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "charged {} (transaction #{})",
+                p.quote.price, p.transaction_id
+            );
+            let _ = writeln!(out, "{} answer tuple(s):", p.answer.len());
+            for t in p.answer.iter().take(20) {
+                let _ = writeln!(out, "  {t}");
+            }
+            if p.answer.len() > 20 {
+                let _ = writeln!(out, "  … {} more", p.answer.len() - 20);
+            }
+            out.truncate(out.trim_end().len());
+            out
+        }
+        Err(e) => render_err(e),
+    }
+}
+
+fn classify_cmd(market: &Market, rule: &str) -> String {
+    market.with_pricer(|pricer| {
+        match qbdp_query::parser::parse_rule(pricer.catalog().schema(), rule) {
+            Ok(q) => {
+                let class = classify(&q);
+                let ptime = if class.is_ptime() {
+                    "PTIME"
+                } else {
+                    "NP-complete / exact engines"
+                };
+                format!("{class:?} — {ptime}")
+            }
+            Err(e) => format!("parse error: {e}"),
+        }
+    })
+}
+
+fn insert(market: &Market, fact: &str) -> String {
+    // Syntax: R(a, b).
+    let Some(open) = fact.find('(') else {
+        return "insert expects `Relation(v1, v2, …)`".to_string();
+    };
+    if !fact.ends_with(')') {
+        return "insert expects `Relation(v1, v2, …)`".to_string();
+    }
+    let rel = fact[..open].trim();
+    let values: Option<Vec<Value>> = fact[open + 1..fact.len() - 1]
+        .split(',')
+        .map(|s| Value::parse_literal(s.trim()))
+        .collect();
+    let Some(values) = values else {
+        return "bad value in tuple".to_string();
+    };
+    match market.insert(rel, [Tuple::new(values)]) {
+        Ok(added) => format!("{added} tuple(s) added to {rel}"),
+        Err(e) => render_err(e),
+    }
+}
+
+fn catalog(market: &Market) -> String {
+    market.with_pricer(|pricer| {
+        let mut out = String::new();
+        let catalog = pricer.catalog();
+        let schema = catalog.schema();
+        for (rid, rel) in schema.iter() {
+            let _ = writeln!(
+                out,
+                "{}({})  — {} tuple(s)",
+                rel.name(),
+                rel.attrs().join(", "),
+                pricer.instance().relation(rid).len()
+            );
+            for (pos, attr) in rel.attrs().iter().enumerate() {
+                let aref = AttrRef::new(rid, pos as u32);
+                let col = catalog.column(aref);
+                let priced = pricer.prices().views_on(aref).count();
+                let _ = writeln!(
+                    out,
+                    "  .{attr:12} column of {:3} value(s), {priced:3} priced",
+                    col.len()
+                );
+            }
+        }
+        let _ = write!(
+            out,
+            "price list: {} views priced; dataset sellable: {}",
+            pricer.prices().len(),
+            pricer.prices().sells_identity(catalog)
+        );
+        out
+    })
+}
+
+fn ledger(market: &Market) -> String {
+    market.with_ledger(|l| format!("{} sale(s), revenue {}", l.sales(), l.revenue()))
+}
+
+fn render_err(e: MarketError) -> String {
+    format!("error: {e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn market() -> Market {
+        Market::open_qdp(include_str!("../data/figure1.qdp")).unwrap()
+    }
+
+    #[test]
+    fn quote_and_buy() {
+        let m = market();
+        let out = run_command(&m, "quote Q(x, y) :- R(x), S(x, y), T(y)");
+        assert!(out.contains("price : $6.00"), "{out}");
+        assert!(out.contains("σ[R.X=a1]"));
+        let out = run_command(&m, "buy Q(x, y) :- R(x), S(x, y), T(y)");
+        assert!(out.contains("charged $6.00"), "{out}");
+        assert!(out.contains("(a1, b1)"));
+        let out = run_command(&m, "ledger");
+        assert!(out.contains("1 sale(s), revenue $6.00"), "{out}");
+    }
+
+    #[test]
+    fn classify_and_catalog() {
+        let m = market();
+        let out = run_command(&m, "classify Q(x, y) :- R(x), S(x, y), T(y)");
+        assert!(out.contains("GeneralizedChain"), "{out}");
+        let out = run_command(&m, "classify Q(x) :- S(x, y)");
+        assert!(out.contains("NpComplete"), "{out}");
+        let out = run_command(&m, "catalog");
+        assert!(out.contains("S(X, Y)"), "{out}");
+        assert!(out.contains("dataset sellable: true"), "{out}");
+    }
+
+    #[test]
+    fn insert_via_cli() {
+        let m = market();
+        let out = run_command(&m, "insert T(b2)");
+        assert!(out.contains("1 tuple(s) added"), "{out}");
+        let out = run_command(&m, "insert T(nope)");
+        assert!(out.contains("error"), "{out}");
+        let out = run_command(&m, "insert garbage");
+        assert!(out.contains("insert expects"), "{out}");
+    }
+
+    #[test]
+    fn unknown_and_help() {
+        let m = market();
+        assert!(run_command(&m, "frobnicate").contains("unknown command"));
+        assert!(run_command(&m, "help").contains("quote <rule>"));
+        assert_eq!(run_command(&m, ""), "");
+    }
+
+    #[test]
+    fn repl_session() {
+        let m = market();
+        let input = "help\n# a comment\nquote Q(x) :- R(x)\nquit\nnever reached\n";
+        let mut out = Vec::new();
+        repl(&m, input.as_bytes(), &mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("commands:"));
+        assert!(text.contains("price :"));
+        assert!(!text.contains("never reached"));
+    }
+
+    #[test]
+    fn mini_market_file_loads() {
+        let m = Market::open_qdp(include_str!("../data/mini_market.qdp")).unwrap();
+        let out = run_command(&m, "quote Q(n, s) :- Company(n, s), Deal(n, z)");
+        assert!(out.contains("price"), "{out}");
+    }
+}
