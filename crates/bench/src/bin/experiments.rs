@@ -809,7 +809,13 @@ fn e13() {
     let conc = total as f64 / t.elapsed().as_secs_f64();
     println!("uncached pricing : {uncached:>8.0} quotes/s  (parse + Min-Cut each call)");
     println!("cached sequential: {seq:>8.0} quotes/s  (quote cache, invalidated on update)");
-    println!("cached 4 threads : {conc:>8.0} quotes/s  (x{:.1} on this {}-core box)", conc / seq, std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    println!(
+        "cached 4 threads : {conc:>8.0} quotes/s  (x{:.1} on this {}-core box)",
+        conc / seq,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
 }
 
 // --------------------------------------------------------------- E14 ----

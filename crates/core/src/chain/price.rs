@@ -1,11 +1,12 @@
 //! Chain-query pricing: partial answers → flow graph → min-cut (Thm 3.13).
 
 use super::graph::{ChainGraph, TupleEdgeMode};
+use crate::budget::{Budget, Metered};
 use crate::error::PricingError;
 use crate::money::Price;
 use crate::normalize::Problem;
 use qbdp_determinacy::selection::SelectionView;
-use qbdp_flow::{dinic, edmonds_karp};
+use qbdp_flow::{dinic_metered, edmonds_karp_metered, Interrupted};
 use qbdp_query::chain::ChainQuery;
 
 /// Which max-flow algorithm to run (Edmonds–Karp is the ablation baseline).
@@ -41,13 +42,46 @@ pub fn chain_price(
     mode: TupleEdgeMode,
     algo: FlowAlgo,
 ) -> Result<ChainPriceResult, PricingError> {
+    match chain_price_within(problem, mode, algo, &Budget::unlimited())? {
+        Metered::Done(r) => Ok(r),
+        Metered::Exhausted { .. } => unreachable!("unlimited budgets never exhaust"),
+    }
+}
+
+/// [`chain_price`] under a [`Budget`]: the flow computation is metered
+/// (each Dinic phase / BFS round charges its graph-scan cost). On
+/// exhaustion no cut exists yet, so there is no partial `ChainPriceResult`
+/// — instead the interrupted flow value is returned as a sound **lower
+/// bound** on the price (any flow under-estimates the min cut).
+pub fn chain_price_within(
+    problem: &Problem,
+    mode: TupleEdgeMode,
+    algo: FlowAlgo,
+    budget: &Budget,
+) -> Result<Metered<ChainPriceResult>, PricingError> {
     let chain = ChainQuery::from_cq(&problem.query)
         .map_err(|e| PricingError::NotApplicable(e.to_string()))?;
+    // Building partial answers and the graph scans the instance once.
+    if !budget.charge(64 + problem.instance.total_tuples() as u64) {
+        return Ok(Metered::Exhausted {
+            lower_bound: Price::ZERO,
+        });
+    }
     let pa = chain.partial_answers(&problem.catalog, &problem.instance);
     let cg = ChainGraph::build(&problem.catalog, &problem.prices, &chain, &pa, mode);
     let flow = match algo {
-        FlowAlgo::Dinic => dinic(&cg.graph, cg.s, cg.t),
-        FlowAlgo::EdmondsKarp => edmonds_karp(&cg.graph, cg.s, cg.t),
+        FlowAlgo::Dinic => dinic_metered(&cg.graph, cg.s, cg.t, budget),
+        FlowAlgo::EdmondsKarp => edmonds_karp_metered(&cg.graph, cg.s, cg.t, budget),
+    };
+    let flow = match flow {
+        Ok(flow) => flow,
+        Err(Interrupted { partial_value }) => {
+            // Flow never exceeds the min cut, so the partial value is a
+            // sound lower bound on the price.
+            return Ok(Metered::Exhausted {
+                lower_bound: Price::from_cut_value(partial_value),
+            });
+        }
     };
     let price = Price::from_cut_value(flow.value);
     let (cut_views, original_views) = if price.is_finite() {
@@ -63,12 +97,12 @@ pub fn chain_price(
     } else {
         (Vec::new(), Vec::new())
     };
-    Ok(ChainPriceResult {
+    Ok(Metered::Done(ChainPriceResult {
         price,
         cut_views,
         original_views,
         graph_size: (cg.graph.num_nodes(), cg.graph.num_edges()),
-    })
+    }))
 }
 
 #[cfg(test)]

@@ -28,10 +28,11 @@
 //! special-structure algorithm closes that gap; EXPERIMENTS.md records this
 //! substitution and the measured gap frequency honestly.
 
+use crate::budget::{Budget, Metered};
 use crate::chain::graph::TupleEdgeMode;
-use crate::chain::price::{chain_price, FlowAlgo};
+use crate::chain::price::{chain_price, chain_price_within, FlowAlgo};
 use crate::error::PricingError;
-use crate::exact::certificates::{certificate_price, CertificateConfig};
+use crate::exact::certificates::{certificate_price_within, CertificateConfig};
 use crate::exact::ExactResult;
 use crate::money::Price;
 use crate::normalize::Problem;
@@ -46,24 +47,78 @@ pub fn cycle_price(
     problem: &Problem,
     config: CertificateConfig,
 ) -> Result<ExactResult, PricingError> {
+    cycle_price_within(problem, config, &Budget::unlimited())
+}
+
+/// [`cycle_price`] under a [`Budget`]. The polynomial sandwich runs on the
+/// metered flow engine; if the bounds meet the price is exact as usual.
+/// Otherwise the exact certificate fallback runs on whatever budget
+/// remains, and a degraded fallback result is tightened with the
+/// polynomial bounds: the global-cut purchase (when it completed) is a
+/// genuine determining set, and every completed single-pair cut stays a
+/// valid floor.
+pub fn cycle_price_within(
+    problem: &Problem,
+    config: CertificateConfig,
+    budget: &Budget,
+) -> Result<ExactResult, PricingError> {
     if analysis::cycle_order(&problem.query).is_none() {
         return Err(PricingError::NotApplicable(
             "query is not a cycle C_k".into(),
         ));
     }
-    let (lb, ub) = cycle_bounds(problem)?;
-    if lb == ub.price {
-        // Certified optimal in PTIME: the global-cut solution is a valid
-        // determining set and no solution can beat the single-pair floor.
-        return Ok(ub);
+    // Upper bound: one global chain cut (a valid determining set).
+    let unrolled = unrolled_problem(problem, None)?;
+    let ub = match chain_price_within(&unrolled, TupleEdgeMode::Hub, FlowAlgo::Dinic, budget)? {
+        Metered::Done(r) => Some(ExactResult::exact(r.price, r.original_views)),
+        Metered::Exhausted { .. } => None,
+    };
+    // Lower bound: max over completed single-pair cuts (each is a floor).
+    let mut lb = Price::ZERO;
+    let mut lb_complete = true;
+    for a in seam_column(problem)?.iter() {
+        if budget.is_exhausted() {
+            lb_complete = false;
+            break;
+        }
+        let single = unrolled_problem(problem, Some(std::slice::from_ref(a)))?;
+        match chain_price_within(&single, TupleEdgeMode::Hub, FlowAlgo::Dinic, budget)? {
+            Metered::Done(r) => lb = lb.max(r.price),
+            Metered::Exhausted { .. } => {
+                lb_complete = false;
+                break;
+            }
+        }
     }
-    certificate_price(
+    if let Some(ub) = &ub {
+        if lb_complete && lb == ub.price {
+            // Certified optimal in PTIME: the global-cut solution is a
+            // valid determining set and no solution can beat the
+            // single-pair floor.
+            return Ok(ub.clone());
+        }
+    }
+    let fallback = certificate_price_within(
         &problem.catalog,
         &problem.instance,
         &problem.prices,
         &problem.query,
         config,
-    )
+        budget,
+    )?;
+    if fallback.quality.is_exact() {
+        return Ok(fallback);
+    }
+    // Degraded fallback: tighten with the polynomial sandwich.
+    let (price, views) = match ub {
+        Some(ub) if ub.price < fallback.price => (ub.price, ub.views),
+        _ => (fallback.price, fallback.views),
+    };
+    Ok(ExactResult::degraded(
+        price,
+        views,
+        fallback.lower_bound.max(lb),
+    ))
 }
 
 /// Both polynomial bounds: `(lower, upper-with-views)`.
@@ -115,10 +170,7 @@ pub fn global_cut_result(problem: &Problem) -> Result<ExactResult, PricingError>
     let r = chain_price(&unrolled, TupleEdgeMode::Hub, FlowAlgo::Dinic)?;
     // Map the unrolled views back (cap views are free and resolve to
     // nothing; cycle-relation views map by name and flip).
-    Ok(ExactResult {
-        price: r.price,
-        views: r.original_views,
-    })
+    Ok(ExactResult::exact(r.price, r.original_views))
 }
 
 /// A polynomial **lower bound**: any determining set contains, for every
@@ -142,7 +194,9 @@ fn seam_column(problem: &Problem) -> Result<Column, PricingError> {
         .ok_or_else(|| PricingError::NotApplicable("query is not a cycle C_k".into()))?;
     let q = &problem.query;
     let (first_ai, first_flip) = order[0];
-    let (last_ai, last_flip) = *order.last().unwrap();
+    let (last_ai, last_flip) = *order
+        .last()
+        .ok_or_else(|| PricingError::Internal("cycle order is empty".into()))?;
     Ok(problem
         .catalog
         .column(AttrRef::new(q.atoms()[first_ai].rel, entry_pos(first_flip)))
@@ -227,8 +281,9 @@ pub fn unrolled_problem(
     // Data: caps full over their (possibly restricted) column; cycle
     // relations copied, flipped atoms reversed.
     let mut instance = catalog.empty_instance();
-    let cap_a = catalog.schema().rel_id("__capA").unwrap();
-    let cap_b = catalog.schema().rel_id("__capB").unwrap();
+    let missing_cap = || PricingError::Internal("unrolled schema lost its cap relation".into());
+    let cap_a = catalog.schema().rel_id("__capA").ok_or_else(missing_cap)?;
+    let cap_b = catalog.schema().rel_id("__capB").ok_or_else(missing_cap)?;
     for v in col_x1.iter() {
         instance.insert(cap_a, Tuple::new([v.clone()]))?;
         instance.insert(cap_b, Tuple::new([v.clone()]))?;
@@ -238,7 +293,9 @@ pub fn unrolled_problem(
         let new_rel = catalog
             .schema()
             .rel_id(schema.relation(old_rel).name())
-            .unwrap();
+            .ok_or_else(|| {
+                PricingError::Internal("unrolled schema lost a cycle relation".into())
+            })?;
         for t in problem.instance.relation(old_rel).iter() {
             let t = if flipped {
                 t.project(&[1, 0])
@@ -267,7 +324,11 @@ pub fn unrolled_problem(
             .find(|&&(ai, _)| q.atoms()[ai].rel == view.attr.rel)
         {
             let name = schema.relation(q.atoms()[ai].rel).name();
-            let new_rel = catalog.schema().rel_id(name).unwrap();
+            let Some(new_rel) = catalog.schema().rel_id(name) else {
+                return Err(PricingError::Internal(
+                    "unrolled schema lost a priced relation".into(),
+                ));
+            };
             let new_pos = if flipped {
                 1 - view.attr.attr.0
             } else {
@@ -309,6 +370,7 @@ pub fn unrolled_problem(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exact::certificates::certificate_price;
     use crate::price_points::PriceList;
     use qbdp_catalog::{tuple, Catalog};
     use qbdp_query::parser::parse_rule;

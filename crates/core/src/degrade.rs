@@ -1,0 +1,139 @@
+//! The structural fallback behind degraded quotes.
+//!
+//! When a budget dies before an engine finds *any* determining view set,
+//! the engines still owe a sound upper bound. This module computes one
+//! without touching the determinacy oracle, in time linear in the price
+//! list: for every relation the query mentions, buy the cheapest **full
+//! attribute cover** `Σ_{R.X}` (every selection view on one attribute).
+//! A full cover pins down the relation's entire content in every possible
+//! world — the views partition `R` by the covered attribute's value — so
+//! covering each mentioned relation determines *any* monotone query over
+//! them (Lemma 3.10's cover branch, applied wholesale). The total is
+//! therefore an upper bound on Equation 2; if some mentioned relation has
+//! no fully-priced attribute, the fallback is `INFINITE` (nothing is
+//! quoted, which is trivially sound).
+
+use crate::money::Price;
+use crate::price_points::PriceList;
+use qbdp_catalog::{AttrRef, Catalog, FxHashSet, RelId};
+use qbdp_determinacy::selection::SelectionView;
+use qbdp_query::ast::ConjunctiveQuery;
+use qbdp_query::bundle::Bundle;
+
+/// The relations a query bundle mentions.
+pub fn relevant_rels(target: &Bundle) -> FxHashSet<RelId> {
+    let mut rels: FxHashSet<RelId> = FxHashSet::default();
+    for ucq in target.queries() {
+        for cq in ucq.disjuncts() {
+            for atom in cq.atoms() {
+                rels.insert(atom.rel);
+            }
+        }
+    }
+    rels
+}
+
+/// The relations a single CQ mentions.
+pub fn relevant_rels_cq(q: &ConjunctiveQuery) -> FxHashSet<RelId> {
+    q.atoms().iter().map(|a| a.rel).collect()
+}
+
+/// Cheapest full-attribute cover of every relation in `rels`: a concrete
+/// determining purchase for any monotone query over them, hence a sound
+/// upper bound on its arbitrage-price. `INFINITE` (with no views) when
+/// some relation has no fully-priced attribute.
+pub fn structural_cover(
+    catalog: &Catalog,
+    prices: &PriceList,
+    rels: impl IntoIterator<Item = RelId>,
+) -> (Price, Vec<SelectionView>) {
+    let mut total = Price::ZERO;
+    let mut views: Vec<SelectionView> = Vec::new();
+    for rel in rels {
+        let arity = catalog.schema().relation(rel).arity();
+        let best = (0..arity as u32)
+            .map(|pos| AttrRef::new(rel, pos))
+            .map(|attr| (prices.full_cover_price(catalog, attr), attr))
+            .min_by_key(|&(price, _)| price);
+        match best {
+            Some((price, attr)) if price.is_finite() => {
+                total = total.saturating_add(price);
+                for v in catalog.column(attr).iter() {
+                    views.push(SelectionView::new(attr, v.clone()));
+                }
+            }
+            _ => return (Price::INFINITE, Vec::new()),
+        }
+    }
+    views.sort();
+    views.dedup();
+    (total, views)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbdp_catalog::{CatalogBuilder, Column};
+    use qbdp_query::parser::parse_rule;
+
+    #[test]
+    fn cover_picks_the_cheapest_attribute_per_relation() {
+        let col = Column::int_range(0, 3);
+        let cat = CatalogBuilder::new()
+            .uniform_relation("R", &["X", "Y"], &col)
+            .build()
+            .unwrap();
+        let mut prices = PriceList::new();
+        let rx = cat.schema().resolve_attr("R.X").unwrap();
+        let ry = cat.schema().resolve_attr("R.Y").unwrap();
+        prices.set_attr_uniform(&cat, rx, Price::dollars(5));
+        prices.set_attr_uniform(&cat, ry, Price::dollars(2));
+        let q = parse_rule(cat.schema(), "Q(x) :- R(x, y)").unwrap();
+        let (price, views) = structural_cover(&cat, &prices, relevant_rels_cq(&q));
+        assert_eq!(price, Price::dollars(6)); // 3 × $2 on R.Y
+        assert_eq!(views.len(), 3);
+        assert!(views.iter().all(|v| v.attr == ry));
+    }
+
+    #[test]
+    fn unpriced_relation_is_infinite() {
+        let col = Column::int_range(0, 3);
+        let cat = CatalogBuilder::new()
+            .uniform_relation("R", &["X"], &col)
+            .uniform_relation("S", &["X"], &col)
+            .build()
+            .unwrap();
+        let mut prices = PriceList::new();
+        let rx = cat.schema().resolve_attr("R.X").unwrap();
+        prices.set_attr_uniform(&cat, rx, Price::dollars(1));
+        let q = parse_rule(cat.schema(), "Q(x) :- R(x), S(x)").unwrap();
+        let (price, views) = structural_cover(&cat, &prices, relevant_rels_cq(&q));
+        assert!(price.is_infinite());
+        assert!(views.is_empty());
+    }
+
+    #[test]
+    fn cover_genuinely_determines() {
+        // Sanity against the oracle: the fallback views determine the query.
+        use qbdp_determinacy::selection::{determines_monotone_bundle, ViewSet};
+        use qbdp_query::ast::Ucq;
+        let col = Column::int_range(0, 3);
+        let cat = CatalogBuilder::new()
+            .uniform_relation("R", &["X", "Y"], &col)
+            .build()
+            .unwrap();
+        let mut d = cat.empty_instance();
+        d.insert(
+            cat.schema().rel_id("R").unwrap(),
+            qbdp_catalog::tuple![0, 1],
+        )
+        .unwrap();
+        let prices = PriceList::uniform(&cat, Price::dollars(1));
+        let q = parse_rule(cat.schema(), "H4(x) :- R(x, y)").unwrap();
+        let bundle = Bundle::single(Ucq::single(q));
+        let (price, views) = structural_cover(&cat, &prices, relevant_rels(&bundle));
+        assert!(price.is_finite());
+        let vs: ViewSet = views.iter().cloned().collect();
+        assert!(determines_monotone_bundle(&cat, &d, &vs, &bundle).unwrap());
+    }
+}

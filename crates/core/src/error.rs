@@ -20,6 +20,9 @@ pub enum PricingError {
     /// The seller's price points are inconsistent (admit arbitrage among
     /// themselves), so no valid pricing function exists (Theorem 2.15).
     Inconsistent(String),
+    /// A pricing-engine invariant broke (a bug, not a user error) — kept a
+    /// typed error so buyer-reachable paths never panic the market.
+    Internal(String),
 }
 
 impl fmt::Display for PricingError {
@@ -30,6 +33,7 @@ impl fmt::Display for PricingError {
             PricingError::NotApplicable(m) => write!(f, "{m}"),
             PricingError::LimitExceeded(m) => write!(f, "size limit exceeded: {m}"),
             PricingError::Inconsistent(m) => write!(f, "inconsistent price points: {m}"),
+            PricingError::Internal(m) => write!(f, "internal pricing invariant broke: {m}"),
         }
     }
 }

@@ -20,7 +20,10 @@
 //! complexity but exponential in the (fixed) variable count; the NP-hardness
 //! of Theorem 3.5 lives in the hitting set itself, not in this enumeration.
 
+use crate::budget::Budget;
+use crate::degrade::{relevant_rels_cq, structural_cover};
 use crate::error::PricingError;
+use crate::exact::ExactResult;
 use crate::money::Price;
 use crate::price_points::PriceList;
 use qbdp_catalog::{AttrRef, Catalog, Column, FxHashMap, FxHashSet, Instance, Tuple, Value};
@@ -41,6 +44,11 @@ pub struct CertificateSystem {
     /// `true` if some constraint is unhittable (no finite-priced view),
     /// i.e. the price is `INFINITE` outright.
     pub infeasible: bool,
+    /// `false` when a budget ran out before every assignment was
+    /// enumerated. A partial system's constraints are a *subset* of the
+    /// truth, so its hitting-set optimum only **lower-bounds** the price
+    /// (an `infeasible` verdict stays conclusive either way).
+    pub complete: bool,
 }
 
 /// Configuration for certificate generation.
@@ -67,6 +75,23 @@ pub fn build_certificates(
     q: &ConjunctiveQuery,
     config: CertificateConfig,
 ) -> Result<CertificateSystem, PricingError> {
+    build_certificates_within(catalog, d, prices, q, config, &Budget::unlimited())
+}
+
+/// [`build_certificates`] under a [`Budget`]. A limited budget replaces
+/// the assignment cap (and its `LimitExceeded` error) with metered
+/// enumeration: one charge per assignment, and on exhaustion the system
+/// built so far is returned with `complete = false`. An `infeasible`
+/// verdict short-circuits immediately — one genuinely unhittable
+/// constraint already proves the price `INFINITE`.
+pub fn build_certificates_within(
+    catalog: &Catalog,
+    d: &Instance,
+    prices: &PriceList,
+    q: &ConjunctiveQuery,
+    config: CertificateConfig,
+    budget: &Budget,
+) -> Result<CertificateSystem, PricingError> {
     if !analysis::is_full(q) {
         return Err(PricingError::NotApplicable(
             "certificates require a full conjunctive query".into(),
@@ -89,7 +114,9 @@ pub fn build_certificates(
                 Some(prev) => prev.intersect(c),
             });
         }
-        let mut col = col.expect("variable occurs somewhere");
+        let mut col = col.ok_or_else(|| {
+            PricingError::Internal(format!("body variable {v:?} has no atom occurrence"))
+        })?;
         for p in q.preds() {
             if p.var == v {
                 let pred = p.pred.clone();
@@ -114,7 +141,9 @@ pub fn build_certificates(
         .map(|v| var_cols[v].len())
         .try_fold(1usize, usize::checked_mul)
         .unwrap_or(usize::MAX);
-    if total > config.max_assignments {
+    if total > config.max_assignments && !budget.is_limited() {
+        // A limited budget meters the enumeration itself instead of
+        // erroring on a size estimate.
         return Err(PricingError::LimitExceeded(format!(
             "{total} assignments exceed the certificate cap of {}",
             config.max_assignments
@@ -171,10 +200,38 @@ pub fn build_certificates(
             weights,
             constraints: Vec::new(),
             infeasible: false,
+            complete: true,
         });
     }
+    let assignment_cost = 1 + q.atoms().len() as u64;
     let mut idx = vec![0u32; k];
     loop {
+        if infeasible {
+            // One unhittable constraint already proves the price INFINITE;
+            // the remaining assignments cannot change that verdict.
+            let mut constraints: Vec<Vec<u32>> = constraints.into_iter().collect();
+            remove_supersets(&mut constraints, budget);
+            return Ok(CertificateSystem {
+                elements,
+                weights,
+                constraints,
+                infeasible: true,
+                complete: true,
+            });
+        }
+        if !budget.charge(assignment_cost) {
+            // Partial system: skip the quadratic superset pruning — the
+            // budget is already dead and these constraints only feed a
+            // lower bound (supersets never change a hitting-set optimum).
+            let constraints: Vec<Vec<u32>> = constraints.into_iter().collect();
+            return Ok(CertificateSystem {
+                elements,
+                weights,
+                constraints,
+                infeasible: false,
+                complete: false,
+            });
+        }
         // Materialize the witness for this assignment.
         let value_of = |v: Var| -> &Value {
             let vi = vars.iter().position(|&w| w == v).expect("body var");
@@ -221,12 +278,13 @@ pub fn build_certificates(
         loop {
             if pos == 0 {
                 let mut constraints: Vec<Vec<u32>> = constraints.into_iter().collect();
-                remove_supersets(&mut constraints);
+                remove_supersets(&mut constraints, budget);
                 return Ok(CertificateSystem {
                     elements,
                     weights,
                     constraints,
                     infeasible,
+                    complete: true,
                 });
             }
             pos -= 1;
@@ -240,14 +298,24 @@ pub fn build_certificates(
 }
 
 /// Drop constraints that are supersets of another (hitting the subset
-/// implies hitting the superset). Quadratic; fine at certificate scale.
-fn remove_supersets(constraints: &mut Vec<Vec<u32>>) {
+/// implies hitting the superset). Quadratic, so it is metered: each probe
+/// charges for the comparisons it makes, and once the budget dies the
+/// remaining constraints are kept unpruned — supersets never change the
+/// hitting-set optimum, so pruning is an optimization, never a soundness
+/// step.
+fn remove_supersets(constraints: &mut Vec<Vec<u32>>, budget: &Budget) {
     constraints.sort_by_key(Vec::len);
     let mut kept: Vec<Vec<u32>> = Vec::with_capacity(constraints.len());
+    let mut metered = true;
     'outer: for c in constraints.drain(..) {
-        for k in &kept {
-            if k.iter().all(|e| c.binary_search(e).is_ok()) {
-                continue 'outer;
+        if metered && !budget.charge(1 + kept.len() as u64) {
+            metered = false;
+        }
+        if metered {
+            for k in &kept {
+                if k.iter().all(|e| c.binary_search(e).is_ok()) {
+                    continue 'outer;
+                }
             }
         }
         kept.push(c);
@@ -267,14 +335,30 @@ pub fn build_certificates_bundle(
     queries: &[&ConjunctiveQuery],
     config: CertificateConfig,
 ) -> Result<CertificateSystem, PricingError> {
+    build_certificates_bundle_within(catalog, d, prices, queries, config, &Budget::unlimited())
+}
+
+/// [`build_certificates_bundle`] under a [`Budget`]. The system is
+/// `complete` only when every member's system is; enumeration stops at the
+/// first member cut off by the budget (or proved infeasible).
+pub fn build_certificates_bundle_within(
+    catalog: &Catalog,
+    d: &Instance,
+    prices: &PriceList,
+    queries: &[&ConjunctiveQuery],
+    config: CertificateConfig,
+    budget: &Budget,
+) -> Result<CertificateSystem, PricingError> {
     let mut elements: Vec<SelectionView> = Vec::new();
     let mut weights: Vec<Price> = Vec::new();
     let mut ids: FxHashMap<(AttrRef, Value), u32> = FxHashMap::default();
     let mut constraints: FxHashSet<Vec<u32>> = FxHashSet::default();
     let mut infeasible = false;
+    let mut complete = true;
     for q in queries {
-        let sys = build_certificates(catalog, d, prices, q, config)?;
+        let sys = build_certificates_within(catalog, d, prices, q, config, budget)?;
         infeasible |= sys.infeasible;
+        complete &= sys.complete;
         // Remap this query's element ids into the shared space.
         let remap: Vec<u32> = sys
             .elements
@@ -294,15 +378,67 @@ pub fn build_certificates_bundle(
             mapped.sort_unstable();
             constraints.insert(mapped);
         }
+        if infeasible || !complete {
+            // Infeasibility is already conclusive; an exhausted budget
+            // will refuse the remaining members anyway.
+            break;
+        }
     }
     let mut constraints: Vec<Vec<u32>> = constraints.into_iter().collect();
-    remove_supersets(&mut constraints);
+    remove_supersets(&mut constraints, budget);
     Ok(CertificateSystem {
         elements,
         weights,
         constraints,
         infeasible,
+        complete,
     })
+}
+
+/// Price a certificate system: hitting set under the budget, with the
+/// soundness case analysis. `rels` feeds the structural fallback when the
+/// system itself is partial.
+fn price_system_within(
+    catalog: &Catalog,
+    prices: &PriceList,
+    sys: &CertificateSystem,
+    rels: impl IntoIterator<Item = qbdp_catalog::RelId>,
+    budget: &Budget,
+) -> ExactResult {
+    if sys.infeasible {
+        // Conclusive even from a partial system: the unhittable constraint
+        // is genuine, so no purchasable view set determines the query.
+        return ExactResult::exact(Price::INFINITE, Vec::new());
+    }
+    let hs =
+        crate::exact::hitting_set::solve_hitting_set_within(&sys.weights, &sys.constraints, budget);
+    let chosen_views = |chosen: &[u32]| -> Vec<SelectionView> {
+        chosen
+            .iter()
+            .map(|&i| sys.elements[i as usize].clone())
+            .collect()
+    };
+    if sys.complete && hs.complete {
+        ExactResult::exact(hs.weight, chosen_views(&hs.chosen))
+    } else if sys.complete {
+        // Complete system, interrupted search: `chosen` genuinely hits
+        // every certificate, hence determines the query — a sound upper
+        // bound realized by real views. The structural relation cover is
+        // equally sound; sell whichever is cheaper (in particular the
+        // cover, when the interrupt left no hitting set in hand at all).
+        let (cover, cover_views) = structural_cover(catalog, prices, rels);
+        if hs.weight <= cover {
+            ExactResult::degraded(hs.weight, chosen_views(&hs.chosen), hs.lower_bound)
+        } else {
+            ExactResult::degraded(cover, cover_views, hs.lower_bound)
+        }
+    } else {
+        // Partial system: its optimum only lower-bounds the price (missing
+        // constraints can only push it up), so the sellable upper bound
+        // comes from the structural relation cover.
+        let (ub, ub_views) = structural_cover(catalog, prices, rels);
+        ExactResult::degraded(ub, ub_views, hs.lower_bound)
+    }
 }
 
 /// Convenience: bundle certificates + hitting set in one call.
@@ -312,24 +448,25 @@ pub fn certificate_price_bundle(
     prices: &PriceList,
     queries: &[&ConjunctiveQuery],
     config: CertificateConfig,
-) -> Result<crate::exact::ExactResult, PricingError> {
-    let sys = build_certificates_bundle(catalog, d, prices, queries, config)?;
-    if sys.infeasible {
-        return Ok(crate::exact::ExactResult {
-            price: Price::INFINITE,
-            views: Vec::new(),
-        });
-    }
-    let hs = crate::exact::hitting_set::solve_hitting_set(&sys.weights, &sys.constraints);
-    let views = hs
-        .chosen
+) -> Result<ExactResult, PricingError> {
+    certificate_price_bundle_within(catalog, d, prices, queries, config, &Budget::unlimited())
+}
+
+/// [`certificate_price_bundle`] under a [`Budget`].
+pub fn certificate_price_bundle_within(
+    catalog: &Catalog,
+    d: &Instance,
+    prices: &PriceList,
+    queries: &[&ConjunctiveQuery],
+    config: CertificateConfig,
+    budget: &Budget,
+) -> Result<ExactResult, PricingError> {
+    let sys = build_certificates_bundle_within(catalog, d, prices, queries, config, budget)?;
+    let rels: FxHashSet<qbdp_catalog::RelId> = queries
         .iter()
-        .map(|&i| sys.elements[i as usize].clone())
+        .flat_map(|q| q.atoms().iter().map(|a| a.rel))
         .collect();
-    Ok(crate::exact::ExactResult {
-        price: hs.weight,
-        views,
-    })
+    Ok(price_system_within(catalog, prices, &sys, rels, budget))
 }
 
 /// Convenience: certificates + hitting set in one call.
@@ -339,24 +476,27 @@ pub fn certificate_price(
     prices: &PriceList,
     q: &ConjunctiveQuery,
     config: CertificateConfig,
-) -> Result<crate::exact::ExactResult, PricingError> {
-    let sys = build_certificates(catalog, d, prices, q, config)?;
-    if sys.infeasible {
-        return Ok(crate::exact::ExactResult {
-            price: Price::INFINITE,
-            views: Vec::new(),
-        });
-    }
-    let hs = crate::exact::hitting_set::solve_hitting_set(&sys.weights, &sys.constraints);
-    let views = hs
-        .chosen
-        .iter()
-        .map(|&i| sys.elements[i as usize].clone())
-        .collect();
-    Ok(crate::exact::ExactResult {
-        price: hs.weight,
-        views,
-    })
+) -> Result<ExactResult, PricingError> {
+    certificate_price_within(catalog, d, prices, q, config, &Budget::unlimited())
+}
+
+/// [`certificate_price`] under a [`Budget`].
+pub fn certificate_price_within(
+    catalog: &Catalog,
+    d: &Instance,
+    prices: &PriceList,
+    q: &ConjunctiveQuery,
+    config: CertificateConfig,
+    budget: &Budget,
+) -> Result<ExactResult, PricingError> {
+    let sys = build_certificates_within(catalog, d, prices, q, config, budget)?;
+    Ok(price_system_within(
+        catalog,
+        prices,
+        &sys,
+        relevant_rels_cq(q),
+        budget,
+    ))
 }
 
 #[cfg(test)]

@@ -6,16 +6,36 @@
 //! greedy upper bound and a disjoint-constraint lower bound handles the
 //! instance sizes the exact engine is used for.
 
+use crate::budget::Budget;
 use crate::money::Price;
 
 /// Result of a hitting-set computation.
 #[derive(Clone, Debug)]
 pub struct HittingSetResult {
     /// Total weight of the chosen elements (`INFINITE` iff some constraint
-    /// is empty, i.e. unhittable).
+    /// is empty, i.e. unhittable — or the budget died before any hitting
+    /// set was in hand).
     pub weight: Price,
     /// Chosen element indices, ascending.
     pub chosen: Vec<u32>,
+    /// `false` when the budget ran out mid-search: `chosen` is still a
+    /// valid hitting set (so `weight` over-estimates the optimum) but may
+    /// not be minimum.
+    pub complete: bool,
+    /// Sound lower bound on the optimum (`weight` itself when `complete`;
+    /// the root disjoint-constraint bound otherwise).
+    pub lower_bound: Price,
+}
+
+impl HittingSetResult {
+    fn exact(weight: Price, chosen: Vec<u32>) -> HittingSetResult {
+        HittingSetResult {
+            weight,
+            chosen,
+            complete: true,
+            lower_bound: weight,
+        }
+    }
 }
 
 /// Solve min-weight hitting set exactly.
@@ -24,6 +44,18 @@ pub struct HittingSetResult {
 /// element indices of which at least one must be chosen. Zero-weight
 /// elements are taken greedily up front (they can never hurt).
 pub fn solve_hitting_set(weights: &[Price], constraints: &[Vec<u32>]) -> HittingSetResult {
+    solve_hitting_set_within(weights, constraints, &Budget::unlimited())
+}
+
+/// [`solve_hitting_set`] under a [`Budget`]. On exhaustion the result's
+/// `complete` flag drops and `chosen` is the best hitting set confirmed so
+/// far (the greedy seed or better) — every intermediate `best_set` is a
+/// genuine hitting set, so the weight stays a sound over-estimate.
+pub fn solve_hitting_set_within(
+    weights: &[Price],
+    constraints: &[Vec<u32>],
+    budget: &Budget,
+) -> HittingSetResult {
     // Freebies first.
     let mut chosen: Vec<u32> = (0..weights.len() as u32)
         .filter(|&e| weights[e as usize] == Price::ZERO)
@@ -33,47 +65,64 @@ pub fn solve_hitting_set(weights: &[Price], constraints: &[Vec<u32>]) -> Hitting
         .filter(|c| !c.iter().any(|e| weights[*e as usize] == Price::ZERO))
         .collect();
     if open.iter().any(|c| c.is_empty()) {
-        return HittingSetResult {
-            weight: Price::INFINITE,
-            chosen: Vec::new(),
-        };
+        return HittingSetResult::exact(Price::INFINITE, Vec::new());
     }
     if open.is_empty() {
-        return HittingSetResult {
-            weight: Price::ZERO,
-            chosen,
-        };
+        return HittingSetResult::exact(Price::ZERO, chosen);
     }
     // Sort so that small constraints branch first.
     open.sort_by_key(|c| c.len());
 
-    // Greedy upper bound: repeatedly take the element hitting the most open
-    // constraints per unit weight.
-    let greedy = greedy_solution(weights, &open);
+    // Sound lower bound independent of how far the search gets.
+    let root_lb = disjoint_lower_bound(weights, &open);
 
-    let mut best = greedy.0;
-    let mut best_set = greedy.1;
-    let mut state = Search {
-        weights,
-        best: &mut best,
-        best_set: &mut best_set,
+    // Greedy upper bound: repeatedly take the element hitting the most open
+    // constraints per unit weight. Metered — on a dead budget `best` stays
+    // INFINITE ("no hitting set in hand") and the search is skipped.
+    let (mut best, mut best_set, greedy_complete) = greedy_solution(weights, &open, budget);
+    let interrupted = if greedy_complete {
+        let mut state = Search {
+            weights,
+            best: &mut best,
+            best_set: &mut best_set,
+            budget,
+            interrupted: false,
+        };
+        state.branch(&open, &mut Vec::new(), Price::ZERO);
+        state.interrupted
+    } else {
+        true
     };
-    state.branch(&open, &mut Vec::new(), Price::ZERO);
 
     chosen.extend(best_set);
     chosen.sort_unstable();
     chosen.dedup();
-    HittingSetResult {
-        weight: best,
-        chosen,
+    if interrupted {
+        HittingSetResult {
+            weight: best,
+            chosen,
+            complete: false,
+            lower_bound: root_lb.min(best),
+        }
+    } else {
+        HittingSetResult::exact(best, chosen)
     }
 }
 
-fn greedy_solution(weights: &[Price], open: &[&Vec<u32>]) -> (Price, Vec<u32>) {
+fn greedy_solution(
+    weights: &[Price],
+    open: &[&Vec<u32>],
+    budget: &Budget,
+) -> (Price, Vec<u32>, bool) {
     let mut unhit: Vec<&Vec<u32>> = open.to_vec();
     let mut total = Price::ZERO;
     let mut picked: Vec<u32> = Vec::new();
     while !unhit.is_empty() {
+        if !budget.charge(1 + unhit.len() as u64) {
+            // No complete hitting set in hand: the partial pick hits only
+            // some constraints, so it is not a sound upper bound.
+            return (Price::INFINITE, Vec::new(), false);
+        }
         // Element covering the most constraints, weight as tiebreak.
         let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
         for c in &unhit {
@@ -94,37 +143,52 @@ fn greedy_solution(weights: &[Price], open: &[&Vec<u32>]) -> (Price, Vec<u32>) {
         picked.push(e);
         unhit.retain(|c| !c.contains(&e));
     }
-    (total, picked)
+    (total, picked, true)
+}
+
+/// Greedily collect pairwise-disjoint constraints and sum their cheapest
+/// elements — a sound lower bound on any hitting set's weight.
+fn disjoint_lower_bound(weights: &[Price], open: &[&Vec<u32>]) -> Price {
+    let mut used: Vec<u32> = Vec::new();
+    let mut bound = Price::ZERO;
+    for c in open {
+        if c.iter().any(|e| used.contains(e)) {
+            continue;
+        }
+        let min = c
+            .iter()
+            .map(|&e| weights[e as usize])
+            .min()
+            .unwrap_or(Price::ZERO);
+        bound = bound.saturating_add(min);
+        used.extend(c.iter().copied());
+    }
+    bound
 }
 
 struct Search<'a> {
     weights: &'a [Price],
     best: &'a mut Price,
     best_set: &'a mut Vec<u32>,
+    budget: &'a Budget,
+    interrupted: bool,
 }
 
 impl Search<'_> {
     /// Lower bound: greedily collect pairwise-disjoint open constraints and
     /// sum their cheapest elements.
     fn lower_bound(&self, open: &[&Vec<u32>]) -> Price {
-        let mut used: Vec<u32> = Vec::new();
-        let mut bound = Price::ZERO;
-        for c in open {
-            if c.iter().any(|e| used.contains(e)) {
-                continue;
-            }
-            let min = c
-                .iter()
-                .map(|&e| self.weights[e as usize])
-                .min()
-                .unwrap_or(Price::ZERO);
-            bound = bound.saturating_add(min);
-            used.extend(c.iter().copied());
-        }
-        bound
+        disjoint_lower_bound(self.weights, open)
     }
 
     fn branch(&mut self, open: &[&Vec<u32>], chosen: &mut Vec<u32>, cost: Price) {
+        if self.interrupted {
+            return;
+        }
+        if !self.budget.charge(1 + open.len() as u64) {
+            self.interrupted = true;
+            return;
+        }
         if open.is_empty() {
             if cost < *self.best {
                 *self.best = cost;
@@ -136,8 +200,14 @@ impl Search<'_> {
             return;
         }
         // Branch on the smallest open constraint.
-        let pivot = open.iter().min_by_key(|c| c.len()).expect("nonempty");
+        let pivot = match open.iter().min_by_key(|c| c.len()) {
+            Some(p) => p,
+            None => return,
+        };
         for &e in pivot.iter() {
+            if self.interrupted {
+                return;
+            }
             chosen.push(e);
             let remaining: Vec<&Vec<u32>> =
                 open.iter().filter(|c| !c.contains(&e)).copied().collect();

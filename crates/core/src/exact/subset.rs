@@ -7,6 +7,8 @@
 //! cap. Its role is ground truth and the pricing of NP-complete queries on
 //! small catalogs.
 
+use crate::budget::{Budget, QuoteQuality};
+use crate::degrade::{relevant_rels, structural_cover};
 use crate::error::PricingError;
 use crate::money::Price;
 use crate::price_points::PriceList;
@@ -14,16 +16,45 @@ use qbdp_catalog::{Catalog, FxHashSet, Instance, RelId};
 use qbdp_determinacy::selection::{determines_monotone_bundle, SelectionView, ViewSet};
 use qbdp_query::bundle::Bundle;
 
-/// Result of an exact price computation.
+/// Result of an exact (or budget-degraded) price computation.
 #[derive(Clone, Debug)]
 pub struct ExactResult {
-    /// The arbitrage-price; `INFINITE` when no purchasable view set
-    /// determines the query.
+    /// The arbitrage-price when `quality` is `Exact`; otherwise a sound
+    /// over-estimate realized by `views`. `INFINITE` when no purchasable
+    /// view set determines the query (or none was found in budget).
     pub price: Price,
     /// The cheapest determining view set found (empty for `INFINITE` — and
     /// also when the query is determined by the empty set, e.g. a query
     /// over an empty, fully-covered relation… distinguish via `price`).
     pub views: Vec<SelectionView>,
+    /// Whether `price` is exact or a budget-limited upper bound.
+    pub quality: QuoteQuality,
+    /// Sound lower bound on the true arbitrage-price (equals `price` when
+    /// `quality` is `Exact`).
+    pub lower_bound: Price,
+}
+
+impl ExactResult {
+    /// An exact result: the lower bound coincides with the price.
+    pub fn exact(price: Price, views: Vec<SelectionView>) -> ExactResult {
+        ExactResult {
+            price,
+            views,
+            quality: QuoteQuality::Exact,
+            lower_bound: price,
+        }
+    }
+
+    /// A degraded result: `price` over-estimates, `lower_bound`
+    /// under-estimates the true arbitrage-price.
+    pub fn degraded(price: Price, views: Vec<SelectionView>, lower_bound: Price) -> ExactResult {
+        ExactResult {
+            price,
+            views,
+            quality: QuoteQuality::UpperBound,
+            lower_bound: lower_bound.min(price),
+        }
+    }
 }
 
 /// Configuration for the subset search.
@@ -52,15 +83,28 @@ pub fn subset_price(
     target: &Bundle,
     config: SubsetConfig,
 ) -> Result<ExactResult, PricingError> {
+    subset_price_within(catalog, d, prices, target, config, &Budget::unlimited())
+}
+
+/// [`subset_price`] under a [`Budget`].
+///
+/// With an unlimited budget this is the exact engine, including its
+/// hard-cap error. A *limited* budget replaces the cap and the error with
+/// graceful degradation: too many candidates, or budget exhaustion
+/// mid-search, yield the best determining view set confirmed so far (a
+/// sound upper bound — the branch-and-bound only records oracle-verified
+/// sets) plus the search frontier's lower bound; before the first oracle
+/// answer, the structural relation-cover fallback stands in.
+pub fn subset_price_within(
+    catalog: &Catalog,
+    d: &Instance,
+    prices: &PriceList,
+    target: &Bundle,
+    config: SubsetConfig,
+    budget: &Budget,
+) -> Result<ExactResult, PricingError> {
     // Relations mentioned by the bundle.
-    let mut rels: FxHashSet<RelId> = FxHashSet::default();
-    for ucq in target.queries() {
-        for cq in ucq.disjuncts() {
-            for atom in cq.atoms() {
-                rels.insert(atom.rel);
-            }
-        }
-    }
+    let rels: FxHashSet<RelId> = relevant_rels(target);
     // Candidate views: finite price, relevant relation. Zero-priced views
     // are always worth buying — include them unconditionally.
     let mut free: Vec<SelectionView> = Vec::new();
@@ -76,7 +120,18 @@ pub fn subset_price(
         }
     }
     let n = candidates.len();
+    // The structural fallback, shared by every degradation exit below.
+    let degrade = |lower_bound: Price| -> ExactResult {
+        let (price, views) = structural_cover(catalog, prices, rels.iter().copied());
+        ExactResult::degraded(price, views, lower_bound)
+    };
     if n > config.max_views {
+        if budget.is_limited() {
+            // Do not even attempt the feasibility oracle call: its cost is
+            // exponential-ish in the candidate count and would blow any
+            // deadline. The structural cover is oracle-free and sound.
+            return Ok(degrade(Price::ZERO));
+        }
         return Err(PricingError::LimitExceeded(format!(
             "{n} candidate views exceed the subset-search cap of {}",
             config.max_views
@@ -92,25 +147,48 @@ pub fn subset_price(
         target,
         memo: Default::default(),
     };
+    // One oracle call examines the instance against candidate worlds.
+    let oracle_cost = 256 + d.total_tuples() as u64;
 
     // Feasibility check with everything.
     let mut all = base.clone();
     for (v, _) in &candidates {
         all.insert(v.clone());
     }
+    if !budget.charge(oracle_cost) {
+        return Ok(degrade(Price::ZERO));
+    }
     if !oracle.determines(&all)? {
-        return Ok(ExactResult {
-            price: Price::INFINITE,
-            views: Vec::new(),
-        });
+        // Even buying everything does not determine the query: the true
+        // price is INFINITE, exactly.
+        return Ok(ExactResult::exact(Price::INFINITE, Vec::new()));
     }
 
-    let mut best = Price::INFINITE;
+    // The all-candidates set is a confirmed determining set: start from it
+    // so every later exit has a sound best-so-far.
+    let mut best: Price = candidates.iter().map(|c| c.1).sum();
     let mut best_mask: u64 = (1u64 << n).wrapping_sub(1);
     let mut stack: Vec<(usize, u64, Price)> = vec![(0, 0, Price::ZERO)];
     while let Some((idx, mask, cost)) = stack.pop() {
         if cost >= best {
             continue;
+        }
+        if !budget.charge(oracle_cost) {
+            // Unexplored subtrees can only cost at least their root's cost,
+            // so the frontier minimum (including this node) bounds the true
+            // optimum from below.
+            let frontier = stack
+                .iter()
+                .map(|&(_, _, c)| c)
+                .fold(cost, Price::min)
+                .min(best);
+            let mut views: Vec<SelectionView> = free.clone();
+            for (i, (v, _)) in candidates.iter().enumerate() {
+                if best_mask & (1 << i) != 0 {
+                    views.push(v.clone());
+                }
+            }
+            return Ok(ExactResult::degraded(best, views, frontier));
         }
         let mut vs = base.clone();
         for (i, (v, _)) in candidates.iter().enumerate() {
@@ -140,7 +218,7 @@ pub fn subset_price(
             views.push(v.clone());
         }
     }
-    Ok(ExactResult { price: best, views })
+    Ok(ExactResult::exact(best, views))
 }
 
 struct Oracle<'a> {

@@ -32,17 +32,23 @@
 //! * [`pricer`] — the façade that dispatches a query to the right engine
 //!   and returns a [`pricer::Quote`];
 //! * [`dynamic`] — updates, consistency preservation, and price
-//!   monotonicity (§2.7).
+//!   monotonicity (§2.7);
+//! * [`budget`] + [`degrade`] — resource governance: fuel/deadline budgets
+//!   checked cooperatively inside every engine, and the sound degraded
+//!   quotes (upper bound + lower bound) returned when a budget runs out.
 
 pub mod boolean;
+pub mod budget;
 pub mod chain;
 pub mod consistency;
 pub mod cycle;
+pub mod degrade;
 pub mod dichotomy;
 pub mod disconnected;
 pub mod dynamic;
 pub mod error;
 pub mod exact;
+pub mod fault;
 pub mod gchq;
 pub mod money;
 pub mod normalize;
@@ -50,6 +56,7 @@ pub mod price_points;
 pub mod pricer;
 pub mod support;
 
+pub use budget::{Budget, QuoteQuality};
 pub use error::PricingError;
 pub use money::Price;
 pub use price_points::{PriceList, PricePoint, PriceSchedule, ViewDef};

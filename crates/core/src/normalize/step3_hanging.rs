@@ -15,6 +15,7 @@
 //! (single-atom queries), which the chain reduction prices directly.
 
 use super::{drop_attribute, Problem};
+use crate::budget::Budget;
 use crate::error::PricingError;
 use crate::money::Price;
 use qbdp_catalog::AttrRef;
@@ -40,15 +41,34 @@ pub const MAX_HANGING: usize = 12;
 
 /// Expand a problem into its Step 3 branches.
 pub fn branches(problem: Problem) -> Result<Vec<ReducedBranch>, PricingError> {
+    let (out, complete) = branches_within(problem, &Budget::unlimited())?;
+    debug_assert!(complete, "unlimited budgets never exhaust");
+    Ok(out)
+}
+
+/// [`branches`] under a [`Budget`]. Returns the branches produced before
+/// the budget ran out plus a completeness flag. Every returned branch is a
+/// genuine purchase strategy, so the minimum over a *partial* branch list
+/// still upper-bounds the true price; only the `complete = true` minimum
+/// is exact. A limited budget also lifts the `2^h` cap error: too many
+/// hanging attributes simply yield `(empty, false)` and the caller falls
+/// back structurally.
+pub fn branches_within(
+    problem: Problem,
+    budget: &Budget,
+) -> Result<(Vec<ReducedBranch>, bool), PricingError> {
     let h = count_hanging(&problem.query);
     if h > MAX_HANGING {
+        if budget.is_limited() {
+            return Ok((Vec::new(), false));
+        }
         return Err(PricingError::LimitExceeded(format!(
             "{h} hanging attributes exceed the 2^h branch cap (max {MAX_HANGING})"
         )));
     }
     let mut out = Vec::new();
-    expand(problem, Price::ZERO, Vec::new(), &mut out)?;
-    Ok(out)
+    let complete = expand(problem, Price::ZERO, Vec::new(), &mut out, budget)?;
+    Ok((out, complete))
 }
 
 fn count_hanging(q: &ConjunctiveQuery) -> usize {
@@ -80,7 +100,13 @@ fn expand(
     base_cost: Price,
     base_views: Vec<SelectionView>,
     out: &mut Vec<ReducedBranch>,
-) -> Result<(), PricingError> {
+    budget: &Budget,
+) -> Result<bool, PricingError> {
+    // Projection copies the instance, so each expansion node costs about
+    // one instance scan.
+    if !budget.charge(16 + problem.instance.total_tuples() as u64) {
+        return Ok(false);
+    }
     // Find the next removable hanging variable.
     let next = analysis::hanging_vars(&problem.query)
         .into_iter()
@@ -91,7 +117,7 @@ fn expand(
             base_cost,
             base_views,
         });
-        return Ok(());
+        return Ok(true);
     };
     let rel = problem.query.atoms()[atom_idx].rel;
     let attr = AttrRef::new(rel, pos as u32);
@@ -120,13 +146,20 @@ fn expand(
                 .set(SelectionView::new(free_attr, v.clone()), Price::ZERO);
             reduced.provenance.record(free_attr, v.clone(), Vec::new());
         }
-        expand(reduced, base_cost.saturating_add(cover_price), views, out)?;
+        if !expand(
+            reduced,
+            base_cost.saturating_add(cover_price),
+            views,
+            out,
+            budget,
+        )? {
+            return Ok(false);
+        }
     }
 
     // ---- Branch B: never touch R.X. ----
     let reduced = project_out(&problem, rel, atom_idx, pos, var)?;
-    expand(reduced, base_cost, base_views, out)?;
-    Ok(())
+    expand(reduced, base_cost, base_views, out, budget)
 }
 
 /// Position of the reduced atom whose variable is not hanging (a join

@@ -2,15 +2,18 @@
 //! the cheapest-complexity engine that applies.
 
 use crate::boolean::secure_witness_price;
+use crate::budget::{Budget, Metered, QuoteQuality};
 use crate::chain::graph::TupleEdgeMode;
-use crate::chain::price::{chain_price, FlowAlgo};
+use crate::chain::price::{chain_price_within, FlowAlgo};
 use crate::consistency::{find_list_arbitrage, ListArbitrage};
-use crate::cycle::cycle_price;
+use crate::cycle::cycle_price_within;
+use crate::degrade::{relevant_rels, relevant_rels_cq, structural_cover};
 use crate::dichotomy::{classify, component_query, QueryClass};
 use crate::disconnected::{combine, ComponentPrice};
 use crate::error::PricingError;
-use crate::exact::certificates::{certificate_price, CertificateConfig};
-use crate::exact::subset::{subset_price, SubsetConfig};
+use crate::exact::certificates::{certificate_price_within, CertificateConfig};
+use crate::exact::subset::{subset_price_within, SubsetConfig};
+use crate::exact::ExactResult;
 use crate::gchq::reorder_to_gchq;
 use crate::money::Price;
 use crate::normalize::{step1_predicates, step2_repeated, step3_hanging, Problem};
@@ -41,6 +44,10 @@ pub enum PricingMethod {
     ExactCertificates,
     /// Exact subset search over Equation 2 (any monotone query).
     ExactSubset,
+    /// Budget-exhausted fallback: the cheapest full-attribute cover of
+    /// every mentioned relation — always a determining set, hence a sound
+    /// over-estimate (only ever paired with `QuoteQuality::UpperBound`).
+    StructuralCover,
     /// The empty query bundle (price 0, Proposition 2.8).
     Trivial,
 }
@@ -58,6 +65,12 @@ pub struct Quote {
     pub method: PricingMethod,
     /// The query's dichotomy class.
     pub class: QueryClass,
+    /// Whether `price` is the exact arbitrage-price or a budget-degraded
+    /// (but still arbitrage-free) over-estimate.
+    pub quality: QuoteQuality,
+    /// Sound lower bound on the true arbitrage-price; equals `price` for
+    /// exact quotes, brackets it from below for degraded ones.
+    pub lower_bound: Price,
 }
 
 impl Quote {
@@ -79,9 +92,19 @@ impl Quote {
                 PricingMethod::BooleanWitness => "  (cheapest secured witness)",
                 PricingMethod::ExactCertificates | PricingMethod::ExactSubset =>
                     "  (exact engine — NP-complete class)",
+                PricingMethod::StructuralCover => "  (budget-exhausted fallback)",
                 _ => "",
             }
         );
+        if !self.quality.is_exact() {
+            let _ = writeln!(
+                out,
+                "quality         : UPPER BOUND — the budget ran out; the true \
+                 arbitrage-price lies in [{}, {}]. Selling at the quoted price \
+                 is still arbitrage-free (over-estimates never create arbitrage).",
+                self.lower_bound, self.price
+            );
+        }
         if self.price.is_infinite() {
             let _ = write!(
                 out,
@@ -104,6 +127,37 @@ impl Quote {
              (arbitrage-freeness, Definition 2.7)"
         );
         out
+    }
+}
+
+/// Internal engine outcome, assembled into a [`Quote`] at the façade.
+struct Outcome {
+    price: Price,
+    views: Vec<SelectionView>,
+    method: PricingMethod,
+    quality: QuoteQuality,
+    lower_bound: Price,
+}
+
+impl Outcome {
+    fn exact(price: Price, views: Vec<SelectionView>, method: PricingMethod) -> Outcome {
+        Outcome {
+            price,
+            views,
+            method,
+            quality: QuoteQuality::Exact,
+            lower_bound: price,
+        }
+    }
+
+    fn from_result(r: ExactResult, method: PricingMethod) -> Outcome {
+        Outcome {
+            price: r.price,
+            views: r.views,
+            method,
+            quality: r.quality,
+            lower_bound: r.lower_bound,
+        }
     }
 }
 
@@ -204,6 +258,12 @@ impl Pricer {
         self.price_cq(&q)
     }
 
+    /// [`Pricer::price_rule`] under a [`Budget`].
+    pub fn price_rule_within(&self, rule: &str, budget: &Budget) -> Result<Quote, PricingError> {
+        let q = qbdp_query::parser::parse_rule(self.catalog.schema(), rule)?;
+        self.price_cq_within(&q, budget)
+    }
+
     /// Independently audit a quote: the quoted views must (a) sum to the
     /// quoted price against the current price list, and (b) actually
     /// determine the query (checked with the Theorem 3.3 oracle — a
@@ -229,25 +289,48 @@ impl Pricer {
 
     /// Price a conjunctive query.
     pub fn price_cq(&self, q: &ConjunctiveQuery) -> Result<Quote, PricingError> {
+        self.price_cq_within(q, &Budget::unlimited())
+    }
+
+    /// Price a conjunctive query under a [`Budget`].
+    ///
+    /// With an unlimited budget this is exactly [`Pricer::price_cq`]. A
+    /// limited budget makes every engine degrade instead of failing: the
+    /// returned quote's [`Quote::quality`] says whether the price is exact
+    /// or a sound (arbitrage-free) over-estimate, with
+    /// [`Quote::lower_bound`] bracketing the truth from below.
+    pub fn price_cq_within(
+        &self,
+        q: &ConjunctiveQuery,
+        budget: &Budget,
+    ) -> Result<Quote, PricingError> {
+        crate::fault::maybe_panic();
         let class = classify(q);
-        let (price, views, method) = self.dispatch(q, &class)?;
-        let mut views = views;
+        let o = self.dispatch_within(q, &class, budget)?;
+        let mut views = o.views;
         views.sort();
         views.dedup();
         Ok(Quote {
-            price,
+            price: o.price,
             views,
-            method,
+            method: o.method,
             class,
+            quality: o.quality,
+            lower_bound: o.lower_bound,
         })
     }
 
     /// Price a UCQ: single-CQ UCQs go through the dichotomy dispatch;
     /// genuine unions use the exact subset engine (Equation 2 verbatim).
     pub fn price_ucq(&self, q: &Ucq) -> Result<Quote, PricingError> {
+        self.price_ucq_within(q, &Budget::unlimited())
+    }
+
+    /// [`Pricer::price_ucq`] under a [`Budget`].
+    pub fn price_ucq_within(&self, q: &Ucq, budget: &Budget) -> Result<Quote, PricingError> {
         match q.as_single_cq() {
-            Some(cq) => self.price_cq(cq),
-            None => self.price_bundle(&Bundle::single(q.clone())),
+            Some(cq) => self.price_cq_within(cq, budget),
+            None => self.price_bundle_within(&Bundle::single(q.clone()), budget),
         }
     }
 
@@ -255,12 +338,24 @@ impl Pricer {
     /// by the exact subset engine — the PTIME GChQ-bundle extension
     /// (Definition 3.9) is future work recorded in DESIGN.md.
     pub fn price_bundle(&self, bundle: &Bundle) -> Result<Quote, PricingError> {
+        self.price_bundle_within(bundle, &Budget::unlimited())
+    }
+
+    /// [`Pricer::price_bundle`] under a [`Budget`].
+    pub fn price_bundle_within(
+        &self,
+        bundle: &Bundle,
+        budget: &Budget,
+    ) -> Result<Quote, PricingError> {
+        crate::fault::maybe_panic();
         if bundle.is_empty() {
             return Ok(Quote {
                 price: Price::ZERO,
                 views: Vec::new(),
                 method: PricingMethod::Trivial,
                 class: QueryClass::GeneralizedChain,
+                quality: QuoteQuality::Exact,
+                lower_bound: Price::ZERO,
             });
         }
         // Bundles of full CQs go through the shared-certificate engine
@@ -271,54 +366,58 @@ impl Pricer {
             .iter()
             .map(|u| u.as_single_cq().filter(|cq| analysis::is_full(cq)))
             .collect();
-        if let Some(cqs) = full_cqs {
+        let res = if let Some(cqs) = &full_cqs {
             // A bundle of chain queries sharing only prefixes/suffixes
             // (Definition 3.9) prices in PTIME through the shared-graph
             // Min-Cut; anything else falls back to exact certificates.
             let owned: Vec<ConjunctiveQuery> = cqs.iter().map(|q| (*q).clone()).collect();
-            if let Ok(r) = crate::chain::bundle::chain_bundle_price(
-                &self.catalog,
-                &self.instance,
-                &self.prices,
-                &owned,
-                &crate::normalize::Provenance::identity(),
-            ) {
-                let class = cqs
-                    .first()
-                    .map(|cq| classify(cq))
-                    .unwrap_or(QueryClass::GeneralizedChain);
-                return Ok(Quote {
-                    price: r.price,
-                    views: r.views,
-                    method: PricingMethod::ChainBundleFlow,
-                    class,
-                });
+            let shared_cut = if budget.charge(64 + self.instance.total_tuples() as u64) {
+                crate::chain::bundle::chain_bundle_price(
+                    &self.catalog,
+                    &self.instance,
+                    &self.prices,
+                    &owned,
+                    &crate::normalize::Provenance::identity(),
+                )
+                .ok()
+            } else {
+                None
+            };
+            match shared_cut {
+                Some(r) => Outcome::exact(r.price, r.views, PricingMethod::ChainBundleFlow),
+                None if budget.is_exhausted() => {
+                    let (price, views) =
+                        structural_cover(&self.catalog, &self.prices, relevant_rels(bundle));
+                    Outcome::from_result(
+                        ExactResult::degraded(price, views, Price::ZERO),
+                        PricingMethod::StructuralCover,
+                    )
+                }
+                None => Outcome::from_result(
+                    crate::exact::certificates::certificate_price_bundle_within(
+                        &self.catalog,
+                        &self.instance,
+                        &self.prices,
+                        cqs,
+                        self.config.certificates,
+                        budget,
+                    )?,
+                    PricingMethod::ExactCertificates,
+                ),
             }
-            let res = crate::exact::certificates::certificate_price_bundle(
-                &self.catalog,
-                &self.instance,
-                &self.prices,
-                &cqs,
-                self.config.certificates,
-            )?;
-            let class = cqs
-                .first()
-                .map(|cq| classify(cq))
-                .unwrap_or(QueryClass::GeneralizedChain);
-            return Ok(Quote {
-                price: res.price,
-                views: res.views,
-                method: PricingMethod::ExactCertificates,
-                class,
-            });
-        }
-        let res = subset_price(
-            &self.catalog,
-            &self.instance,
-            &self.prices,
-            bundle,
-            self.config.subset,
-        )?;
+        } else {
+            Outcome::from_result(
+                subset_price_within(
+                    &self.catalog,
+                    &self.instance,
+                    &self.prices,
+                    bundle,
+                    self.config.subset,
+                    budget,
+                )?,
+                PricingMethod::ExactSubset,
+            )
+        };
         let class = bundle
             .queries()
             .iter()
@@ -329,39 +428,87 @@ impl Pricer {
         Ok(Quote {
             price: res.price,
             views: res.views,
-            method: PricingMethod::ExactSubset,
+            method: res.method,
             class,
+            quality: res.quality,
+            lower_bound: res.lower_bound,
         })
     }
 
-    fn dispatch(
+    /// The budget-exhausted fallback: the structural relation cover, which
+    /// determines any monotone query over the mentioned relations.
+    fn structural_outcome(&self, q: &ConjunctiveQuery) -> Outcome {
+        let (price, views) = structural_cover(&self.catalog, &self.prices, relevant_rels_cq(q));
+        Outcome::from_result(
+            ExactResult::degraded(price, views, Price::ZERO),
+            PricingMethod::StructuralCover,
+        )
+    }
+
+    fn dispatch_within(
         &self,
         q: &ConjunctiveQuery,
         class: &QueryClass,
-    ) -> Result<(Price, Vec<SelectionView>, PricingMethod), PricingError> {
+        budget: &Budget,
+    ) -> Result<Outcome, PricingError> {
         if q.atoms().is_empty() {
-            return Ok((Price::ZERO, Vec::new(), PricingMethod::Trivial));
+            return Ok(Outcome::exact(
+                Price::ZERO,
+                Vec::new(),
+                PricingMethod::Trivial,
+            ));
+        }
+        if budget.is_exhausted() {
+            return Ok(self.structural_outcome(q));
         }
         match class {
             QueryClass::Disconnected(parts) => {
                 let components = analysis::connected_components(q);
                 let mut priced = Vec::with_capacity(components.len());
                 let mut methods = Vec::with_capacity(components.len());
+                let mut lbs: Vec<Price> = Vec::with_capacity(components.len());
+                let mut quality = QuoteQuality::Exact;
                 for (comp, part_class) in components.iter().zip(parts) {
                     let sub = component_query(q, comp);
-                    let (price, views, method) = self.dispatch(&sub, part_class)?;
+                    let o = self.dispatch_within(&sub, part_class, budget)?;
                     let empty = !eval::is_satisfiable(&sub, &self.instance)?;
+                    if !o.quality.is_exact() {
+                        quality = QuoteQuality::UpperBound;
+                    }
                     priced.push(ComponentPrice {
                         empty,
-                        price,
-                        views,
+                        price: o.price,
+                        views: o.views,
                     });
-                    methods.push(method);
+                    lbs.push(o.lower_bound);
+                    methods.push(o.method);
                 }
                 let (price, views) = combine(&priced);
-                Ok((price, views, PricingMethod::Disconnected(methods)))
+                let method = PricingMethod::Disconnected(methods);
+                if quality.is_exact() {
+                    return Ok(Outcome::exact(price, views, method));
+                }
+                // Proposition 3.14 is monotone in each component price, so
+                // applying the same combination to the component lower
+                // bounds bounds the true price from below: sum when all
+                // components are nonempty, min over the empty ones else.
+                let lower_bound = if priced.iter().all(|c| !c.empty) {
+                    lbs.iter().fold(Price::ZERO, |a, &b| a.saturating_add(b))
+                } else {
+                    priced
+                        .iter()
+                        .zip(&lbs)
+                        .filter(|(c, _)| c.empty)
+                        .map(|(_, &lb)| lb)
+                        .min()
+                        .unwrap_or(Price::ZERO)
+                };
+                Ok(Outcome::from_result(
+                    ExactResult::degraded(price, views, lower_bound),
+                    method,
+                ))
             }
-            QueryClass::GeneralizedChain => self.price_gchq(q),
+            QueryClass::GeneralizedChain => self.price_gchq_within(q, budget),
             QueryClass::Cycle(_) => {
                 let problem = Problem::new(
                     self.catalog.clone(),
@@ -369,77 +516,92 @@ impl Pricer {
                     self.prices.clone(),
                     q.clone(),
                 );
-                let r = cycle_price(&problem, self.config.certificates)?;
-                Ok((r.price, r.views, PricingMethod::CycleCertificates))
+                let r = cycle_price_within(&problem, self.config.certificates, budget)?;
+                Ok(Outcome::from_result(r, PricingMethod::CycleCertificates))
             }
             QueryClass::NpComplete(_) | QueryClass::OutsideDichotomy => {
                 if q.is_boolean() {
-                    return self.price_boolean(q);
+                    return self.price_boolean_within(q, budget);
                 }
                 if analysis::is_full(q) {
-                    let r = certificate_price(
+                    let r = certificate_price_within(
                         &self.catalog,
                         &self.instance,
                         &self.prices,
                         q,
                         self.config.certificates,
+                        budget,
                     )?;
-                    return Ok((r.price, r.views, PricingMethod::ExactCertificates));
+                    return Ok(Outcome::from_result(r, PricingMethod::ExactCertificates));
                 }
-                let r = subset_price(
+                let r = subset_price_within(
                     &self.catalog,
                     &self.instance,
                     &self.prices,
                     &Bundle::from(q.clone()),
                     self.config.subset,
+                    budget,
                 )?;
-                Ok((r.price, r.views, PricingMethod::ExactSubset))
+                Ok(Outcome::from_result(r, PricingMethod::ExactSubset))
             }
         }
     }
 
     /// Boolean queries (any class): witness cover when true, fullification
     /// when false.
-    fn price_boolean(
+    fn price_boolean_within(
         &self,
         q: &ConjunctiveQuery,
-    ) -> Result<(Price, Vec<SelectionView>, PricingMethod), PricingError> {
+        budget: &Budget,
+    ) -> Result<Outcome, PricingError> {
+        // Satisfiability and witness search both scan the instance.
+        if !budget.charge(64 + self.instance.total_tuples() as u64) {
+            return Ok(self.structural_outcome(q));
+        }
         if eval::is_satisfiable(q, &self.instance)? {
             let (price, views) =
                 secure_witness_price(&self.catalog, &self.instance, &self.prices, q)?;
-            return Ok((price, views, PricingMethod::BooleanWitness));
+            return Ok(Outcome::exact(price, views, PricingMethod::BooleanWitness));
         }
         let full = q.with_head(q.body_vars())?;
         if full.is_boolean() {
             // All-constant body: fullification is the query itself (still
             // boolean). It is vacuously full, so the certificate engine
             // prices its single emptiness constraint directly.
-            let r = certificate_price(
+            let r = certificate_price_within(
                 &self.catalog,
                 &self.instance,
                 &self.prices,
                 &full,
                 self.config.certificates,
+                budget,
             )?;
-            return Ok((
-                r.price,
-                r.views,
-                PricingMethod::BooleanEmpty(Box::new(PricingMethod::ExactCertificates)),
-            ));
+            let method = PricingMethod::BooleanEmpty(Box::new(PricingMethod::ExactCertificates));
+            return Ok(Outcome {
+                price: r.price,
+                views: r.views,
+                method,
+                quality: r.quality,
+                lower_bound: r.lower_bound,
+            });
         }
         let class = classify(&full);
-        let (price, views, inner) = self.dispatch(&full, &class)?;
-        Ok((price, views, PricingMethod::BooleanEmpty(Box::new(inner))))
+        let o = self.dispatch_within(&full, &class, budget)?;
+        Ok(Outcome {
+            method: PricingMethod::BooleanEmpty(Box::new(o.method)),
+            ..o
+        })
     }
 
     /// The GChQ pipeline (Theorem 3.7): boolean shortcut, reorder,
     /// Steps 1–3, then one Min-Cut per hanging-variable branch.
-    fn price_gchq(
+    fn price_gchq_within(
         &self,
         q: &ConjunctiveQuery,
-    ) -> Result<(Price, Vec<SelectionView>, PricingMethod), PricingError> {
+        budget: &Budget,
+    ) -> Result<Outcome, PricingError> {
         if q.is_boolean() {
-            return self.price_boolean(q);
+            return self.price_boolean_within(q, budget);
         }
         let ordered = reorder_to_gchq(q).ok_or_else(|| {
             PricingError::NotApplicable(format!(
@@ -455,28 +617,69 @@ impl Pricer {
         );
         let problem = step1_predicates::apply(problem)?;
         let problem = step2_repeated::apply(problem)?;
+        let (branches, branches_complete) = step3_hanging::branches_within(problem, budget)?;
+        if branches.is_empty() && !branches_complete {
+            return Ok(self.structural_outcome(q));
+        }
+        // The true price is the minimum over all branch totals. Completed
+        // branches give genuine purchase totals (each an upper bound);
+        // interrupted flows give per-branch lower bounds, and the minimum
+        // of per-branch lower bounds under-estimates the minimum total.
         let mut best = Price::INFINITE;
         let mut best_views: Vec<SelectionView> = Vec::new();
-        for branch in step3_hanging::branches(problem)? {
-            let r = chain_price(
+        let mut found_cut = false;
+        let mut branch_lb = Price::INFINITE;
+        let mut all_done = true;
+        for branch in branches {
+            match chain_price_within(
                 &branch.problem,
                 self.config.tuple_mode,
                 self.config.flow_algo,
-            )?;
-            let total = branch.base_cost.saturating_add(r.price);
-            if total < best {
-                best = total;
-                best_views = branch.base_views;
-                best_views.extend(r.original_views);
+                budget,
+            )? {
+                Metered::Done(r) => {
+                    let total = branch.base_cost.saturating_add(r.price);
+                    branch_lb = branch_lb.min(total);
+                    if total < best {
+                        best = total;
+                        best_views = branch.base_views;
+                        best_views.extend(r.original_views);
+                        found_cut = true;
+                    }
+                }
+                Metered::Exhausted { lower_bound } => {
+                    all_done = false;
+                    branch_lb = branch_lb.min(branch.base_cost.saturating_add(lower_bound));
+                }
             }
         }
-        Ok((best, best_views, PricingMethod::ChainFlow))
+        if branches_complete && all_done {
+            return Ok(Outcome::exact(best, best_views, PricingMethod::ChainFlow));
+        }
+        // Degraded: an unexplored branch could be cheaper than anything
+        // seen, so the only sound floor with missing branches is ZERO.
+        let lower_bound = if branches_complete {
+            branch_lb
+        } else {
+            Price::ZERO
+        };
+        if found_cut && best.is_finite() {
+            return Ok(Outcome::from_result(
+                ExactResult::degraded(best, best_views, lower_bound),
+                PricingMethod::ChainFlow,
+            ));
+        }
+        let mut fallback = self.structural_outcome(q);
+        fallback.lower_bound = lower_bound.min(fallback.price);
+        Ok(fallback)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exact::certificates::certificate_price;
+    use crate::exact::subset::subset_price;
     use qbdp_catalog::{tuple, CatalogBuilder, Column};
     use qbdp_query::parser::parse_rule;
 

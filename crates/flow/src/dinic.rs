@@ -1,14 +1,32 @@
 //! Dinic's max-flow algorithm: BFS level graph + DFS blocking flows.
 
 use crate::graph::{FlowGraph, MaxFlowResult, NodeId};
+use crate::meter::{Interrupted, Ticker, Unmetered};
 
 /// Compute the maximum `s`–`t` flow with Dinic's algorithm.
 ///
 /// Runs in `O(V²E)` in general; on the pricing reductions (short layered
 /// graphs with small integral capacities) it behaves near-linearly.
 pub fn dinic(g: &FlowGraph, s: NodeId, t: NodeId) -> MaxFlowResult {
+    match dinic_metered(g, s, t, &Unmetered) {
+        Ok(r) => r,
+        Err(_) => unreachable!("Unmetered never interrupts"),
+    }
+}
+
+/// [`dinic`] under a cooperative [`Ticker`]: each BFS phase charges
+/// `V + E` units and each augmenting path a constant. When the ticker
+/// stops the computation, the error reports the flow pushed so far (a
+/// lower bound on the max flow).
+pub fn dinic_metered(
+    g: &FlowGraph,
+    s: NodeId,
+    t: NodeId,
+    ticker: &impl Ticker,
+) -> Result<MaxFlowResult, Interrupted> {
     assert_ne!(s, t, "source and sink must differ");
     let n = g.num_nodes();
+    let phase_cost = (n + g.num_edges()) as u64;
     let mut residual = g.cap.clone();
     let mut level = vec![u32::MAX; n];
     let mut it = vec![0usize; n];
@@ -16,6 +34,11 @@ pub fn dinic(g: &FlowGraph, s: NodeId, t: NodeId) -> MaxFlowResult {
     let mut value: u64 = 0;
 
     loop {
+        if !ticker.tick(phase_cost) {
+            return Err(Interrupted {
+                partial_value: value,
+            });
+        }
         // BFS: build level graph on residual edges.
         level.fill(u32::MAX);
         level[s] = 0;
@@ -45,9 +68,14 @@ pub fn dinic(g: &FlowGraph, s: NodeId, t: NodeId) -> MaxFlowResult {
                 break;
             }
             value = value.saturating_add(pushed);
+            if !ticker.tick(8) {
+                return Err(Interrupted {
+                    partial_value: value,
+                });
+            }
         }
     }
-    MaxFlowResult { value, residual }
+    Ok(MaxFlowResult { value, residual })
 }
 
 fn dfs(

@@ -5,18 +5,40 @@
 //! in the `flow_ablation` experiment (E12).
 
 use crate::graph::{FlowGraph, MaxFlowResult, NodeId};
+use crate::meter::{Interrupted, Ticker, Unmetered};
 
 /// Compute the maximum `s`–`t` flow with the Edmonds–Karp algorithm
 /// (`O(V·E²)`).
 pub fn edmonds_karp(g: &FlowGraph, s: NodeId, t: NodeId) -> MaxFlowResult {
+    match edmonds_karp_metered(g, s, t, &Unmetered) {
+        Ok(r) => r,
+        Err(_) => unreachable!("Unmetered never interrupts"),
+    }
+}
+
+/// [`edmonds_karp`] under a cooperative [`Ticker`]: each BFS round charges
+/// `V + E` units. On interruption the error reports the flow pushed so far
+/// (a lower bound on the max flow).
+pub fn edmonds_karp_metered(
+    g: &FlowGraph,
+    s: NodeId,
+    t: NodeId,
+    ticker: &impl Ticker,
+) -> Result<MaxFlowResult, Interrupted> {
     assert_ne!(s, t, "source and sink must differ");
     let n = g.num_nodes();
+    let round_cost = (n + g.num_edges()) as u64;
     let mut residual = g.cap.clone();
     let mut parent_edge: Vec<u32> = vec![u32::MAX; n];
     let mut queue: Vec<usize> = Vec::with_capacity(n);
     let mut value: u64 = 0;
 
     loop {
+        if !ticker.tick(round_cost) {
+            return Err(Interrupted {
+                partial_value: value,
+            });
+        }
         // BFS for an augmenting path.
         parent_edge.fill(u32::MAX);
         queue.clear();
@@ -60,7 +82,7 @@ pub fn edmonds_karp(g: &FlowGraph, s: NodeId, t: NodeId) -> MaxFlowResult {
         }
         value = value.saturating_add(bottleneck);
     }
-    MaxFlowResult { value, residual }
+    Ok(MaxFlowResult { value, residual })
 }
 
 #[cfg(test)]

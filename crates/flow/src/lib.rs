@@ -16,12 +16,18 @@
 //!   `flow_ablation` benchmark,
 //! * [`graph::MaxFlowResult::min_cut_edges`] — extraction of a minimum cut
 //!   from the residual network (the cut is what the pricing algorithm
-//!   actually returns: the set of views the savvy buyer purchases).
+//!   actually returns: the set of views the savvy buyer purchases),
+//! * [`meter::Ticker`] + the `*_metered` entry points — cooperative work
+//!   metering so the pricing layer can run flows under deadlines and
+//!   budgets, recovering the partial flow value (a sound lower bound on
+//!   the cut) when interrupted.
 
 pub mod dinic;
 pub mod edmonds_karp;
 pub mod graph;
+pub mod meter;
 
-pub use dinic::dinic;
-pub use edmonds_karp::edmonds_karp;
+pub use dinic::{dinic, dinic_metered};
+pub use edmonds_karp::{edmonds_karp, edmonds_karp_metered};
 pub use graph::{EdgeId, FlowGraph, MaxFlowResult, NodeId, INF};
+pub use meter::{Interrupted, Ticker, Unmetered};

@@ -19,6 +19,14 @@ pub enum MarketError {
     NotForSale,
     /// Data update rejected (e.g. value outside a declared column).
     Update(String),
+    /// The per-quote budget ran out and the market's policy forbids
+    /// selling degraded (upper-bound) quotes.
+    DeadlineExceeded,
+    /// Too many quotes in flight (the market's admission cap); retry later.
+    Overloaded,
+    /// A pricing engine panicked; the panic was contained at the market
+    /// boundary and the market keeps serving other requests.
+    Internal(String),
 }
 
 impl fmt::Display for MarketError {
@@ -33,6 +41,19 @@ impl fmt::Display for MarketError {
                 write!(f, "the explicit price points do not determine this query")
             }
             MarketError::Update(m) => write!(f, "update rejected: {m}"),
+            MarketError::DeadlineExceeded => {
+                write!(
+                    f,
+                    "the pricing budget ran out before an exact price was found \
+                     (enable degraded quotes to sell an upper bound)"
+                )
+            }
+            MarketError::Overloaded => {
+                write!(f, "too many quotes in flight; retry later")
+            }
+            MarketError::Internal(m) => {
+                write!(f, "internal pricing failure (contained): {m}")
+            }
         }
     }
 }

@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+// The serving layer must never panic on buyer input: unwrap/expect are
+// banned outside tests (enforced by the CI clippy step).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! # qbdp-market — a query-priced data marketplace
 //!
@@ -17,8 +20,17 @@
 //!   revenue.
 //!
 //! Concurrency: quoting is read-only and proceeds under a shared lock;
-//! insertions take the write lock. The `concurrent` test module hammers a
-//! market from multiple threads (crossbeam) to validate the locking.
+//! insertions take the write lock. Exact quotes are cached under an epoch
+//! counter so a quote raced by a concurrent update is never cached stale.
+//! The `concurrent` test module hammers a market from multiple threads
+//! (crossbeam) to validate the locking.
+//!
+//! Resource governance: a [`market::MarketPolicy`] bounds each pricing
+//! call with a fuel budget and/or wall-clock deadline, caps concurrent
+//! in-flight requests, and decides whether budget-degraded (sound
+//! upper-bound) quotes are sold or refused. Engine panics are contained
+//! at the market boundary ([`MarketError::Internal`]); the market keeps
+//! serving.
 
 pub mod error;
 pub mod ledger;
@@ -26,4 +38,4 @@ pub mod market;
 
 pub use error::MarketError;
 pub use ledger::{Ledger, Transaction};
-pub use market::{Market, MarketQuote, Purchase};
+pub use market::{Market, MarketPolicy, MarketQuote, Purchase};

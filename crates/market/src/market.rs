@@ -1,5 +1,14 @@
 //! The [`Market`]: quotes, purchases, and live updates over the pricing
 //! engine, behind a `parking_lot::RwLock`.
+//!
+//! # Resource governance
+//!
+//! A [`MarketPolicy`] bounds every quote: an optional wall-clock deadline
+//! and/or fuel budget per pricing call, whether budget-degraded
+//! (upper-bound) quotes may be sold at all, and an admission cap on
+//! concurrent in-flight quotes. Pricing runs inside `catch_unwind`, so a
+//! panicking engine surfaces as [`MarketError::Internal`] and the market
+//! keeps serving subsequent requests.
 
 use crate::error::MarketError;
 use crate::ledger::Ledger;
@@ -7,18 +16,60 @@ use parking_lot::RwLock;
 use qbdp_catalog::{Catalog, Instance, QdpFile, RelId, Tuple};
 use qbdp_core::dichotomy::QueryClass;
 use qbdp_core::price_points::PriceList;
-use qbdp_core::{Price, Pricer, PricingMethod};
+use qbdp_core::{Budget, Price, Pricer, PricingMethod, QuoteQuality};
 use qbdp_determinacy::selection::SelectionView;
 use qbdp_query::ast::ConjunctiveQuery;
 use qbdp_query::parser::parse_rule;
 use qbdp_query::pretty;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Per-market resource policy, applied to every pricing call.
+#[derive(Clone, Copy, Debug)]
+pub struct MarketPolicy {
+    /// Wall-clock deadline per quote; `None` = unlimited.
+    pub deadline: Option<Duration>,
+    /// Work-unit fuel per quote; `None` = unlimited.
+    pub fuel: Option<u64>,
+    /// Whether budget-degraded (sound upper-bound) quotes may be sold.
+    /// When `false`, a quote whose budget ran out is refused with
+    /// [`MarketError::DeadlineExceeded`] instead.
+    pub sell_degraded: bool,
+    /// Maximum concurrently in-flight quote/purchase/explain requests;
+    /// excess requests are refused with [`MarketError::Overloaded`].
+    pub max_in_flight: usize,
+}
+
+impl Default for MarketPolicy {
+    fn default() -> Self {
+        MarketPolicy {
+            deadline: None,
+            fuel: None,
+            sell_degraded: false,
+            max_in_flight: usize::MAX,
+        }
+    }
+}
+
+impl MarketPolicy {
+    /// A fresh [`Budget`] implementing this policy for one pricing call.
+    fn budget(&self) -> Budget {
+        match (self.fuel, self.deadline) {
+            (None, None) => Budget::unlimited(),
+            (Some(f), None) => Budget::with_fuel(f),
+            (None, Some(d)) => Budget::with_deadline(d),
+            (Some(f), Some(d)) => Budget::with_fuel_and_deadline(f, d),
+        }
+    }
+}
 
 /// A buyer-facing quote.
 #[derive(Clone, Debug)]
 pub struct MarketQuote {
     /// The query, rendered back in datalog syntax.
     pub query: String,
-    /// The arbitrage-price.
+    /// The arbitrage-price (or, for `UpperBound` quality, a sound
+    /// arbitrage-free over-estimate of it).
     pub price: Price,
     /// Itemized receipt: the explicit views this price stands for, rendered.
     pub receipt: Vec<String>,
@@ -28,6 +79,10 @@ pub struct MarketQuote {
     pub method: PricingMethod,
     /// The query's dichotomy class.
     pub class: QueryClass,
+    /// Whether the price is exact or a budget-degraded upper bound.
+    pub quality: QuoteQuality,
+    /// Sound lower bound on the true arbitrage-price.
+    pub lower_bound: Price,
 }
 
 /// A completed purchase: the quote plus the delivered answer.
@@ -47,13 +102,49 @@ struct State {
     /// Quote cache keyed by the *rendered* query (canonical form), cleared
     /// on every data update. Quoting is idempotent between updates, and
     /// markets see the same queries repeatedly, so this turns the common
-    /// case into a hash lookup.
+    /// case into a hash lookup. Only `Exact`-quality quotes are cached —
+    /// a degraded quote is an artifact of one budget run, not of the data.
     quote_cache: qbdp_catalog::FxHashMap<String, MarketQuote>,
+    /// Bumped on every data/price update. A quote computed outside the
+    /// write lock is only cached if the epoch it was computed under is
+    /// still current — otherwise a concurrent update could leave a stale
+    /// price in the cache forever.
+    epoch: u64,
+    policy: MarketPolicy,
 }
 
 /// A thread-safe, query-priced data marketplace.
 pub struct Market {
     state: RwLock<State>,
+    in_flight: AtomicUsize,
+}
+
+/// Releases one admission slot on drop.
+struct InFlightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Run a pricing call with panics contained at the market boundary. The
+/// lock is not poisoned (parking_lot) and nothing was mutated, so the
+/// market keeps serving after reporting the failure.
+fn contain_panic<T>(
+    f: impl FnOnce() -> Result<T, qbdp_core::PricingError>,
+) -> Result<T, MarketError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => Ok(result?),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "pricing engine panicked".to_string());
+            Err(MarketError::Internal(msg))
+        }
+    }
 }
 
 impl Market {
@@ -80,8 +171,31 @@ impl Market {
                 pricer,
                 ledger: Ledger::new(),
                 quote_cache: Default::default(),
+                epoch: 0,
+                policy: MarketPolicy::default(),
             }),
+            in_flight: AtomicUsize::new(0),
         })
+    }
+
+    /// Replace the market's resource policy.
+    pub fn set_policy(&self, policy: MarketPolicy) {
+        self.state.write().policy = policy;
+    }
+
+    /// The current resource policy.
+    pub fn policy(&self) -> MarketPolicy {
+        self.state.read().policy
+    }
+
+    /// Claim an admission slot, or refuse with [`MarketError::Overloaded`].
+    fn admit(&self, max: usize) -> Result<InFlightGuard<'_>, MarketError> {
+        let prev = self.in_flight.fetch_add(1, Ordering::Relaxed);
+        if prev >= max {
+            self.in_flight.fetch_sub(1, Ordering::Relaxed);
+            return Err(MarketError::Overloaded);
+        }
+        Ok(InFlightGuard(&self.in_flight))
     }
 
     /// Open a market from a `.qdp` document (schema, columns, tuples, and
@@ -96,32 +210,47 @@ impl Market {
     }
 
     /// Quote a query given in datalog syntax
-    /// (`"Q(x, y) :- R(x), S(x, y)"`). Quotes are cached until the next
-    /// data update.
+    /// (`"Q(x, y) :- R(x), S(x, y)"`). Exact quotes are cached until the
+    /// next data update.
     pub fn quote_str(&self, query: &str) -> Result<MarketQuote, MarketError> {
         let state = self.state.read();
+        let _slot = self.admit(state.policy.max_in_flight)?;
         let q = parse_rule(state.pricer.catalog().schema(), query)?;
         let key = pretty::render(&q, state.pricer.catalog().schema());
         if let Some(hit) = state.quote_cache.get(&key) {
             return Ok(hit.clone());
         }
+        // Remember which data epoch this quote is derived from: between
+        // dropping the read lock and taking the write lock an update may
+        // land, and caching the quote then would serve stale prices until
+        // the *next* update.
+        let epoch = state.epoch;
         let quote = Self::quote_inner(&state, &q)?;
         drop(state);
-        let mut state = self.state.write();
-        state.quote_cache.insert(key, quote.clone());
+        if quote.quality.is_exact() {
+            let mut state = self.state.write();
+            if state.epoch == epoch {
+                state.quote_cache.insert(key, quote.clone());
+            }
+        }
         Ok(quote)
     }
 
     /// Quote a parsed query (uncached path).
     pub fn quote(&self, q: &ConjunctiveQuery) -> Result<MarketQuote, MarketError> {
         let state = self.state.read();
+        let _slot = self.admit(state.policy.max_in_flight)?;
         Self::quote_inner(&state, q)
     }
 
     fn quote_inner(state: &State, q: &ConjunctiveQuery) -> Result<MarketQuote, MarketError> {
-        let quote = state.pricer.price_cq(q)?;
+        let budget = state.policy.budget();
+        let quote = contain_panic(|| state.pricer.price_cq_within(q, &budget))?;
         if quote.price.is_infinite() {
             return Err(MarketError::NotForSale);
+        }
+        if !quote.quality.is_exact() && !state.policy.sell_degraded {
+            return Err(MarketError::DeadlineExceeded);
         }
         let schema = state.pricer.catalog().schema();
         let receipt = quote
@@ -136,12 +265,15 @@ impl Market {
             views: quote.views,
             method: quote.method,
             class: quote.class,
+            quality: quote.quality,
+            lower_bound: quote.lower_bound,
         })
     }
 
     /// Purchase a query (datalog syntax): quote, evaluate, record, deliver.
     pub fn purchase_str(&self, query: &str) -> Result<Purchase, MarketError> {
         let mut state = self.state.write();
+        let _slot = self.admit(state.policy.max_in_flight)?;
         let q = parse_rule(state.pricer.catalog().schema(), query)?;
         let quote = Self::quote_inner(&state, &q)?;
         let mut answer: Vec<Tuple> = qbdp_query::eval::eval_cq(&q, state.pricer.instance())?
@@ -180,6 +312,7 @@ impl Market {
             .insert(rel, tuples)
             .map_err(|e| MarketError::Update(e.to_string()))?;
         state.quote_cache.clear();
+        state.epoch += 1;
         state.ledger.record_update(relation.to_string(), added);
         Ok(added)
     }
@@ -207,8 +340,10 @@ impl Market {
     /// A full explanation of a quote (class, engine, itemized receipt).
     pub fn explain_str(&self, query: &str) -> Result<String, MarketError> {
         let state = self.state.read();
+        let _slot = self.admit(state.policy.max_in_flight)?;
         let q = parse_rule(state.pricer.catalog().schema(), query)?;
-        let quote = state.pricer.price_cq(&q)?;
+        let budget = state.policy.budget();
+        let quote = contain_panic(|| state.pricer.price_cq_within(&q, &budget))?;
         Ok(quote.explain(state.pricer.catalog(), state.pricer.prices()))
     }
 
@@ -253,6 +388,7 @@ impl Market {
         .map_err(MarketError::Pricing)?;
         state.pricer = pricer;
         state.quote_cache.clear();
+        state.epoch += 1;
         Ok(())
     }
 

@@ -97,3 +97,45 @@ fn concurrent_quotes_and_inserts() {
     assert!(!purchase.answer.is_empty());
     assert_eq!(market.sales(), 1);
 }
+
+/// Regression for the quote-cache staleness race: `quote_str` computes a
+/// quote outside the write lock, so an interleaved `insert` could clear
+/// the cache and then have the *pre-update* quote cached against the
+/// *post-update* data — served stale forever after. The epoch counter
+/// must prevent that: after all updates land, the cached quote must equal
+/// a freshly computed (uncached) one.
+#[test]
+fn quote_cache_never_serves_stale_prices() {
+    let market = Market::open_qdp(QDP).unwrap();
+    let query = "Q(x, y) :- R(x), S(x, y), T(y)";
+
+    thread::scope(|scope| {
+        // Quoters hammer the cache-fill path…
+        for _ in 0..4 {
+            scope.spawn(|_| {
+                for _ in 0..50 {
+                    let _ = market.quote_str(query).unwrap();
+                }
+            });
+        }
+        // …while the seller races cache clears against their inserts.
+        scope.spawn(|_| {
+            for i in 0..6i64 {
+                market.insert("R", [Tuple::new([Value::Int(i)])]).unwrap();
+                market.insert("S", [tuple![i, (i + 3) % 6]]).unwrap();
+                market
+                    .insert("T", [Tuple::new([Value::Int((i + 3) % 6)])])
+                    .unwrap();
+            }
+        });
+    })
+    .unwrap();
+
+    // Cached path vs uncached path must agree now that updates stopped.
+    let cached = market.quote_str(query).unwrap().price;
+    let fresh = market.with_pricer(|pricer| {
+        let q = qbdp_query::parser::parse_rule(pricer.catalog().schema(), query).unwrap();
+        pricer.price_cq(&q).unwrap().price
+    });
+    assert_eq!(cached, fresh, "cache serves a stale quote");
+}

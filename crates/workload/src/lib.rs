@@ -21,5 +21,7 @@ pub mod scenarios;
 pub mod zipf;
 
 pub use dbgen::{populate_random, populate_zipf};
-pub use queries::{chain_schema, cycle_schema, h1_schema, star_schema, QuerySet};
+pub use queries::{
+    chain_schema, cycle_schema, h1_schema, h2_schema, h4_schema, star_schema, QuerySet,
+};
 pub use zipf::Zipf;

@@ -106,6 +106,18 @@ pub fn h2_schema(n: i64) -> Result<QuerySet, CatalogError> {
     Ok(QuerySet { catalog, query })
 }
 
+/// The NP-complete projection query `H4(x) = R(x, y)` (Theorem 3.5): the
+/// simplest non-full CQ, priced by the exact subset engine — the
+/// adversarial workload for budget/deadline tests.
+pub fn h4_schema(n: i64) -> Result<QuerySet, CatalogError> {
+    let col = Column::int_range(0, n);
+    let catalog = CatalogBuilder::new()
+        .uniform_relation("R", &["X", "Y"], &col)
+        .build()?;
+    let query = parse_rule(catalog.schema(), "H4(x) :- R(x, y)").unwrap();
+    Ok(QuerySet { catalog, query })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

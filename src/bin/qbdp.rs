@@ -2,24 +2,47 @@
 //!
 //! ```text
 //! qbdp <market.qdp> quote "Q(x, y) :- R(x), S(x, y), T(y)"
-//! qbdp <market.qdp> repl
+//! qbdp --deadline-ms 50 --sell-degraded <market.qdp> repl
 //! ```
+//!
+//! `--deadline-ms N` bounds every pricing call by a wall-clock deadline;
+//! `--sell-degraded` allows the market to sell sound upper-bound quotes
+//! when the deadline runs out (otherwise such quotes are refused).
 
 use qbdp::cli;
-use qbdp::prelude::Market;
+use qbdp::prelude::{Market, MarketPolicy};
 use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: qbdp [--deadline-ms N] [--sell-degraded] <market.qdp> <command> [args…]\n\
+         commands: quote | explain | buy | classify | insert | catalog | ledger | save | repl"
+    );
+    ExitCode::from(2)
+}
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (path, rest) = match args.split_first() {
-        Some((p, r)) if !r.is_empty() => (p, r),
-        _ => {
-            eprintln!(
-                "usage: qbdp <market.qdp> <command> [args…]\n\
-                 commands: quote | buy | classify | insert | catalog | ledger | repl"
-            );
-            return ExitCode::from(2);
+    let mut deadline_ms: Option<u64> = None;
+    let mut sell_degraded = false;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sell-degraded" => sell_degraded = true,
+            "--deadline-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => deadline_ms = Some(ms),
+                None => {
+                    eprintln!("--deadline-ms expects an integer (milliseconds)");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => positional.push(arg),
         }
+    }
+    let (path, rest) = match positional.split_first() {
+        Some((p, r)) if !r.is_empty() => (p, r),
+        _ => return usage(),
     };
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -35,12 +58,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if deadline_ms.is_some() || sell_degraded {
+        market.set_policy(MarketPolicy {
+            deadline: deadline_ms.map(Duration::from_millis),
+            sell_degraded,
+            ..MarketPolicy::default()
+        });
+    }
     if rest[0] == "repl" {
         let stdin = std::io::stdin();
         cli::repl(&market, stdin.lock(), std::io::stdout());
         return ExitCode::SUCCESS;
     }
     let command = rest.join(" ");
-    println!("{}", cli::run_command(&market, &command));
+    let out = cli::run_command(&market, &command);
+    println!("{out}");
+    // `run_command` renders failures as text so the repl can share it; a
+    // one-shot invocation still needs a non-zero exit for scripts.
+    if out.starts_with("error:") {
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

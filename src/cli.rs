@@ -10,7 +10,12 @@
 //! ```
 //!
 //! The command logic lives here (library-tested); `src/bin/qbdp.rs` is a
-//! thin argv/stdin wrapper.
+//! thin argv/stdin wrapper. The binary accepts two governance flags before
+//! the market path: `--deadline-ms N` bounds each pricing call by a
+//! wall-clock deadline, and `--sell-degraded` lets the market sell sound
+//! upper-bound quotes when a budget runs out (without it, such quotes are
+//! refused with a deadline error). Degraded quotes are printed with their
+//! `[lower bound, price]` interval.
 
 use qbdp_catalog::{AttrRef, Tuple, Value};
 use qbdp_core::dichotomy::classify;
@@ -78,7 +83,10 @@ fn help_text() -> String {
      \x20 insert R(a, b)    seller-side tuple insertion\n\
      \x20 catalog           schema, columns, price list summary\n\
      \x20 ledger            sales and revenue\n\
-     \x20 quit              leave the repl"
+     \x20 quit              leave the repl\n\
+     binary flags (before the .qdp path):\n\
+     \x20 --deadline-ms N   wall-clock budget per pricing call\n\
+     \x20 --sell-degraded   sell sound upper-bound quotes on budget exhaustion"
         .to_string()
 }
 
@@ -89,6 +97,13 @@ fn quote(market: &Market, rule: &str) -> String {
             let _ = writeln!(out, "query : {}", q.query);
             let _ = writeln!(out, "class : {:?}  (engine: {:?})", q.class, q.method);
             let _ = writeln!(out, "price : {}", q.price);
+            if !q.quality.is_exact() {
+                let _ = writeln!(
+                    out,
+                    "note  : UPPER BOUND — budget ran out; exact price lies in [{}, {}]",
+                    q.lower_bound, q.price
+                );
+            }
             let _ = writeln!(out, "views :");
             for item in &q.receipt {
                 let _ = writeln!(out, "  {item}");

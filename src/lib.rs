@@ -67,9 +67,9 @@ pub mod prelude {
     pub use qbdp_core::consistency::{find_list_arbitrage, list_is_consistent};
     pub use qbdp_core::dichotomy::{classify, QueryClass};
     pub use qbdp_core::price_points::{PriceList, PricePoint, PriceSchedule, ViewDef};
-    pub use qbdp_core::{Price, Pricer, PricingError, PricingMethod, Quote};
+    pub use qbdp_core::{Budget, Price, Pricer, PricingError, PricingMethod, Quote, QuoteQuality};
     pub use qbdp_determinacy::selection::{SelectionView, ViewSet};
-    pub use qbdp_market::{Market, MarketError, MarketQuote, Purchase};
+    pub use qbdp_market::{Market, MarketError, MarketPolicy, MarketQuote, Purchase};
     pub use qbdp_query::ast::{ConjunctiveQuery, CqBuilder, Pred, Ucq};
     pub use qbdp_query::bundle::Bundle;
     pub use qbdp_query::parser::{parse_query, parse_rule};

@@ -1,0 +1,287 @@
+//! Offline stand-in for the subset of `criterion 0.5` that qbdp's benches
+//! use. It is a *timing harness*, not a statistics engine: each benchmark
+//! runs a short calibration pass, then a fixed measurement pass, and
+//! prints mean time per iteration. `cargo bench` therefore still produces
+//! useful relative numbers offline, and `cargo test --benches` compiles.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long each benchmark's measurement pass runs.
+const MEASURE_FOR: Duration = Duration::from_millis(300);
+
+/// Set when the bench binary is invoked by `cargo test` (`--test` flag):
+/// run each routine once instead of measuring, as real criterion does.
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Mark this process as running benches in test mode (single iteration).
+#[doc(hidden)]
+pub fn __set_test_mode(on: bool) {
+    TEST_MODE.store(on, Ordering::SeqCst);
+}
+
+/// Identifier for a parameterized benchmark (mirrors `criterion::BenchmarkId`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new<S: fmt::Display, P: fmt::Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier showing only the parameter.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Throughput annotation (accepted, displayed alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timer handle (mirrors `criterion::Bencher`).
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it repeatedly until the measurement
+    /// window is filled.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if TEST_MODE.load(Ordering::SeqCst) {
+            let start = Instant::now();
+            black_box(routine());
+            self.iters_done = 1;
+            self.elapsed = start.elapsed();
+            return;
+        }
+        // Calibrate: find an iteration count that takes ≥ ~10ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(10) || batch >= 1 << 20 {
+                // Measure: keep running whole batches until the window ends.
+                let mut iters = batch;
+                let mut total = took;
+                while total < MEASURE_FOR {
+                    let start = Instant::now();
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    total += start.elapsed();
+                    iters += batch;
+                }
+                self.iters_done = iters;
+                self.elapsed = total;
+                return;
+            }
+            batch = batch.saturating_mul(4);
+        }
+    }
+}
+
+fn report(label: &str, throughput: Option<Throughput>, b: &Bencher) {
+    let per_iter = if b.iters_done == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / (b.iters_done.min(u32::MAX as u64) as u32)
+    };
+    let mut line = format!(
+        "bench: {label:<50} {per_iter:>12.2?}/iter ({} iters)",
+        b.iters_done
+    );
+    if let Some(t) = throughput {
+        let per_sec = |n: u64| {
+            let secs = per_iter.as_secs_f64();
+            if secs > 0.0 {
+                n as f64 / secs
+            } else {
+                f64::INFINITY
+            }
+        };
+        match t {
+            Throughput::Elements(n) => line.push_str(&format!("  {:.0} elem/s", per_sec(n))),
+            Throughput::Bytes(n) => line.push_str(&format!("  {:.0} B/s", per_sec(n))),
+        }
+    }
+    println!("{line}");
+}
+
+/// Group of related benchmarks (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set sample size (accepted for API compatibility; the shim's
+    /// fixed-window measurement ignores it).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate throughput for subsequent benchmarks in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), self.throughput, &b);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        P: ?Sized,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), self.throughput, &b);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(name, None, &b);
+        self
+    }
+
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declare the benchmark entry list (mirrors `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the benchmark main function (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` invokes bench binaries with `--test`: run each
+            // routine once instead of measuring.
+            if std::env::args().any(|a| a == "--test") {
+                $crate::__set_test_mode(true);
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(3));
+        group.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::from_parameter(2), &2u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,113 @@
+//! Offline stand-in for the subset of `crossbeam` that qbdp uses:
+//! `crossbeam::thread::scope` for borrowing scoped threads. Implemented
+//! over `std::thread::scope` (stable since 1.63), adapting to crossbeam's
+//! callback signatures: spawn closures take a `&Scope` argument and
+//! `scope` returns a `Result` that is `Err` if any scoped thread panicked
+//! without its panic being claimed by an explicit `join`. That matches
+//! `std::thread::scope`, which re-raises unjoined panics when the scope
+//! ends — so the adapter only needs `catch_unwind` around the call.
+
+/// Scoped threads (mirrors `crossbeam::thread`).
+pub mod thread {
+    /// Handle passed to the `scope` closure and to every spawned thread.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread, joinable before the scope ends.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` if it panicked. Joining a
+        /// panicked thread claims the panic so the surrounding `scope`
+        /// call still returns `Ok`, as in crossbeam.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope handle so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            let handle = self.inner.spawn(move || {
+                let scope = Scope { inner: inner_scope };
+                f(&scope)
+            });
+            ScopedJoinHandle { inner: handle }
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns. `Err` carries the panic payload if a scoped thread (or
+    /// `f` itself) panicked and the panic wasn't claimed by `join`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let sum: u64 = chunk.iter().sum();
+                    total.fetch_add(sum, std::sync::atomic::Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner(), 10);
+    }
+
+    #[test]
+    fn unjoined_panic_yields_err() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        std::panic::set_hook(prev);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn joined_panic_is_claimed() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = super::thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+        });
+        std::panic::set_hook(prev);
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert!(flag.into_inner());
+    }
+}

@@ -1,0 +1,107 @@
+//! Offline stand-in for the subset of `parking_lot` that qbdp uses.
+//!
+//! Wraps `std::sync` primitives but preserves parking_lot's signature
+//! difference that matters to callers: `lock()`/`read()`/`write()` return
+//! guards directly instead of `Result`s, and the locks are **not
+//! poisoned** by panics — a panicking holder leaves the data accessible,
+//! which the market relies on to keep serving after an isolated engine
+//! panic.
+
+use std::sync::{self, PoisonError};
+
+/// Guard for shared access to a [`RwLock`].
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Guard for exclusive access to a [`RwLock`].
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+/// Guard for a [`Mutex`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+/// Reader-writer lock with parking_lot semantics (no poisoning).
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquire shared access, ignoring poison from a previous panic.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquire exclusive access, ignoring poison from a previous panic.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Mutex with parking_lot semantics (no poisoning).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquire the lock, ignoring poison from a previous panic.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_survives_panicking_writer() {
+        let lock = std::sync::Arc::new(RwLock::new(0u32));
+        let l2 = lock.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write();
+            panic!("poison attempt");
+        })
+        .join();
+        // parking_lot semantics: still usable after a holder panicked.
+        *lock.write() += 1;
+        assert_eq!(*lock.read(), 1);
+    }
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+}

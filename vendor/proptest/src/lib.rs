@@ -1,0 +1,577 @@
+//! Offline stand-in for the subset of `proptest 1.x` that qbdp's tests
+//! use: the `proptest!` macro, integer-range / tuple / `Vec` strategies,
+//! `collection::vec`, `Just`, `any::<bool>()`, `prop_oneof!`, and the
+//! `prop_assert*` macros.
+//!
+//! Semantics differ from upstream in one deliberate way: there is **no
+//! shrinking**. A failing case panics with the deterministic seed and
+//! case number so it can be re-run, but the input is not minimized.
+//! Generation is deterministic per (test name, case index), so failures
+//! reproduce exactly across runs.
+
+use std::fmt;
+
+/// Deterministic generator handed to strategies (splitmix64 stream).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary 64-bit value.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5bf0_3635_0c47_9f3d,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)` for strategy internals.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A generator of random values (upstream's `Strategy`, minus shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derive a second strategy from each generated value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// Integers drawable uniformly from a range.
+pub trait RangeValue: Copy {
+    /// Uniform draw from `[lo, hi)`; callers guarantee `lo < hi`.
+    fn draw(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    /// Saturating successor, to widen `..=hi` into a half-open bound.
+    fn successor(self) -> Self;
+}
+
+macro_rules! impl_range_value {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn draw(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = (rng.next_u64() as u128 * span) >> 64;
+                (lo as i128 + v as i128) as $t
+            }
+            fn successor(self) -> Self {
+                self.checked_add(1).unwrap_or(self)
+            }
+        }
+    )*};
+}
+impl_range_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: RangeValue + PartialOrd> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(self.start < self.end, "empty range strategy");
+        T::draw(rng, self.start, self.end)
+    }
+}
+
+impl<T: RangeValue + PartialOrd> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        T::draw(rng, lo, hi.successor())
+    }
+}
+
+/// Always produces a clone of the given value (upstream's `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Type-erased strategy (upstream's `BoxedStrategy`).
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn Strategy<Value = T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.inner.sample(rng)
+    }
+}
+
+/// Uniform choice among boxed alternatives (backs `prop_oneof!`).
+pub struct OneOf<T> {
+    /// The alternatives; must be non-empty.
+    pub options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(
+            !self.options.is_empty(),
+            "prop_oneof! needs at least one arm"
+        );
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].sample(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// A `Vec` of strategies samples each element in order (upstream
+/// implements this for heterogeneously-built generator lists).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        self.iter().map(|s| s.sample(rng)).collect()
+    }
+}
+
+/// Types with a canonical "any value" strategy (upstream's `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (upstream's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies (upstream's `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Acceptable length specifications for [`vec()`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a random length.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy: each element drawn from `element`, length drawn
+    /// from `size` (a `usize`, `Range`, or `RangeInclusive`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Why a test case failed (upstream's `TestCaseError`, simplified).
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure from a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => f.write_str(m),
+        }
+    }
+}
+
+/// Number-of-cases knob (upstream's `ProptestConfig`, cases only).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// How many random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// FNV-1a over the test name: the per-test base seed. Deterministic so
+/// failures reproduce; mixed with the case index per case.
+#[doc(hidden)]
+pub fn __seed_for(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ ((case as u64) << 32 | case as u64)
+}
+
+/// Common imports (upstream's `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+                stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Fail the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf {
+            options: vec![$($crate::Strategy::boxed($strategy)),+],
+        }
+    };
+}
+
+/// Define property tests (upstream's `proptest!` block form).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);) => {};
+    (
+        config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let seed = $crate::__seed_for(stringify!($name), case);
+                let mut rng = $crate::TestRng::new(seed);
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed (seed {:#x}):\n{}",
+                        case + 1, config.cases, seed, e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let (a, b, c) = (0usize..5, 1u64..=3, -2i64..3).sample(&mut rng);
+            assert!(a < 5 && (1..=3).contains(&b) && (-2..3).contains(&c));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u8..10, 2..5).sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let w = crate::collection::vec(0u8..10, 3).sample(&mut rng);
+            assert_eq!(w.len(), 3);
+        }
+    }
+
+    #[test]
+    fn vec_of_strategies_samples_each() {
+        let mut rng = TestRng::new(3);
+        let strategies: Vec<_> = (1usize..=4)
+            .map(|n| crate::collection::vec(0usize..9, n..=n))
+            .collect();
+        let sampled = strategies.sample(&mut rng);
+        let lens: Vec<usize> = sampled.iter().map(Vec::len).collect();
+        assert_eq!(lens, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn oneof_flat_map_and_just() {
+        let mut rng = TestRng::new(4);
+        let s = (1usize..4).prop_flat_map(|n| {
+            (Just(n), prop_oneof![10u64..20, Just(99u64)]).prop_map(|(n, x)| (n, x))
+        });
+        let mut saw_99 = false;
+        for _ in 0..200 {
+            let (n, x) = s.sample(&mut rng);
+            assert!((1..4).contains(&n));
+            assert!((10..20).contains(&x) || x == 99);
+            saw_99 |= x == 99;
+        }
+        assert!(saw_99);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro wires strategies to arguments and handles early return.
+        #[test]
+        fn macro_roundtrip(x in 0u64..100, v in crate::collection::vec(0i64..5, 0..4)) {
+            if v.is_empty() {
+                return Ok(());
+            }
+            prop_assert!(x < 100, "x = {}", x);
+            prop_assert_eq!(v.len(), v.iter().len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_panics_with_seed() {
+        proptest! {
+            #[allow(unused)]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100);
+            }
+        }
+        always_fails();
+    }
+}
