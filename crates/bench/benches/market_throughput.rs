@@ -1,7 +1,11 @@
 //! E13: marketplace quote and purchase throughput on the business
-//! directory scenario.
+//! directory scenario, plus E13b: batched vs serial pricing of a GChQ
+//! workload (the parallel worker-pool datapoint; on a single-core host
+//! the two land within noise of each other, the speedup appears with
+//! cores).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qbdp_core::Budget;
 use qbdp_market::Market;
 use qbdp_workload::scenarios::business::{generate, BusinessConfig};
 use rand::rngs::StdRng;
@@ -55,5 +59,56 @@ fn bench_quotes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_quotes);
+/// E13b: one GChQ workload (20 distinct state-slice and join queries),
+/// priced serially (1 worker) vs on the batch pool (4 workers). Uses the
+/// `Pricer` batch API directly so the quote cache cannot turn the
+/// comparison into a hash-lookup benchmark.
+fn bench_batch(c: &mut Criterion) {
+    let market = market();
+    let rules: Vec<String> = (0..10)
+        .flat_map(|s| {
+            [
+                format!("Q(n, c) :- Business(n, 'S{s}', c)"),
+                format!("Q(n, c) :- Business(n, 'S{s}', c), Restaurant(n)"),
+            ]
+        })
+        .collect();
+    let rule_refs: Vec<&str> = rules.iter().map(String::as_str).collect();
+    let mut group = c.benchmark_group("batch_gchq");
+    group.throughput(Throughput::Elements(rule_refs.len() as u64));
+    for workers in [1usize, 4] {
+        group.bench_function(format!("{workers}_workers"), |b| {
+            b.iter(|| {
+                market.with_pricer(|p| {
+                    let ok = p
+                        .price_rules_batch_within(
+                            black_box(&rule_refs),
+                            &Budget::unlimited(),
+                            workers,
+                        )
+                        .into_iter()
+                        .filter(|r| r.is_ok())
+                        .count();
+                    assert_eq!(ok, rule_refs.len());
+                    ok
+                })
+            })
+        });
+    }
+    // The cached market path for contrast: a warm quote_batch is pure
+    // sharded-cache lookups.
+    group.bench_function("warm_cache", |b| {
+        market.quote_batch(&rule_refs);
+        b.iter(|| {
+            market
+                .quote_batch(black_box(&rule_refs))
+                .into_iter()
+                .filter(|r| r.is_ok())
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quotes, bench_batch);
 criterion_main!(benches);

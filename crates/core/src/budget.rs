@@ -37,6 +37,10 @@ struct Inner {
     deadline: Option<Instant>,
     cancelled: AtomicBool,
     charged: AtomicU64,
+    /// Set on sub-budgets made by [`Budget::split`]: the parent's state is
+    /// observed (cancelling the parent stops every sub-budget) but its
+    /// fuel tank is not shared — each job burns only its own share.
+    parent: Option<Arc<Inner>>,
 }
 
 /// A shareable, cooperatively-checked resource budget.
@@ -76,6 +80,7 @@ impl Budget {
                 deadline,
                 cancelled: AtomicBool::new(false),
                 charged: AtomicU64::new(0),
+                parent: None,
             }),
         }
     }
@@ -108,9 +113,46 @@ impl Budget {
     }
 
     /// Cooperatively cancel: every in-flight computation sharing this
-    /// budget stops at its next charge.
+    /// budget stops at its next charge — including every sub-budget made
+    /// by [`Budget::split`].
     pub fn cancel(&self) {
         self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Split the remaining budget into `jobs` independent per-job
+    /// sub-budgets, for fanning one admission-controlled request out over
+    /// a worker pool:
+    ///
+    /// * **fuel** is divided evenly — each sub-budget gets its own tank of
+    ///   `remaining / jobs` units, so one pathological job cannot starve
+    ///   its batch-mates (an unlimited tank splits into unlimited tanks);
+    /// * the **deadline** is shared verbatim — wall clock is a collective
+    ///   resource and all jobs race the same instant;
+    /// * **cancellation** flows down — [`Budget::cancel`] on this budget
+    ///   stops every sub-budget at its next charge (but a sub-budget
+    ///   exhausting its own share does *not* cancel its siblings).
+    ///
+    /// The parent's fuel tank is left untouched; callers hand it out
+    /// entirely via the split.
+    pub fn split(&self, jobs: usize) -> Vec<Budget> {
+        let jobs = jobs.max(1);
+        let fuel = self.inner.fuel.load(Ordering::Relaxed);
+        let share = if fuel == UNLIMITED_FUEL {
+            UNLIMITED_FUEL
+        } else {
+            (fuel / jobs as u64).max(1)
+        };
+        (0..jobs)
+            .map(|_| Budget {
+                inner: Arc::new(Inner {
+                    fuel: AtomicU64::new(share),
+                    deadline: self.inner.deadline,
+                    cancelled: AtomicBool::new(false),
+                    charged: AtomicU64::new(0),
+                    parent: Some(Arc::clone(&self.inner)),
+                }),
+            })
+            .collect()
     }
 
     /// Charge `n` work units. Returns `false` — permanently, for every
@@ -122,6 +164,12 @@ impl Budget {
         let inner = &*self.inner;
         if inner.cancelled.load(Ordering::Relaxed) {
             return false;
+        }
+        if let Some(parent) = &inner.parent {
+            if parent.cancelled.load(Ordering::Relaxed) {
+                inner.cancelled.store(true, Ordering::Relaxed);
+                return false;
+            }
         }
         let mut cur = inner.fuel.load(Ordering::Relaxed);
         if cur != UNLIMITED_FUEL {
@@ -161,6 +209,12 @@ impl Budget {
         let inner = &*self.inner;
         if inner.cancelled.load(Ordering::Relaxed) {
             return true;
+        }
+        if let Some(parent) = &inner.parent {
+            if parent.cancelled.load(Ordering::Relaxed) {
+                inner.cancelled.store(true, Ordering::Relaxed);
+                return true;
+            }
         }
         if let Some(deadline) = inner.deadline {
             if Instant::now() >= deadline {
@@ -268,6 +322,48 @@ mod tests {
             }
         }
         assert!(refused);
+    }
+
+    #[test]
+    fn split_divides_fuel_without_sharing_tanks() {
+        let parent = Budget::with_fuel(100);
+        let subs = parent.split(4);
+        assert_eq!(subs.len(), 4);
+        // Each sub-budget owns 25 units; draining one leaves the others.
+        assert!(subs[0].charge(25));
+        assert!(!subs[0].charge(1));
+        assert!(subs[1].charge(25));
+        assert!(subs[2].charge(10));
+        // A drained sibling does not poison the rest.
+        assert!(subs[3].charge(25));
+        assert!(!subs[3].charge(1));
+    }
+
+    #[test]
+    fn split_of_unlimited_stays_unlimited() {
+        let subs = Budget::unlimited().split(3);
+        for sub in &subs {
+            assert!(!sub.is_limited());
+            assert!(sub.charge(u64::MAX / 4));
+        }
+    }
+
+    #[test]
+    fn parent_cancellation_reaches_sub_budgets() {
+        let parent = Budget::with_fuel(1000);
+        let subs = parent.split(2);
+        assert!(subs[0].charge(1));
+        parent.cancel();
+        assert!(!subs[0].charge(1));
+        assert!(subs[1].is_exhausted());
+    }
+
+    #[test]
+    fn split_shares_the_deadline() {
+        let parent = Budget::with_fuel_and_deadline(u64::MAX / 2, Duration::ZERO);
+        let subs = parent.split(2);
+        // Expired deadline is inherited: a large charge must refuse.
+        assert!(!subs[0].charge(LARGE_CHARGE));
     }
 
     #[test]

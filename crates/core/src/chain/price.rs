@@ -6,8 +6,16 @@ use crate::error::PricingError;
 use crate::money::Price;
 use crate::normalize::Problem;
 use qbdp_determinacy::selection::SelectionView;
-use qbdp_flow::{dinic_metered, edmonds_karp_metered, Interrupted};
+use qbdp_flow::{edmonds_karp_metered, DinicArena, Interrupted};
 use qbdp_query::chain::ChainQuery;
+use std::cell::RefCell;
+
+thread_local! {
+    /// One Dinic arena per thread: batch-pricing workers (and the serial
+    /// path alike) reuse the solver's scratch allocations across every
+    /// quote they price instead of rebuilding them per flow run.
+    static DINIC_ARENA: RefCell<DinicArena> = RefCell::new(DinicArena::new());
+}
 
 /// Which max-flow algorithm to run (Edmonds–Karp is the ablation baseline).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,7 +78,9 @@ pub fn chain_price_within(
     let pa = chain.partial_answers(&problem.catalog, &problem.instance);
     let cg = ChainGraph::build(&problem.catalog, &problem.prices, &chain, &pa, mode);
     let flow = match algo {
-        FlowAlgo::Dinic => dinic_metered(&cg.graph, cg.s, cg.t, budget),
+        FlowAlgo::Dinic => {
+            DINIC_ARENA.with(|a| a.borrow_mut().max_flow(&cg.graph, cg.s, cg.t, budget))
+        }
         FlowAlgo::EdmondsKarp => edmonds_karp_metered(&cg.graph, cg.s, cg.t, budget),
     };
     let flow = match flow {
@@ -97,6 +107,10 @@ pub fn chain_price_within(
     } else {
         (Vec::new(), Vec::new())
     };
+    if algo == FlowAlgo::Dinic {
+        // Hand the residual allocation back for the next quote's run.
+        DINIC_ARENA.with(|a| a.borrow_mut().recycle(flow));
+    }
     Ok(Metered::Done(ChainPriceResult {
         price,
         cut_views,

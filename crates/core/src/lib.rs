@@ -35,8 +35,12 @@
 //!   monotonicity (§2.7);
 //! * [`budget`] + [`degrade`] — resource governance: fuel/deadline budgets
 //!   checked cooperatively inside every engine, and the sound degraded
-//!   quotes (upper bound + lower bound) returned when a budget runs out.
+//!   quotes (upper bound + lower bound) returned when a budget runs out;
+//! * [`batch`] — parallel batch pricing: a scoped worker pool (shared
+//!   injector, per-worker Dinic arenas, fuel split across jobs) that
+//!   prices many bundles concurrently with per-job panic containment.
 
+pub mod batch;
 pub mod boolean;
 pub mod budget;
 pub mod chain;

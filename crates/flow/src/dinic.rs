@@ -1,5 +1,10 @@
 //! Dinic's max-flow algorithm: BFS level graph + DFS blocking flows.
+//!
+//! The implementation lives in [`crate::arena::DinicArena`], which owns the
+//! reusable scratch buffers; the free functions here run one-shot solves on
+//! a fresh arena.
 
+use crate::arena::DinicArena;
 use crate::graph::{FlowGraph, MaxFlowResult, NodeId};
 use crate::meter::{Interrupted, Ticker, Unmetered};
 
@@ -24,86 +29,7 @@ pub fn dinic_metered(
     t: NodeId,
     ticker: &impl Ticker,
 ) -> Result<MaxFlowResult, Interrupted> {
-    assert_ne!(s, t, "source and sink must differ");
-    let n = g.num_nodes();
-    let phase_cost = (n + g.num_edges()) as u64;
-    let mut residual = g.cap.clone();
-    let mut level = vec![u32::MAX; n];
-    let mut it = vec![0usize; n];
-    let mut queue: Vec<usize> = Vec::with_capacity(n);
-    let mut value: u64 = 0;
-
-    loop {
-        if !ticker.tick(phase_cost) {
-            return Err(Interrupted {
-                partial_value: value,
-            });
-        }
-        // BFS: build level graph on residual edges.
-        level.fill(u32::MAX);
-        level[s] = 0;
-        queue.clear();
-        queue.push(s);
-        let mut head = 0;
-        while head < queue.len() {
-            let v = queue[head];
-            head += 1;
-            for &e in &g.adj[v] {
-                let e = e as usize;
-                let w = g.to[e] as usize;
-                if residual[e] > 0 && level[w] == u32::MAX {
-                    level[w] = level[v] + 1;
-                    queue.push(w);
-                }
-            }
-        }
-        if level[t] == u32::MAX {
-            break;
-        }
-        // DFS blocking flow with edge iterators.
-        it.fill(0);
-        loop {
-            let pushed = dfs(g, &mut residual, &level, &mut it, s, t, u64::MAX);
-            if pushed == 0 {
-                break;
-            }
-            value = value.saturating_add(pushed);
-            if !ticker.tick(8) {
-                return Err(Interrupted {
-                    partial_value: value,
-                });
-            }
-        }
-    }
-    Ok(MaxFlowResult { value, residual })
-}
-
-fn dfs(
-    g: &FlowGraph,
-    residual: &mut [u64],
-    level: &[u32],
-    it: &mut [usize],
-    v: NodeId,
-    t: NodeId,
-    limit: u64,
-) -> u64 {
-    if v == t {
-        return limit;
-    }
-    while it[v] < g.adj[v].len() {
-        let e = g.adj[v][it[v]] as usize;
-        let w = g.to[e] as usize;
-        if residual[e] > 0 && level[w] == level[v] + 1 {
-            let pushed = dfs(g, residual, level, it, w, t, limit.min(residual[e]));
-            if pushed > 0 {
-                residual[e] -= pushed;
-                residual[e ^ 1] = residual[e ^ 1].saturating_add(pushed);
-                return pushed;
-            }
-        }
-        it[v] += 1;
-    }
-    0
+    DinicArena::new().max_flow(g, s, t, ticker)
 }
 
 #[cfg(test)]

@@ -20,13 +20,18 @@
 //! * [`meter::Ticker`] + the `*_metered` entry points — cooperative work
 //!   metering so the pricing layer can run flows under deadlines and
 //!   budgets, recovering the partial flow value (a sound lower bound on
-//!   the cut) when interrupted.
+//!   the cut) when interrupted,
+//! * [`arena::DinicArena`] — a reusable, `Ticker`-aware solver arena that
+//!   amortizes the scratch-buffer allocations across many runs; batch
+//!   pricing keeps one arena per worker thread.
 
+pub mod arena;
 pub mod dinic;
 pub mod edmonds_karp;
 pub mod graph;
 pub mod meter;
 
+pub use arena::DinicArena;
 pub use dinic::{dinic, dinic_metered};
 pub use edmonds_karp::{edmonds_karp, edmonds_karp_metered};
 pub use graph::{EdgeId, FlowGraph, MaxFlowResult, NodeId, INF};

@@ -1,0 +1,182 @@
+//! The sharded, epoch-validated quote cache.
+//!
+//! Quoting is idempotent between data/price updates, and markets see the
+//! same queries repeatedly, so the common case should be a hash lookup.
+//! The cache lives *outside* the market's state lock: lookups and inserts
+//! take only a per-shard `RwLock`, so a batch of workers filling the
+//! cache never serializes on the state lock, and two workers quoting
+//! different queries almost never touch the same shard.
+//!
+//! # Coherence protocol
+//!
+//! Staleness is ruled out by epoch tagging rather than by lock ordering:
+//!
+//! * The current **epoch** is an `AtomicU64` bumped by every writer
+//!   (data insert, price revision) *while it still holds the market's
+//!   state write lock*.
+//! * A reader loads the epoch *under the state read lock* — so the value
+//!   it sees is the epoch of exactly the data snapshot it prices
+//!   against — and tags its insert with it.
+//! * [`ShardedQuoteCache::insert`] discards the entry if the epoch has
+//!   moved on; [`ShardedQuoteCache::get`] serves an entry only if its tag
+//!   equals the current epoch.
+//!
+//! Any interleaving therefore serves only quotes computed against the
+//! live snapshot: an entry tagged `e` can only be served while the epoch
+//! still *is* `e`, i.e. before any update invalidated it.
+//! [`ShardedQuoteCache::invalidate`] additionally clears the shards
+//! (bump-then-clear, so no dead entry survives) to keep memory bounded.
+//!
+//! # Shard count
+//!
+//! 16 shards is deliberately modest: the point of sharding is to make
+//! lock *hold times* irrelevant, not to scale to hundreds of cores.
+//! With `W` workers the probability of two of them colliding on one of
+//! 16 shards is small for the worker counts a pricing host realistically
+//! runs (≤ 16 — pricing is CPU-bound), while the whole cache stays two
+//! cache lines of lock words. Growing it costs nothing if hosts widen.
+
+use crate::market::MarketQuote;
+use parking_lot::RwLock;
+use qbdp_catalog::fxhash::FxHasher;
+use qbdp_catalog::FxHashMap;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of independently locked shards. Must be a power of two (shard
+/// selection masks the key hash).
+pub(crate) const SHARDS: usize = 16;
+
+struct Entry {
+    /// Epoch the quote was computed under; served only while current.
+    epoch: u64,
+    quote: MarketQuote,
+}
+
+/// A fixed array of lock-sharded maps from rendered (canonical) query
+/// text to epoch-tagged quotes. See the module docs for the protocol.
+pub(crate) struct ShardedQuoteCache {
+    epoch: AtomicU64,
+    shards: [RwLock<FxHashMap<String, Entry>>; SHARDS],
+}
+
+impl ShardedQuoteCache {
+    pub(crate) fn new() -> Self {
+        ShardedQuoteCache {
+            epoch: AtomicU64::new(0),
+            shards: std::array::from_fn(|_| RwLock::new(FxHashMap::default())),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &RwLock<FxHashMap<String, Entry>> {
+        let mut h = FxHasher::default();
+        h.write(key.as_bytes());
+        &self.shards[(h.finish() as usize) & (SHARDS - 1)]
+    }
+
+    /// The current epoch. Load it under the market's state **read lock**
+    /// to pair it with the data snapshot being priced.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Look up a quote; only entries tagged with the current epoch are
+    /// served.
+    pub(crate) fn get(&self, key: &str) -> Option<MarketQuote> {
+        let shard = self.shard(key).read();
+        let entry = shard.get(key)?;
+        if entry.epoch == self.epoch.load(Ordering::SeqCst) {
+            Some(entry.quote.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Insert a quote computed under `epoch`; silently discarded if an
+    /// update has bumped the epoch since (caching it would serve a stale
+    /// price until the *next* update).
+    pub(crate) fn insert(&self, key: String, quote: MarketQuote, epoch: u64) {
+        let mut shard = self.shard(&key).write();
+        // Re-check under the shard lock: an invalidation that has already
+        // cleared this shard must not see the entry reappear.
+        if self.epoch.load(Ordering::SeqCst) == epoch {
+            shard.insert(key, Entry { epoch, quote });
+        }
+    }
+
+    /// Invalidate everything. Call while holding the market's state
+    /// **write lock** so the bump is ordered with the data mutation.
+    /// Bump-then-clear: a racing insert tagged with the old epoch either
+    /// lands before the clear (and is removed) or after (and is discarded
+    /// by its own epoch re-check), so no dead entry lingers.
+    pub(crate) fn invalidate(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+    }
+
+    /// Total cached quotes across all shards (test/introspection aid).
+    pub(crate) fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbdp_core::dichotomy::QueryClass;
+    use qbdp_core::{Price, PricingMethod, QuoteQuality};
+
+    fn quote(price: Price) -> MarketQuote {
+        MarketQuote {
+            query: "Q() :- R(x)".into(),
+            price,
+            receipt: Vec::new(),
+            views: Vec::new(),
+            method: PricingMethod::Trivial,
+            class: QueryClass::GeneralizedChain,
+            quality: QuoteQuality::Exact,
+            lower_bound: price,
+        }
+    }
+
+    #[test]
+    fn serves_only_current_epoch() {
+        let cache = ShardedQuoteCache::new();
+        let e = cache.epoch();
+        cache.insert("q1".into(), quote(Price::dollars(1)), e);
+        assert_eq!(cache.get("q1").unwrap().price, Price::dollars(1));
+        cache.invalidate();
+        assert!(cache.get("q1").is_none(), "stale epoch must not serve");
+        assert_eq!(cache.len(), 0, "invalidate clears shards");
+    }
+
+    #[test]
+    fn stale_insert_is_discarded() {
+        let cache = ShardedQuoteCache::new();
+        let e = cache.epoch();
+        cache.invalidate();
+        cache.insert("q1".into(), quote(Price::dollars(1)), e);
+        assert!(cache.get("q1").is_none());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let cache = ShardedQuoteCache::new();
+        let e = cache.epoch();
+        for i in 0..256u64 {
+            cache.insert(format!("Q{i}(x) :- R(x)"), quote(Price::cents(i)), e);
+        }
+        assert_eq!(cache.len(), 256);
+        let occupied = cache.shards.iter().filter(|s| !s.read().is_empty()).count();
+        assert!(occupied > SHARDS / 2, "fx-hash should spread: {occupied}");
+        for i in 0..256u64 {
+            assert_eq!(
+                cache.get(&format!("Q{i}(x) :- R(x)")).unwrap().price,
+                Price::cents(i)
+            );
+        }
+    }
+}

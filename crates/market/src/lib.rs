@@ -20,9 +20,12 @@
 //!   revenue.
 //!
 //! Concurrency: quoting is read-only and proceeds under a shared lock;
-//! insertions take the write lock. Exact quotes are cached under an epoch
-//! counter so a quote raced by a concurrent update is never cached stale.
-//! The `concurrent` test module hammers a market from multiple threads
+//! insertions take the write lock. Exact quotes are cached in a sharded,
+//! epoch-validated cache ([`cache`], 16 `RwLock` shards outside the state
+//! lock) so a quote raced by a concurrent update is never served stale,
+//! and [`market::Market::quote_batch`] prices many queries at once on a
+//! scoped worker pool ([`market::MarketPolicy::batch_workers`]). The
+//! `concurrent` test module hammers a market from multiple threads
 //! (crossbeam) to validate the locking.
 //!
 //! Resource governance: a [`market::MarketPolicy`] bounds each pricing
@@ -32,6 +35,7 @@
 //! at the market boundary ([`MarketError::Internal`]); the market keeps
 //! serving.
 
+mod cache;
 pub mod error;
 pub mod ledger;
 pub mod market;

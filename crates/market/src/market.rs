@@ -10,6 +10,7 @@
 //! panicking engine surfaces as [`MarketError::Internal`] and the market
 //! keeps serving subsequent requests.
 
+use crate::cache::ShardedQuoteCache;
 use crate::error::MarketError;
 use crate::ledger::Ledger;
 use parking_lot::RwLock;
@@ -18,7 +19,8 @@ use qbdp_core::dichotomy::QueryClass;
 use qbdp_core::price_points::PriceList;
 use qbdp_core::{Budget, Price, Pricer, PricingMethod, QuoteQuality};
 use qbdp_determinacy::selection::SelectionView;
-use qbdp_query::ast::ConjunctiveQuery;
+use qbdp_query::ast::{ConjunctiveQuery, Ucq};
+use qbdp_query::bundle::Bundle;
 use qbdp_query::parser::parse_rule;
 use qbdp_query::pretty;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -36,8 +38,12 @@ pub struct MarketPolicy {
     /// [`MarketError::DeadlineExceeded`] instead.
     pub sell_degraded: bool,
     /// Maximum concurrently in-flight quote/purchase/explain requests;
-    /// excess requests are refused with [`MarketError::Overloaded`].
+    /// excess requests are refused with [`MarketError::Overloaded`]. A
+    /// batch of `k` queries counts as `k` in-flight requests, not 1.
     pub max_in_flight: usize,
+    /// Worker threads used by [`Market::quote_batch`]; `0` means one per
+    /// available core.
+    pub batch_workers: usize,
 }
 
 impl Default for MarketPolicy {
@@ -47,19 +53,28 @@ impl Default for MarketPolicy {
             fuel: None,
             sell_degraded: false,
             max_in_flight: usize::MAX,
+            batch_workers: 0,
         }
     }
 }
 
 impl MarketPolicy {
-    /// A fresh [`Budget`] implementing this policy for one pricing call.
-    fn budget(&self) -> Budget {
+    /// A fresh [`Budget`] implementing this policy for `jobs` pricing
+    /// calls: each job's fuel share equals the per-quote fuel (the batch
+    /// pool splits the total), while the wall-clock deadline is shared —
+    /// jobs run concurrently, so one deadline bounds them all.
+    fn budget_for(&self, jobs: u64) -> Budget {
         match (self.fuel, self.deadline) {
             (None, None) => Budget::unlimited(),
-            (Some(f), None) => Budget::with_fuel(f),
+            (Some(f), None) => Budget::with_fuel(f.saturating_mul(jobs)),
             (None, Some(d)) => Budget::with_deadline(d),
-            (Some(f), Some(d)) => Budget::with_fuel_and_deadline(f, d),
+            (Some(f), Some(d)) => Budget::with_fuel_and_deadline(f.saturating_mul(jobs), d),
         }
+    }
+
+    /// A fresh [`Budget`] implementing this policy for one pricing call.
+    fn budget(&self) -> Budget {
+        self.budget_for(1)
     }
 }
 
@@ -99,32 +114,30 @@ pub struct Purchase {
 struct State {
     pricer: Pricer,
     ledger: Ledger,
-    /// Quote cache keyed by the *rendered* query (canonical form), cleared
-    /// on every data update. Quoting is idempotent between updates, and
-    /// markets see the same queries repeatedly, so this turns the common
-    /// case into a hash lookup. Only `Exact`-quality quotes are cached —
-    /// a degraded quote is an artifact of one budget run, not of the data.
-    quote_cache: qbdp_catalog::FxHashMap<String, MarketQuote>,
-    /// Bumped on every data/price update. A quote computed outside the
-    /// write lock is only cached if the epoch it was computed under is
-    /// still current — otherwise a concurrent update could leave a stale
-    /// price in the cache forever.
-    epoch: u64,
     policy: MarketPolicy,
 }
 
 /// A thread-safe, query-priced data marketplace.
 pub struct Market {
     state: RwLock<State>,
+    /// Quote cache keyed by the *rendered* query (canonical form). Lives
+    /// outside the state lock — lookups and fills take only a per-shard
+    /// lock — and is kept coherent with the data via epoch tagging (see
+    /// [`crate::cache`]). Only `Exact`-quality quotes are cached — a
+    /// degraded quote is an artifact of one budget run, not of the data.
+    cache: ShardedQuoteCache,
     in_flight: AtomicUsize,
 }
 
-/// Releases one admission slot on drop.
-struct InFlightGuard<'a>(&'a AtomicUsize);
+/// Releases its admission slots on drop.
+struct InFlightGuard<'a> {
+    in_flight: &'a AtomicUsize,
+    slots: usize,
+}
 
 impl Drop for InFlightGuard<'_> {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::Relaxed);
+        self.in_flight.fetch_sub(self.slots, Ordering::Relaxed);
     }
 }
 
@@ -170,10 +183,9 @@ impl Market {
             state: RwLock::new(State {
                 pricer,
                 ledger: Ledger::new(),
-                quote_cache: Default::default(),
-                epoch: 0,
                 policy: MarketPolicy::default(),
             }),
+            cache: ShardedQuoteCache::new(),
             in_flight: AtomicUsize::new(0),
         })
     }
@@ -188,14 +200,25 @@ impl Market {
         self.state.read().policy
     }
 
-    /// Claim an admission slot, or refuse with [`MarketError::Overloaded`].
+    /// Claim one admission slot, or refuse with [`MarketError::Overloaded`].
     fn admit(&self, max: usize) -> Result<InFlightGuard<'_>, MarketError> {
-        let prev = self.in_flight.fetch_add(1, Ordering::Relaxed);
-        if prev >= max {
-            self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.admit_many(1, max)
+    }
+
+    /// Claim `slots` admission slots atomically, or refuse with
+    /// [`MarketError::Overloaded`]. A batch of `k` queries is `k` units of
+    /// concurrent pricing work, so it must claim `k` slots — counting it
+    /// as one would let `max_in_flight` be exceeded `k`-fold.
+    fn admit_many(&self, slots: usize, max: usize) -> Result<InFlightGuard<'_>, MarketError> {
+        let prev = self.in_flight.fetch_add(slots, Ordering::Relaxed);
+        if prev.checked_add(slots).is_none_or(|total| total > max) {
+            self.in_flight.fetch_sub(slots, Ordering::Relaxed);
             return Err(MarketError::Overloaded);
         }
-        Ok(InFlightGuard(&self.in_flight))
+        Ok(InFlightGuard {
+            in_flight: &self.in_flight,
+            slots,
+        })
     }
 
     /// Open a market from a `.qdp` document (schema, columns, tuples, and
@@ -217,23 +240,108 @@ impl Market {
         let _slot = self.admit(state.policy.max_in_flight)?;
         let q = parse_rule(state.pricer.catalog().schema(), query)?;
         let key = pretty::render(&q, state.pricer.catalog().schema());
-        if let Some(hit) = state.quote_cache.get(&key) {
-            return Ok(hit.clone());
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok(hit);
         }
-        // Remember which data epoch this quote is derived from: between
-        // dropping the read lock and taking the write lock an update may
-        // land, and caching the quote then would serve stale prices until
-        // the *next* update.
-        let epoch = state.epoch;
+        // Load the epoch *under the read lock*: it names exactly the data
+        // snapshot this quote is derived from, and the cache will discard
+        // the insert if an update lands in between (caching it then would
+        // serve stale prices until the *next* update).
+        let epoch = self.cache.epoch();
         let quote = Self::quote_inner(&state, &q)?;
         drop(state);
         if quote.quality.is_exact() {
-            let mut state = self.state.write();
-            if state.epoch == epoch {
-                state.quote_cache.insert(key, quote.clone());
-            }
+            self.cache.insert(key, quote.clone(), epoch);
         }
         Ok(quote)
+    }
+
+    /// Quote a batch of datalog-syntax queries in one call, pricing cache
+    /// misses in parallel on a scoped worker pool
+    /// ([`MarketPolicy::batch_workers`] threads; `0` = one per core).
+    ///
+    /// Results are positionally aligned with `queries`; each slot fails
+    /// independently (a parse error or contained engine panic poisons
+    /// only its own slot). The whole batch is admitted as
+    /// `queries.len()` in-flight requests against
+    /// [`MarketPolicy::max_in_flight`] — all-or-nothing: an overloaded
+    /// market refuses every slot with [`MarketError::Overloaded`]. Each
+    /// job gets the policy's per-quote fuel; the wall-clock deadline is
+    /// shared across the batch. Exact quotes (cache hits and fresh ones)
+    /// are served from / fill the sharded cache.
+    pub fn quote_batch(&self, queries: &[&str]) -> Vec<Result<MarketQuote, MarketError>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let state = self.state.read();
+        let slot = self.admit_many(queries.len(), state.policy.max_in_flight);
+        if slot.is_err() {
+            return queries
+                .iter()
+                .map(|_| Err(MarketError::Overloaded))
+                .collect();
+        }
+        let schema = state.pricer.catalog().schema();
+        let mut slots: Vec<Option<Result<MarketQuote, MarketError>>> = Vec::new();
+        slots.resize_with(queries.len(), || None);
+        // Parse every query and serve what the cache already has.
+        let epoch = self.cache.epoch();
+        let mut misses: Vec<(usize, String, ConjunctiveQuery)> = Vec::new();
+        for (i, text) in queries.iter().enumerate() {
+            match parse_rule(schema, text) {
+                Ok(q) => {
+                    let key = pretty::render(&q, schema);
+                    match self.cache.get(&key) {
+                        Some(hit) => slots[i] = Some(Ok(hit)),
+                        None => misses.push((i, key, q)),
+                    }
+                }
+                Err(e) => slots[i] = Some(Err(e.into())),
+            }
+        }
+        // Fan the misses over the worker pool. Panic containment is per
+        // job inside the pool, so `contain_panic` is not needed here.
+        if !misses.is_empty() {
+            let budget = state.policy.budget_for(misses.len() as u64);
+            let workers = match state.policy.batch_workers {
+                0 => qbdp_core::batch::default_workers(),
+                n => n,
+            };
+            let bundles: Vec<Bundle> = misses
+                .iter()
+                .map(|(_, _, q)| Bundle::single(Ucq::single(q.clone())))
+                .collect();
+            let priced = state
+                .pricer
+                .price_batch_with_workers(&bundles, &budget, workers);
+            for ((i, key, q), result) in misses.into_iter().zip(priced) {
+                let finished = result
+                    .map_err(|e| match e {
+                        // The pool contains per-job panics as
+                        // `PricingError::Internal`; surface them the same
+                        // way `contain_panic` does on the serial path.
+                        qbdp_core::PricingError::Internal(m) => MarketError::Internal(m),
+                        other => MarketError::Pricing(other),
+                    })
+                    .and_then(|quote| Self::finish_quote(&state, &q, quote));
+                if let Ok(mq) = &finished {
+                    if mq.quality.is_exact() {
+                        self.cache.insert(key, mq.clone(), epoch);
+                    }
+                }
+                slots[i] = Some(finished);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| {
+                s.unwrap_or_else(|| {
+                    Err(MarketError::Internal(
+                        "batch slot was never filled".to_string(),
+                    ))
+                })
+            })
+            .collect()
     }
 
     /// Quote a parsed query (uncached path).
@@ -246,6 +354,17 @@ impl Market {
     fn quote_inner(state: &State, q: &ConjunctiveQuery) -> Result<MarketQuote, MarketError> {
         let budget = state.policy.budget();
         let quote = contain_panic(|| state.pricer.price_cq_within(q, &budget))?;
+        Self::finish_quote(state, q, quote)
+    }
+
+    /// Apply market policy to a raw engine quote and dress it up for the
+    /// buyer (shared by the serial and batch paths, so a batched quote is
+    /// indistinguishable from a serial one).
+    fn finish_quote(
+        state: &State,
+        q: &ConjunctiveQuery,
+        quote: qbdp_core::Quote,
+    ) -> Result<MarketQuote, MarketError> {
         if quote.price.is_infinite() {
             return Err(MarketError::NotForSale);
         }
@@ -311,10 +430,17 @@ impl Market {
             .pricer
             .insert(rel, tuples)
             .map_err(|e| MarketError::Update(e.to_string()))?;
-        state.quote_cache.clear();
-        state.epoch += 1;
+        // Invalidate while still holding the write lock, so the epoch
+        // bump is ordered with the data mutation (see `crate::cache`).
+        self.cache.invalidate();
         state.ledger.record_update(relation.to_string(), added);
         Ok(added)
+    }
+
+    /// Number of quotes currently held in the sharded cache (inspection
+    /// aid; the count is momentary under concurrency).
+    pub fn cached_quotes(&self) -> usize {
+        self.cache.len()
     }
 
     /// Snapshot of the running revenue.
@@ -387,8 +513,7 @@ impl Market {
         )
         .map_err(MarketError::Pricing)?;
         state.pricer = pricer;
-        state.quote_cache.clear();
-        state.epoch += 1;
+        self.cache.invalidate();
         Ok(())
     }
 
@@ -543,6 +668,77 @@ price T.Y=b3 100
             third.price,
             first.price
         );
+    }
+
+    #[test]
+    fn quote_batch_matches_serial_and_fills_cache() {
+        let queries = [
+            "Q(x, y) :- R(x), S(x, y), T(y)",
+            "Q(x) :- R(x)",
+            "Q(y) :- T(y)",
+            "Q(x, y) :- S(x, y)",
+        ];
+        // Serial reference prices from an identical, separate market so
+        // the batched market starts with a cold cache.
+        let reference = Market::open_qdp(FIG1_QDP).unwrap();
+        let serial: Vec<Price> = queries
+            .iter()
+            .map(|q| reference.quote_str(q).unwrap().price)
+            .collect();
+        let market = Market::open_qdp(FIG1_QDP).unwrap();
+        assert_eq!(market.cached_quotes(), 0);
+        let batch = market.quote_batch(&queries);
+        let batch_prices: Vec<Price> = batch.into_iter().map(|r| r.unwrap().price).collect();
+        // S(a3, b3) joins nothing priced here, so prices are unchanged.
+        assert_eq!(batch_prices, serial);
+        assert_eq!(market.cached_quotes(), queries.len());
+        // Second batch is served from the cache (same prices).
+        let again: Vec<Price> = market
+            .quote_batch(&queries)
+            .into_iter()
+            .map(|r| r.unwrap().price)
+            .collect();
+        assert_eq!(again, serial);
+    }
+
+    #[test]
+    fn quote_batch_isolates_per_slot_failures() {
+        let market = Market::open_qdp(FIG1_QDP).unwrap();
+        let out = market.quote_batch(&["Q(x) :- R(x)", "not a rule at all", "Q(y) :- T(y)"]);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(MarketError::Query(_))), "{:?}", out[1]);
+        assert!(out[2].is_ok());
+    }
+
+    /// Regression: a batch of `k` queries must count as `k` in-flight
+    /// jobs against `max_in_flight`, not 1 — otherwise one batch call
+    /// could run `k` concurrent pricing jobs past the admission cap.
+    #[test]
+    fn batch_admission_counts_every_query() {
+        let market = Market::open_qdp(FIG1_QDP).unwrap();
+        market.set_policy(MarketPolicy {
+            max_in_flight: 2,
+            ..MarketPolicy::default()
+        });
+        let queries = ["Q(x) :- R(x)", "Q(y) :- T(y)", "Q(x, y) :- S(x, y)"];
+        let refused = market.quote_batch(&queries);
+        assert_eq!(refused.len(), 3);
+        for slot in &refused {
+            assert!(matches!(slot, Err(MarketError::Overloaded)), "{slot:?}");
+        }
+        // A batch within the cap is admitted, and the refused batch
+        // released its (tentative) slots.
+        let ok = market.quote_batch(&queries[..2]);
+        assert!(ok.iter().all(|r| r.is_ok()));
+        // Serial quoting still works afterwards: no slots leaked.
+        assert!(market.quote_str("Q(x) :- R(x)").is_ok());
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let market = Market::open_qdp(FIG1_QDP).unwrap();
+        assert!(market.quote_batch(&[]).is_empty());
     }
 
     #[test]

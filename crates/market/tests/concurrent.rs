@@ -1,9 +1,11 @@
-//! Concurrency stress: many buyer threads quoting and purchasing while the
-//! seller inserts data. Validates the locking discipline and that observed
-//! prices never decrease over time (Proposition 2.22 for full CQs under
-//! selection-view prices).
+//! Concurrency stress: many buyer threads quoting (serially and in
+//! batches) and purchasing while the seller inserts data. Validates the
+//! locking discipline, the sharded quote cache's epoch coherence, and
+//! that observed prices never decrease over time (Proposition 2.22 for
+//! full CQs under selection-view prices).
 
 use crossbeam::thread;
+use proptest::prelude::*;
 use qbdp_catalog::{tuple, Tuple, Value};
 use qbdp_core::Price;
 use qbdp_market::Market;
@@ -138,4 +140,143 @@ fn quote_cache_never_serves_stale_prices() {
         pricer.price_cq(&q).unwrap().price
     });
     assert_eq!(cached, fresh, "cache serves a stale quote");
+}
+
+/// The uncached reference price of `query` (bypasses the quote cache).
+fn fresh_price(market: &Market, query: &str) -> Price {
+    market.with_pricer(|pricer| {
+        let q = qbdp_query::parser::parse_rule(pricer.catalog().schema(), query).unwrap();
+        pricer.price_cq(&q).unwrap().price
+    })
+}
+
+const MIX_QUERIES: [&str; 4] = [
+    "Q(x, y) :- R(x), S(x, y), T(y)",
+    "Q(x) :- R(x)",
+    "Q(y) :- T(y)",
+    "Q(x, y) :- S(x, y)",
+];
+
+/// 8 threads mixing `quote_batch`, `purchase_str`, and `insert` against
+/// one market. Checks, under the full API mix:
+///
+/// * the batch path's per-thread view of the monotone join price never
+///   decreases (Prop 2.22 — a stale cached quote would violate this by
+///   resurfacing an old, lower price);
+/// * every slot of every batch succeeds;
+/// * once the writers are done, cached quotes equal freshly computed
+///   ones for every query — no quote served from a stale epoch.
+#[test]
+fn eight_thread_batch_purchase_insert_mix() {
+    let market = Market::open_qdp(QDP).unwrap();
+
+    thread::scope(|scope| {
+        // 2 sellers: disjoint value ranges so inserts never conflict.
+        for w in 0..2i64 {
+            let market = &market;
+            scope.spawn(move |_| {
+                for i in 0..3i64 {
+                    let v = w * 3 + i;
+                    market.insert("R", [Tuple::new([Value::Int(v)])]).unwrap();
+                    market.insert("S", [tuple![v, (v + 1) % 6]]).unwrap();
+                    market
+                        .insert("T", [Tuple::new([Value::Int((v + 1) % 6)])])
+                        .unwrap();
+                }
+            });
+        }
+        // 4 batch quoters: every slot must fill, and the join price (slot
+        // 0) must be monotone within each thread.
+        for _ in 0..4 {
+            let market = &market;
+            scope.spawn(move |_| {
+                let mut last_join = Price::ZERO;
+                for _ in 0..20 {
+                    let out = market.quote_batch(&MIX_QUERIES);
+                    assert_eq!(out.len(), MIX_QUERIES.len());
+                    let join = out[0].as_ref().unwrap().price;
+                    for slot in &out {
+                        assert!(slot.is_ok(), "{slot:?}");
+                    }
+                    assert!(
+                        join >= last_join,
+                        "join price dropped {last_join} -> {join} (stale quote?)"
+                    );
+                    last_join = join;
+                }
+            });
+        }
+        // 2 purchasers: exercise the write-lock path concurrently.
+        for _ in 0..2 {
+            let market = &market;
+            scope.spawn(move |_| {
+                for _ in 0..10 {
+                    let p = market.purchase_str("Q(x) :- R(x)").unwrap();
+                    assert!(p.quote.price.is_finite());
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    // Writers are done: anything the cache now serves must equal the
+    // uncached price computed from the final data.
+    for query in MIX_QUERIES {
+        let cached = market.quote_str(query).unwrap().price;
+        assert_eq!(
+            cached,
+            fresh_price(&market, query),
+            "stale cached quote for `{query}`"
+        );
+    }
+    assert_eq!(market.sales(), 20);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cache-coherence property: for ANY interleaving of a random insert
+    /// schedule with concurrent batch quoting, once the writer finishes,
+    /// the cache serves exactly the prices of the final data — never a
+    /// quote from a stale epoch. (The threads' scheduling is the random
+    /// part the proptest seed can't control; the insert schedule varies
+    /// the epochs and data it races against.)
+    #[test]
+    fn cache_coherent_under_random_insert_schedules(
+        inserts in proptest::collection::vec((0u8..3, 0i64..6, 0i64..6), 1..12),
+    ) {
+        let market = Market::open_qdp(QDP).unwrap();
+        thread::scope(|scope| {
+            let market = &market;
+            let schedule = &inserts;
+            scope.spawn(move |_| {
+                for &(rel, a, b) in schedule {
+                    match rel {
+                        0 => market.insert("R", [Tuple::new([Value::Int(a)])]).unwrap(),
+                        1 => market.insert("S", [tuple![a, b]]).unwrap(),
+                        _ => market.insert("T", [Tuple::new([Value::Int(b)])]).unwrap(),
+                    };
+                }
+            });
+            for _ in 0..3 {
+                scope.spawn(move |_| {
+                    for _ in 0..8 {
+                        for slot in market.quote_batch(&MIX_QUERIES) {
+                            assert!(slot.is_ok(), "{slot:?}");
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for query in MIX_QUERIES {
+            let cached = market.quote_str(query).unwrap().price;
+            prop_assert_eq!(
+                cached,
+                fresh_price(&market, query),
+                "stale cached quote for `{}`",
+                query
+            );
+        }
+    }
 }

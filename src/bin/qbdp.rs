@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! qbdp <market.qdp> quote "Q(x, y) :- R(x), S(x, y), T(y)"
+//! qbdp <market.qdp> price --batch queries.txt --threads 4
 //! qbdp --deadline-ms 50 --sell-degraded <market.qdp> repl
 //! ```
 //!
@@ -17,7 +18,8 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: qbdp [--deadline-ms N] [--sell-degraded] <market.qdp> <command> [args…]\n\
-         commands: quote | explain | buy | classify | insert | catalog | ledger | save | repl"
+         commands: quote | price [--batch <file> [--threads N]] | explain | buy |\n\
+         \x20         classify | insert | catalog | ledger | save | repl"
     );
     ExitCode::from(2)
 }

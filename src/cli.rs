@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! qbdp data/figure1.qdp quote    "Q(x, y) :- R(x), S(x, y), T(y)"
+//! qbdp data/figure1.qdp price    --batch queries.txt --threads 4
 //! qbdp data/figure1.qdp buy      "Q(x, y) :- R(x), S(x, y), T(y)"
 //! qbdp data/figure1.qdp classify "Q(x) :- S(x, y)"
 //! qbdp data/figure1.qdp catalog
@@ -33,6 +34,7 @@ pub fn run_command(market: &Market, command: &str) -> String {
         "" => String::new(),
         "help" => help_text(),
         "quote" => quote(market, rest),
+        "price" => price_cmd(market, rest),
         "explain" => match market.explain_str(rest) {
             Ok(text) => text,
             Err(e) => render_err(e),
@@ -76,6 +78,10 @@ pub fn repl(market: &Market, input: impl std::io::BufRead, mut output: impl std:
 fn help_text() -> String {
     "commands:\n\
      \x20 quote <rule>      price a query, e.g. quote Q(x) :- R(x)\n\
+     \x20 price <rule>      same as quote; or batch mode:\n\
+     \x20 price --batch <file> [--threads N]\n\
+     \x20                   price one rule per line in parallel (N workers;\n\
+     \x20                   0 or omitted = one per core)\n\
      \x20 explain <rule>    quote with a full narrative\n\
      \x20 save <path>       write the market back to a .qdp file\n\
      \x20 buy <rule>        purchase: price + answer + ledger entry\n\
@@ -113,6 +119,67 @@ fn quote(market: &Market, rule: &str) -> String {
         }
         Err(e) => render_err(e),
     }
+}
+
+/// `price <rule>` is an alias for `quote`; `price --batch <file>
+/// [--threads N]` prices one rule per line of `file` on the market's
+/// parallel batch path (`--threads 0` or omitted = one worker per core).
+fn price_cmd(market: &Market, rest: &str) -> String {
+    if !rest.starts_with("--batch") {
+        return quote(market, rest);
+    }
+    let mut tokens = rest.split_whitespace().skip(1);
+    let Some(path) = tokens.next() else {
+        return "price --batch expects a file path (one datalog rule per line)".to_string();
+    };
+    let mut threads: Option<usize> = None;
+    while let Some(tok) = tokens.next() {
+        match tok {
+            "--threads" => match tokens.next().and_then(|v| v.parse().ok()) {
+                Some(n) => threads = Some(n),
+                None => return "--threads expects an integer (0 = one per core)".to_string(),
+            },
+            other => return format!("unknown batch flag `{other}`"),
+        }
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return format!("cannot read {path}: {e}"),
+    };
+    let rules: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    if rules.is_empty() {
+        return format!("{path}: no queries (one datalog rule per line; # comments)");
+    }
+    if let Some(n) = threads {
+        let mut policy = market.policy();
+        policy.batch_workers = n;
+        market.set_policy(policy);
+    }
+    let results = market.quote_batch(&rules);
+    let mut out = String::new();
+    let mut priced = 0usize;
+    for (rule, res) in rules.iter().zip(&results) {
+        match res {
+            Ok(q) => {
+                priced += 1;
+                let tag = if q.quality.is_exact() {
+                    ""
+                } else {
+                    "  [upper bound]"
+                };
+                let _ = writeln!(out, "{:>10}  {}{tag}", q.price.to_string(), q.query);
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{:>10}  {rule} — {e}", "error");
+            }
+        }
+    }
+    let _ = write!(out, "priced {priced}/{} queries", rules.len());
+    out
 }
 
 fn buy(market: &Market, rule: &str) -> String {
@@ -261,6 +328,42 @@ mod tests {
         assert!(out.contains("error"), "{out}");
         let out = run_command(&m, "insert garbage");
         assert!(out.contains("insert expects"), "{out}");
+    }
+
+    #[test]
+    fn price_is_a_quote_alias() {
+        let m = market();
+        let out = run_command(&m, "price Q(x, y) :- R(x), S(x, y), T(y)");
+        assert!(out.contains("price : $6.00"), "{out}");
+    }
+
+    #[test]
+    fn price_batch_from_file() {
+        let m = market();
+        let path = std::env::temp_dir().join("qbdp_cli_batch_test.txt");
+        std::fs::write(
+            &path,
+            "# batch of three, one bad\n\
+             Q(x, y) :- R(x), S(x, y), T(y)\n\
+             \n\
+             Q(x) :- R(x)\n\
+             not a rule\n",
+        )
+        .unwrap();
+        let out = run_command(&m, &format!("price --batch {} --threads 2", path.display()));
+        std::fs::remove_file(&path).ok();
+        assert!(out.contains("$6.00"), "{out}");
+        assert!(out.contains("error"), "{out}");
+        assert!(out.contains("priced 2/3 queries"), "{out}");
+    }
+
+    #[test]
+    fn price_batch_flag_errors_are_friendly() {
+        let m = market();
+        assert!(run_command(&m, "price --batch").contains("expects a file path"));
+        assert!(run_command(&m, "price --batch /nonexistent-qbdp").contains("cannot read"));
+        let out = run_command(&m, "price --batch x --threads many");
+        assert!(out.contains("--threads expects"), "{out}");
     }
 
     #[test]

@@ -154,6 +154,44 @@ fn market_survives_engine_panic() {
     assert_eq!(purchase.quote.price, Price::dollars(6));
 }
 
+/// Acceptance: in a batch, an injected engine panic poisons only its own
+/// slot — batch-mates still get their quotes, and the next batch is
+/// completely healthy.
+#[test]
+fn injected_panic_poisons_only_its_own_batch_slot() {
+    let market = Market::open_qdp(FIG1_QDP).unwrap();
+    // One worker makes job order deterministic: slot 0 trips the one-shot
+    // trap, the rest price normally.
+    market.set_policy(MarketPolicy {
+        batch_workers: 1,
+        ..MarketPolicy::default()
+    });
+    let queries = [
+        "Q(x, y) :- R(x), S(x, y), T(y)",
+        "Q(x) :- R(x)",
+        "Q(y) :- T(y)",
+    ];
+
+    fault::arm_panic();
+    let out = market.quote_batch(&queries);
+    assert!(
+        matches!(out[0], Err(MarketError::Internal(_))),
+        "expected slot 0 poisoned, got {:?}",
+        out[0]
+    );
+    assert!(out[1].is_ok(), "{:?}", out[1]);
+    assert!(out[2].is_ok(), "{:?}", out[2]);
+
+    // The trap is one-shot; the next batch is fully healthy.
+    let healthy = market.quote_batch(&queries);
+    assert!(healthy.iter().all(|r| r.is_ok()));
+    assert_eq!(
+        healthy[0].as_ref().unwrap().price,
+        Price::dollars(6),
+        "post-panic batch must price Figure 1 exactly"
+    );
+}
+
 /// Policy: with `sell_degraded` off (the default), a budget-starved quote
 /// is refused with `DeadlineExceeded` instead of silently over-charging;
 /// flipping the policy sells the same quote as an upper bound.

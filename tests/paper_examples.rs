@@ -532,3 +532,97 @@ fn proposition_2_17_determinacy_via_consistency() {
     }
     assert_eq!(agreements, 18);
 }
+
+/// Golden pinned prices for the paper's named query families: Figure 1,
+/// the hard queries H1–H4 of Theorem 3.5, and cycles `C_k` for k = 3..6
+/// (Theorem 3.15), each on a fixed seeded instance with seeded random
+/// view prices.
+///
+/// The engine cross-check suite proves the three engines agree with
+/// *each other*; these pins anchor them to fixed absolute values, so a
+/// bug that shifts all engines together (e.g. in the shared determinacy
+/// oracle or in `Money` arithmetic) still trips a test. The cent values
+/// were computed by this implementation under three-engine agreement and
+/// must never drift.
+#[test]
+fn golden_prices_h_family_and_cycles() {
+    use qbdp::workload::{dbgen, prices as wprices, queries};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn priced(qs: &qbdp::workload::queries::QuerySet, seed: u64, tuples: usize) -> Quote {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = dbgen::populate_random(&qs.catalog, &mut rng, tuples).unwrap();
+        let prices = wprices::random(&qs.catalog, &mut rng, 1, 5);
+        let pricer = Pricer::new(qs.catalog.clone(), d, prices).unwrap();
+        pricer.price_cq(&qs.query).unwrap()
+    }
+
+    // H1(x,y,z) = R(x,y,z), S(x), T(y), U(z) — NP-complete, certificates.
+    let q = priced(&queries::h1_schema(3).unwrap(), 11, 12);
+    assert_eq!(q.price, Price::cents(3800), "H1 golden price drifted");
+    assert_eq!(q.method, PricingMethod::ExactCertificates);
+
+    // H2(x,y) = P(x), R(x,y), S(x,y) — NP-complete (C_2 + unary).
+    let q = priced(&queries::h2_schema(3).unwrap(), 12, 10);
+    assert_eq!(q.price, Price::cents(1700), "H2 golden price drifted");
+    assert_eq!(q.method, PricingMethod::ExactCertificates);
+
+    // H3(x,y) = P(x), A(x,y), P(y) — self-join, outside the dichotomy,
+    // priced by the exact engines regardless.
+    let col = Column::int_range(0, 3);
+    let catalog = CatalogBuilder::new()
+        .relation("P", &[("X", col.clone())])
+        .relation("A", &[("X", col.clone()), ("Y", col)])
+        .build()
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(13);
+    let d = dbgen::populate_random(&catalog, &mut rng, 8).unwrap();
+    let prices = wprices::random(&catalog, &mut rng, 1, 5);
+    let h3 = parse_rule(catalog.schema(), "H3(x, y) :- P(x), A(x, y), P(y)").unwrap();
+    assert_eq!(classify(&h3), QueryClass::OutsideDichotomy);
+    let q = Pricer::new(catalog, d, prices)
+        .unwrap()
+        .price_cq(&h3)
+        .unwrap();
+    assert_eq!(q.price, Price::cents(1800), "H3 golden price drifted");
+    assert_eq!(q.method, PricingMethod::ExactCertificates);
+
+    // H4(x) = R(x,y) — the simplest non-full CQ, subset engine.
+    let q = priced(&queries::h4_schema(3).unwrap(), 14, 8);
+    assert_eq!(q.price, Price::cents(700), "H4 golden price drifted");
+    assert_eq!(q.method, PricingMethod::ExactSubset);
+
+    // C_k for k = 3..6 — the Theorem 3.15 cycle algorithm.
+    let golden_cycles = [(3usize, 1400u64), (4, 1500), (5, 2400), (6, 2100)];
+    for (k, cents) in golden_cycles {
+        let q = priced(&queries::cycle_schema(k, 2).unwrap(), 20 + k as u64, 3);
+        assert_eq!(q.price, Price::cents(cents), "C_{k} golden price drifted");
+        assert_eq!(q.method, PricingMethod::CycleCertificates, "C_{k}");
+    }
+}
+
+/// Golden pin for Figure 1: the exact $6.00 (Example 3.8) *and* the exact
+/// minimal view multiset the receipt stands for, via the market layer so
+/// rendering is covered too.
+#[test]
+fn golden_figure1_receipt() {
+    let market = Market::open_qdp(include_str!("../data/figure1.qdp")).unwrap();
+    let quote = market.quote_str("Q(x, y) :- R(x), S(x, y), T(y)").unwrap();
+    assert_eq!(quote.price, Price::dollars(6));
+    assert_eq!(quote.quality, QuoteQuality::Exact);
+    let mut receipt = quote.receipt.clone();
+    receipt.sort();
+    assert_eq!(
+        receipt,
+        vec![
+            "σ[R.X=a1] @ $1.00",
+            "σ[R.X=a4] @ $1.00",
+            "σ[S.Y=b1] @ $1.00",
+            "σ[S.Y=b3] @ $1.00",
+            "σ[T.Y=b1] @ $1.00",
+            "σ[T.Y=b2] @ $1.00",
+        ],
+        "Figure 1 golden receipt drifted"
+    );
+}

@@ -1,6 +1,8 @@
 //! Offline stand-in for the subset of `crossbeam` that qbdp uses:
-//! `crossbeam::thread::scope` for borrowing scoped threads. Implemented
-//! over `std::thread::scope` (stable since 1.63), adapting to crossbeam's
+//! `crossbeam::thread::scope` for borrowing scoped threads, and
+//! `crossbeam::deque::Injector` as the shared job queue of the
+//! batch-pricing worker pool. The scope is implemented over
+//! `std::thread::scope` (stable since 1.63), adapting to crossbeam's
 //! callback signatures: spawn closures take a `&Scope` argument and
 //! `scope` returns a `Result` that is `Err` if any scoped thread panicked
 //! without its panic being claimed by an explicit `join`. That matches
@@ -58,8 +60,125 @@ pub mod thread {
     }
 }
 
+/// Work-stealing queues (mirrors the `crossbeam::deque` API surface qbdp
+/// uses: a FIFO [`deque::Injector`] that many workers steal from).
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Outcome of a [`Injector::steal`] attempt.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// One job was stolen.
+        Success(T),
+        /// The attempt lost a race; try again. (The mutex-based stand-in
+        /// never returns this, but callers loop on it as with upstream.)
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// `true` for [`Steal::Success`].
+        pub fn is_success(&self) -> bool {
+            matches!(self, Steal::Success(_))
+        }
+
+        /// Extract the stolen job, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// A FIFO injector queue shared by a pool of workers. Upstream's is a
+    /// lock-free Chase–Lev-style queue; this stand-in is a mutexed
+    /// `VecDeque` with the same interface, which is plenty for pricing
+    /// jobs that each cost far more than a lock handoff.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// An empty queue.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a job at the back.
+        pub fn push(&self, job: T) {
+            self.queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push_back(job);
+        }
+
+        /// Steal the job at the front.
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .pop_front()
+            {
+                Some(job) => Steal::Success(job),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .is_empty()
+        }
+
+        /// Number of queued jobs.
+        pub fn len(&self) -> usize {
+            self.queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .len()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn injector_is_fifo_and_thread_safe() {
+        use super::deque::{Injector, Steal};
+        let q = Injector::new();
+        for i in 0..100 {
+            q.push(i);
+        }
+        assert_eq!(q.len(), 100);
+        assert_eq!(q.steal(), Steal::Success(0));
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| loop {
+                    match q.steal() {
+                        Steal::Success(i) => {
+                            total.fetch_add(i, std::sync::atomic::Ordering::SeqCst);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(q.is_empty());
+        assert_eq!(total.into_inner(), (1..100).sum::<u64>());
+    }
+
     #[test]
     fn scoped_threads_borrow_and_join() {
         let data = [1u64, 2, 3, 4];
