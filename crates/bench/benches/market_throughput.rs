@@ -2,15 +2,20 @@
 //! directory scenario, plus E13b: batched vs serial pricing of a GChQ
 //! workload (the parallel worker-pool datapoint; on a single-core host
 //! the two land within noise of each other, the speedup appears with
-//! cores).
+//! cores), plus E15: the durability tax — purchase throughput with the
+//! write-ahead log off vs on under each fsync policy, and recovery time
+//! for a snapshot plus a 10k-event log replay.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use qbdp_core::Budget;
-use qbdp_market::Market;
+use qbdp_market::{DurableMarket, FsyncPolicy, Market};
+use qbdp_store::{MarketEvent, Wal};
 use qbdp_workload::scenarios::business::{generate, BusinessConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 fn market() -> Market {
     let mut rng = StdRng::seed_from_u64(13);
@@ -110,5 +115,84 @@ fn bench_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_quotes, bench_batch);
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "qbdp_bench_{tag}_{}_{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// E15: what the write-ahead log costs per purchase. `wal_off` is the
+/// in-memory market; the `wal_*` variants append + apply under each
+/// fsync policy (`always` = one `fdatasync` per mutation, `every_32`
+/// amortizes, `never` leaves syncing to the OS — the spread *is* the
+/// durability/throughput trade-off DESIGN.md §4.3 describes).
+fn bench_durability_tax(c: &mut Criterion) {
+    let qdp = market().to_qdp();
+    let buy = "Q(n, c) :- Business(n, 'S1', c)";
+    let mut group = c.benchmark_group("durability");
+    group.throughput(Throughput::Elements(1));
+    let plain = Market::open_qdp(&qdp).unwrap();
+    group.bench_function("purchase_wal_off", |b| {
+        b.iter(|| plain.purchase_str(black_box(buy)).unwrap().quote.price)
+    });
+    for (name, fsync) in [
+        ("purchase_wal_never", FsyncPolicy::Never),
+        ("purchase_wal_every_32", FsyncPolicy::EveryN(32)),
+        ("purchase_wal_always", FsyncPolicy::Always),
+    ] {
+        let dir = temp_dir(name);
+        let dm = DurableMarket::create(&dir, &qdp, fsync).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| dm.purchase_str(black_box(buy)).unwrap().quote.price)
+        });
+        drop(dm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
+/// E15b: recovery time = snapshot load + replay of a 10k-event log
+/// suffix (purchases forged straight into the WAL so building the
+/// fixture doesn't take a purchase evaluation per event).
+fn bench_recovery(c: &mut Criterion) {
+    let qdp = market().to_qdp();
+    let dir = temp_dir("recovery");
+    let dm = DurableMarket::create(&dir, &qdp, FsyncPolicy::Never).unwrap();
+    drop(dm);
+    {
+        let mut wal = Wal::open(dir.join("market.wal"), FsyncPolicy::Never).unwrap();
+        for i in 0..10_000u64 {
+            wal.append(&MarketEvent::Purchase {
+                query: "Q(n, c) :- Business(n, 'S1', c)".into(),
+                price_cents: 100 + i % 50,
+                answer_tuples: 3,
+                views: 8,
+            })
+            .unwrap();
+        }
+        wal.sync().unwrap();
+    }
+    let mut group = c.benchmark_group("recovery");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("snapshot_plus_10k_replay", |b| {
+        b.iter(|| {
+            let m = DurableMarket::open(&dir, FsyncPolicy::Never).unwrap();
+            assert_eq!(m.market().with_ledger(|l| l.sales()), 10_000);
+            m.market().revenue()
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(
+    benches,
+    bench_quotes,
+    bench_batch,
+    bench_durability_tax,
+    bench_recovery
+);
 criterion_main!(benches);

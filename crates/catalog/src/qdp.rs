@@ -223,20 +223,7 @@ impl QdpFile {
 
 /// Render a value in literal syntax that `parse_literal` accepts.
 fn render_value(v: &Value) -> String {
-    match v {
-        Value::Int(i) => i.to_string(),
-        Value::Text(s) => {
-            let bare = !s.is_empty()
-                && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
-                && s.chars()
-                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
-            if bare {
-                s.to_string()
-            } else {
-                format!("'{s}'")
-            }
-        }
-    }
+    v.render_literal()
 }
 
 /// Parse `Name(a, b, c)` into the name and raw argument strings.

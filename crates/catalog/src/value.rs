@@ -70,6 +70,28 @@ impl Value {
         }
         None
     }
+
+    /// Render back to the literal syntax [`Value::parse_literal`]
+    /// accepts: integers bare, identifier-shaped texts bare, everything
+    /// else single-quoted. Round-trips for every value the parser can
+    /// produce, so the `.qdp` format and the durable event log can use it
+    /// as their wire form.
+    pub fn render_literal(&self) -> String {
+        match self {
+            Value::Int(i) => i.to_string(),
+            Value::Text(s) => {
+                let bare = !s.is_empty()
+                    && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
+                    && s.chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+                if bare {
+                    s.to_string()
+                } else {
+                    format!("'{s}'")
+                }
+            }
+        }
+    }
 }
 
 impl fmt::Display for Value {

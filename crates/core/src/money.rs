@@ -54,6 +54,22 @@ impl Price {
         !self.is_infinite()
     }
 
+    /// Checked addition: `None` if either operand is `INFINITE` or the
+    /// sum would reach the sentinel. The durable-recovery path uses this
+    /// so replaying a pathological purchase history surfaces a typed
+    /// overflow error instead of silently saturating revenue to ∞.
+    pub fn checked_add(self, other: Price) -> Option<Price> {
+        if self.is_infinite() || other.is_infinite() {
+            return None;
+        }
+        let sum = self.0.checked_add(other.0)?;
+        if sum >= qbdp_flow::INF {
+            None
+        } else {
+            Some(Price(sum))
+        }
+    }
+
     /// Saturating addition: any operand `INFINITE` ⇒ result `INFINITE`.
     pub fn saturating_add(self, other: Price) -> Price {
         if self.is_infinite() || other.is_infinite() {
@@ -135,6 +151,22 @@ mod tests {
         assert_eq!(total, Price::cents(30));
         let total: Price = [Price::cents(10), Price::INFINITE].into_iter().sum();
         assert!(total.is_infinite());
+    }
+
+    #[test]
+    fn checked_arithmetic() {
+        assert_eq!(
+            Price::cents(1).checked_add(Price::cents(2)),
+            Some(Price::cents(3))
+        );
+        assert_eq!(Price::INFINITE.checked_add(Price::cents(1)), None);
+        assert_eq!(Price::cents(1).checked_add(Price::INFINITE), None);
+        // Two finite prices whose sum crosses the sentinel: checked
+        // refuses where saturating would clamp to ∞.
+        let big = Price::cents(qbdp_flow::INF - 1);
+        assert!(big.is_finite());
+        assert_eq!(big.checked_add(big), None);
+        assert!(big.saturating_add(big).is_infinite());
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! [`MarketOps`]: one mutation-polymorphic surface over [`Market`] and
+//! [`DurableMarket`].
+//!
+//! Hosts (the CLI, tests, embedders) are generic over `M: MarketOps` and
+//! serve either flavor through the same code path. Reads always come
+//! from the in-memory market ([`MarketOps::base`]) — quoting, explains,
+//! catalog introspection, and `.qdp` serialization are identical whether
+//! or not a log sits underneath. Mutations go through the trait so the
+//! durable implementation can write ahead; the in-memory implementation
+//! just forwards.
+
+use crate::durable::DurableMarket;
+use crate::error::MarketError;
+use crate::market::{Market, MarketPolicy, Purchase};
+use qbdp_catalog::Tuple;
+use qbdp_core::Price;
+
+/// The common market surface. See the module docs.
+pub trait MarketOps {
+    /// The in-memory market answering all read-side calls.
+    fn base(&self) -> &Market;
+
+    /// Seller-side tuple insertion (§2.7); durable when the
+    /// implementation is. Returns the number of tuples actually added.
+    fn insert(&self, relation: &str, tuples: Vec<Tuple>) -> Result<usize, MarketError>;
+
+    /// Seller-side price revision (`R.X=a` selector syntax).
+    fn set_price(&self, view: &str, price: Price) -> Result<(), MarketError>;
+
+    /// Purchase a query given in datalog syntax.
+    fn purchase_str(&self, query: &str) -> Result<Purchase, MarketError>;
+
+    /// Replace the governance policy. Fallible because the durable
+    /// implementation logs the change before applying it.
+    fn set_policy(&self, policy: MarketPolicy) -> Result<(), MarketError>;
+
+    /// The durable wrapper, when this market has one — for operations
+    /// that only make sense with a log (compaction, forced sync).
+    fn durable(&self) -> Option<&DurableMarket> {
+        None
+    }
+}
+
+impl MarketOps for Market {
+    fn base(&self) -> &Market {
+        self
+    }
+
+    fn insert(&self, relation: &str, tuples: Vec<Tuple>) -> Result<usize, MarketError> {
+        Market::insert(self, relation, tuples)
+    }
+
+    fn set_price(&self, view: &str, price: Price) -> Result<(), MarketError> {
+        Market::set_price(self, view, price)
+    }
+
+    fn purchase_str(&self, query: &str) -> Result<Purchase, MarketError> {
+        Market::purchase_str(self, query)
+    }
+
+    fn set_policy(&self, policy: MarketPolicy) -> Result<(), MarketError> {
+        Market::set_policy(self, policy);
+        Ok(())
+    }
+}
+
+impl MarketOps for DurableMarket {
+    fn base(&self) -> &Market {
+        self.market()
+    }
+
+    fn insert(&self, relation: &str, tuples: Vec<Tuple>) -> Result<usize, MarketError> {
+        DurableMarket::insert(self, relation, tuples)
+    }
+
+    fn set_price(&self, view: &str, price: Price) -> Result<(), MarketError> {
+        DurableMarket::set_price(self, view, price)
+    }
+
+    fn purchase_str(&self, query: &str) -> Result<Purchase, MarketError> {
+        DurableMarket::purchase_str(self, query)
+    }
+
+    fn set_policy(&self, policy: MarketPolicy) -> Result<(), MarketError> {
+        DurableMarket::set_policy(self, policy)
+    }
+
+    fn durable(&self) -> Option<&DurableMarket> {
+        Some(self)
+    }
+}

@@ -120,6 +120,18 @@ impl ShardedQuoteCache {
     pub(crate) fn len(&self) -> usize {
         self.shards.iter().map(|s| s.read().len()).sum()
     }
+
+    /// Clear the shards and rewind the epoch to 0. Recovery uses this
+    /// after replay: the replayed inserts bumped the epoch many times,
+    /// but a recovered market starts with an empty cache and should tag
+    /// fresh quotes from epoch 0 like a newly opened one (pre-crash
+    /// cache entries died with the process; none can survive to here).
+    pub(crate) fn reset(&self) {
+        self.epoch.store(0, Ordering::SeqCst);
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,595 @@
+//! [`DurableMarket`]: a [`Market`] whose every mutation is written to a
+//! `qbdp-store` write-ahead log before it is applied, so the market can
+//! be reopened — or recovered after a crash — byte-exactly from a
+//! directory.
+//!
+//! # Layout
+//!
+//! ```text
+//! <dir>/snapshot.qdps   atomic checksummed snapshot (state @ wal_pos)
+//! <dir>/market.wal      CRC-framed event log (suffix since snapshot)
+//! ```
+//!
+//! The snapshot's `market` section is the existing [`Market::to_qdp`]
+//! text; `ledger` and `policy` sections carry what `.qdp` does not.
+//! Recovery is snapshot-load + suffix-replay.
+//!
+//! # Write protocol
+//!
+//! Every mutating call takes the WAL mutex, appends the event, and only
+//! then applies it to the in-memory market (which takes the state write
+//! lock internally, preserving the epoch/cache invalidation protocol —
+//! the cache epoch is still bumped under the state write lock by the
+//! apply itself). Holding the WAL mutex across append + apply makes log
+//! order equal apply order, so replay reproduces the live sequence.
+//!
+//! A mutation that fails *validation* during apply (unknown relation,
+//! value outside its column, an arbitrage-inducing price revision) has
+//! already been logged; that is harmless, because validation is a pure
+//! function of market state and replay — seeing the identical state —
+//! skips it with the identical verdict. What can never happen is the
+//! converse: an applied-but-unlogged mutation, the one that would make
+//! recovery forget acknowledged state.
+//!
+//! # Recovery invariants
+//!
+//! * **Prefix consistency**: for any byte the log was cut at, recovery
+//!   produces the state of a market that applied exactly the durable
+//!   prefix (the torn tail is truncated by [`Wal::open`]).
+//! * **Checked books**: ledger replay uses checked revenue arithmetic;
+//!   an overflowing history surfaces [`MarketError::RevenueOverflow`]
+//!   instead of wrapping.
+//! * **Cold cache at epoch 0**: replay bumps the quote-cache epoch once
+//!   per mutation like live traffic would, and the epilogue resets the
+//!   (empty) cache to epoch 0 — a recovered market is indistinguishable
+//!   from a freshly opened one and cannot serve pre-crash entries.
+
+use crate::error::MarketError;
+use crate::ledger::Ledger;
+use crate::market::{Market, MarketPolicy, MarketQuote, Purchase};
+use parking_lot::Mutex;
+use qbdp_catalog::{Tuple, Value};
+use qbdp_core::Price;
+use qbdp_store::{FsyncPolicy, MarketEvent, Snapshot, StoreError, Wal};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Snapshot filename inside a durable market directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.qdps";
+/// WAL filename inside a durable market directory.
+pub const WAL_FILE: &str = "market.wal";
+
+/// One step of a recovery replay, as seen by an observer callback.
+#[derive(Debug)]
+pub enum ReplayStep<'a> {
+    /// The snapshot has been loaded; no log events applied yet.
+    SnapshotLoaded,
+    /// One log event has just been applied.
+    Applied(&'a MarketEvent),
+}
+
+/// A market with a write-ahead log and snapshots under a directory.
+pub struct DurableMarket {
+    market: Market,
+    wal: Mutex<Wal>,
+    dir: PathBuf,
+}
+
+impl std::fmt::Debug for DurableMarket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableMarket")
+            .field("dir", &self.dir)
+            .field("wal_position", &self.wal.lock().position())
+            .finish_non_exhaustive()
+    }
+}
+
+fn corrupt(offset: u64, reason: impl Into<String>) -> MarketError {
+    MarketError::Store(StoreError::CorruptRecord {
+        offset,
+        reason: reason.into(),
+    })
+}
+
+fn policy_text(p: &MarketPolicy) -> String {
+    let opt = |v: Option<u64>| v.map_or("-".to_string(), |v| v.to_string());
+    format!(
+        "deadline_ms {}\nfuel {}\nsell_degraded {}\nmax_in_flight {}\nbatch_workers {}\n",
+        opt(p.deadline.map(|d| d.as_millis() as u64)),
+        opt(p.fuel),
+        u8::from(p.sell_degraded),
+        p.max_in_flight,
+        p.batch_workers,
+    )
+}
+
+fn parse_policy(text: &str) -> Result<MarketPolicy, StoreError> {
+    let bad = |m: &str| StoreError::CorruptSnapshot(format!("policy section: {m}"));
+    let mut lines = text.lines();
+    let mut field = |key: &str| -> Result<String, StoreError> {
+        lines
+            .next()
+            .and_then(|l| l.strip_prefix(key))
+            .map(|v| v.trim().to_string())
+            .ok_or_else(|| bad(&format!("missing `{key}`")))
+    };
+    let opt = |v: &str| -> Result<Option<u64>, StoreError> {
+        if v == "-" {
+            Ok(None)
+        } else {
+            v.parse().map(Some).map_err(|_| bad("bad number"))
+        }
+    };
+    let deadline = opt(&field("deadline_ms ")?)?.map(Duration::from_millis);
+    let fuel = opt(&field("fuel ")?)?;
+    let sell_degraded = field("sell_degraded ")? == "1";
+    let max_in_flight = field("max_in_flight ")?
+        .parse::<u64>()
+        .map_err(|_| bad("bad max_in_flight"))? as usize;
+    let batch_workers = field("batch_workers ")?
+        .parse::<u64>()
+        .map_err(|_| bad("bad batch_workers"))? as usize;
+    Ok(MarketPolicy {
+        deadline,
+        fuel,
+        sell_degraded,
+        max_in_flight,
+        batch_workers,
+    })
+}
+
+fn policy_event(p: &MarketPolicy) -> MarketEvent {
+    MarketEvent::PolicyChange {
+        deadline_ms: p.deadline.map(|d| d.as_millis() as u64),
+        fuel: p.fuel,
+        sell_degraded: p.sell_degraded,
+        max_in_flight: p.max_in_flight as u64,
+        batch_workers: p.batch_workers as u64,
+    }
+}
+
+impl DurableMarket {
+    /// Initialize `dir` as a durable market seeded from `.qdp` text:
+    /// write the genesis snapshot (covering log position 0) and an empty
+    /// log. Fails with [`StoreError::AlreadyInitialized`] if a snapshot
+    /// already exists.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        qdp: &str,
+        fsync: FsyncPolicy,
+    ) -> Result<DurableMarket, MarketError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(StoreError::from)?;
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        if snapshot_path.exists() {
+            return Err(MarketError::Store(StoreError::AlreadyInitialized));
+        }
+        // Validate the seed (consistency check included) before touching
+        // disk, and serialize the *parsed* form so the snapshot is
+        // canonical from day one.
+        let market = Market::open_qdp(qdp)?;
+        let mut snapshot = Snapshot::new(0);
+        snapshot.push_section("market", market.to_qdp());
+        snapshot.push_section("ledger", Ledger::new().to_snapshot_text());
+        snapshot.push_section("policy", policy_text(&market.policy()));
+        snapshot.write(&snapshot_path)?;
+        let mut wal = Wal::open(dir.join(WAL_FILE), fsync)?;
+        // A stale log without a snapshot is not a market; the genesis
+        // snapshot covers position 0, so drop whatever was there.
+        if wal.position() != 0 {
+            wal.reset()?;
+        }
+        Ok(DurableMarket {
+            market,
+            wal: Mutex::new(wal),
+            dir,
+        })
+    }
+
+    /// Open an initialized durable market: load the snapshot, replay the
+    /// log suffix it does not cover, reset the quote cache to epoch 0.
+    pub fn open(dir: impl AsRef<Path>, fsync: FsyncPolicy) -> Result<DurableMarket, MarketError> {
+        Self::open_with_observer(dir, fsync, |_, _| {})
+    }
+
+    /// [`DurableMarket::open`] with a callback invoked once after the
+    /// snapshot loads and once after each replayed event — the hook the
+    /// CLI `replay` verb uses to record §2.7 price trajectories without
+    /// duplicating recovery logic.
+    pub fn open_with_observer(
+        dir: impl AsRef<Path>,
+        fsync: FsyncPolicy,
+        mut observer: impl FnMut(ReplayStep<'_>, &Market),
+    ) -> Result<DurableMarket, MarketError> {
+        let dir = dir.as_ref().to_path_buf();
+        let snapshot = Snapshot::load(dir.join(SNAPSHOT_FILE))?;
+        let qdp = snapshot
+            .section("market")
+            .ok_or_else(|| StoreError::CorruptSnapshot("missing `market` section".into()))?;
+        let market = Market::open_qdp(qdp)?;
+        let ledger_text = snapshot
+            .section("ledger")
+            .ok_or_else(|| StoreError::CorruptSnapshot("missing `ledger` section".into()))?;
+        let ledger = Ledger::from_snapshot_text(ledger_text)
+            .map_err(|m| StoreError::CorruptSnapshot(format!("ledger section: {m}")))?;
+        market.restore_ledger(ledger);
+        if let Some(text) = snapshot.section("policy") {
+            market.set_policy(parse_policy(text)?);
+        }
+        let wal = Wal::open(dir.join(WAL_FILE), fsync)?;
+        observer(ReplayStep::SnapshotLoaded, &market);
+        for record in wal.replay_from(snapshot.wal_pos)? {
+            apply_event(&market, &record.event, record.start)?;
+            observer(ReplayStep::Applied(&record.event), &market);
+        }
+        market.reset_cache();
+        Ok(DurableMarket {
+            market,
+            wal: Mutex::new(wal),
+            dir,
+        })
+    }
+
+    /// Open `dir` if initialized; otherwise, when seed `.qdp` text is
+    /// provided, initialize it. The CLI `serve-dir` verb's semantics.
+    pub fn open_or_create(
+        dir: impl AsRef<Path>,
+        seed_qdp: Option<&str>,
+        fsync: FsyncPolicy,
+    ) -> Result<DurableMarket, MarketError> {
+        let dir = dir.as_ref();
+        if dir.join(SNAPSHOT_FILE).exists() {
+            Self::open(dir, fsync)
+        } else if let Some(qdp) = seed_qdp {
+            Self::create(dir, qdp, fsync)
+        } else {
+            Err(MarketError::Store(StoreError::SnapshotMissing))
+        }
+    }
+
+    /// The wrapped in-memory market, for read-side access (quotes,
+    /// explains, introspection). Mutations **must** go through the
+    /// durable methods or they will not survive a restart.
+    pub fn market(&self) -> &Market {
+        &self.market
+    }
+
+    /// The directory this market persists under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current end-of-log position (bytes).
+    pub fn wal_position(&self) -> u64 {
+        self.wal.lock().position()
+    }
+
+    /// Durable seller-side tuple insertion (§2.7). Logged and applied
+    /// one tuple at a time so replay reproduces the exact ledger
+    /// sequence; returns the number of tuples actually added (duplicates
+    /// are logged but add 0, same as the in-memory market).
+    pub fn insert(
+        &self,
+        relation: &str,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<usize, MarketError> {
+        let mut wal = self.wal.lock();
+        let mut added = 0usize;
+        for tuple in tuples {
+            let event = MarketEvent::InsertTuple {
+                relation: relation.to_string(),
+                values: tuple.iter().map(Value::render_literal).collect(),
+            };
+            wal.append(&event)?;
+            added += self.market.insert(relation, [tuple])?;
+        }
+        Ok(added)
+    }
+
+    /// Durable seller-side price revision (`R.X=a` selector syntax).
+    pub fn set_price(&self, view: &str, price: Price) -> Result<(), MarketError> {
+        let mut wal = self.wal.lock();
+        wal.append(&MarketEvent::SetPrice {
+            view: view.to_string(),
+            cents: price.as_cents(),
+        })?;
+        self.market.set_price(view, price)
+    }
+
+    /// Durable purchase: quote and evaluate, log the terms, then record
+    /// the sale. Overflowing revenue is refused *before* the event is
+    /// logged, so the log never contains an unreplayable purchase.
+    pub fn purchase_str(&self, query: &str) -> Result<Purchase, MarketError> {
+        let wal = &mut *self.wal.lock();
+        let (quote, answer) = self.market.evaluate_purchase(query)?;
+        if self.market.revenue().checked_add(quote.price).is_none() {
+            return Err(MarketError::RevenueOverflow);
+        }
+        wal.append(&MarketEvent::Purchase {
+            query: quote.query.clone(),
+            price_cents: quote.price.as_cents(),
+            answer_tuples: answer.len() as u64,
+            views: quote.views.len() as u64,
+        })?;
+        let transaction_id = self.market.apply_recorded_sale(
+            quote.query.clone(),
+            quote.price,
+            answer.len(),
+            quote.views.len(),
+        )?;
+        Ok(Purchase {
+            transaction_id,
+            quote,
+            answer,
+        })
+    }
+
+    /// Durable policy change.
+    pub fn set_policy(&self, policy: MarketPolicy) -> Result<(), MarketError> {
+        let mut wal = self.wal.lock();
+        wal.append(&policy_event(&policy))?;
+        self.market.set_policy(policy);
+        Ok(())
+    }
+
+    /// Quote (read-only; served from the in-memory market and its cache).
+    pub fn quote_str(&self, query: &str) -> Result<MarketQuote, MarketError> {
+        self.market.quote_str(query)
+    }
+
+    /// Batch quote (read-only).
+    pub fn quote_batch(&self, queries: &[&str]) -> Vec<Result<MarketQuote, MarketError>> {
+        self.market.quote_batch(queries)
+    }
+
+    /// Force the log to stable storage regardless of the fsync policy.
+    pub fn sync(&self) -> Result<(), MarketError> {
+        Ok(self.wal.lock().sync()?)
+    }
+
+    /// Write a fresh snapshot covering the whole log, then truncate the
+    /// log. Two-phase so a crash at any point recovers correctly: the
+    /// snapshot covering position `P` lands atomically *before* the log
+    /// is truncated (crash between the two → replay-from-`P` of a
+    /// shorter log is empty), and the final snapshot rewrite just
+    /// rebases the recorded position to the now-empty log.
+    ///
+    /// Returns the log position the snapshot covers (bytes compacted).
+    pub fn compact(&self) -> Result<u64, MarketError> {
+        let mut wal = self.wal.lock();
+        let covered = wal.position();
+        wal.append(&MarketEvent::SnapshotMark { wal_pos: covered })?;
+        wal.sync()?;
+        let mut snapshot = Snapshot::new(wal.position());
+        snapshot.push_section("market", self.market.to_qdp());
+        snapshot.push_section("ledger", self.market.with_ledger(Ledger::to_snapshot_text));
+        snapshot.push_section("policy", policy_text(&self.market.policy()));
+        let path = self.dir.join(SNAPSHOT_FILE);
+        snapshot.write(&path)?;
+        wal.reset()?;
+        snapshot.wal_pos = 0;
+        snapshot.write(&path)?;
+        Ok(covered)
+    }
+}
+
+/// Apply one logged event to a recovering market. Validation failures
+/// are skipped (they were returned to the live caller as errors and
+/// mutated nothing — see the module docs); undecodable literals and
+/// overflowing books are hard errors.
+fn apply_event(market: &Market, event: &MarketEvent, offset: u64) -> Result<(), MarketError> {
+    match event {
+        MarketEvent::SetPrice { view, cents } => {
+            let _ = market.set_price(view, Price::cents(*cents));
+        }
+        MarketEvent::InsertTuple { relation, values } => {
+            let parsed: Option<Vec<Value>> =
+                values.iter().map(|v| Value::parse_literal(v)).collect();
+            let Some(parsed) = parsed else {
+                return Err(corrupt(offset, "unparseable tuple literal"));
+            };
+            let _ = market.insert(relation, [Tuple::new(parsed)]);
+        }
+        MarketEvent::Purchase {
+            query,
+            price_cents,
+            answer_tuples,
+            views,
+        } => {
+            market.apply_recorded_sale(
+                query.clone(),
+                Price::cents(*price_cents),
+                *answer_tuples as usize,
+                *views as usize,
+            )?;
+        }
+        MarketEvent::PolicyChange {
+            deadline_ms,
+            fuel,
+            sell_degraded,
+            max_in_flight,
+            batch_workers,
+        } => {
+            market.set_policy(MarketPolicy {
+                deadline: deadline_ms.map(Duration::from_millis),
+                fuel: *fuel,
+                sell_degraded: *sell_degraded,
+                max_in_flight: *max_in_flight as usize,
+                batch_workers: *batch_workers as usize,
+            });
+        }
+        MarketEvent::SnapshotMark { .. } => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    const QDP: &str = r#"
+schema R(X)
+schema S(X, Y)
+schema T(Y)
+column R.X = {a1, a2, a3, a4}
+column S.X = {a1, a2, a3, a4}
+column S.Y = {b1, b2, b3}
+column T.Y = {b1, b2, b3}
+tuple R(a1)
+tuple R(a2)
+tuple S(a1, b1)
+tuple S(a1, b2)
+tuple S(a2, b2)
+tuple S(a4, b1)
+tuple T(b1)
+tuple T(b3)
+price R.X=a1 100
+price R.X=a2 100
+price R.X=a3 100
+price R.X=a4 100
+price S.X=a1 100
+price S.X=a2 100
+price S.X=a3 100
+price S.X=a4 100
+price S.Y=b1 100
+price S.Y=b2 100
+price S.Y=b3 100
+price T.Y=b1 100
+price T.Y=b2 100
+price T.Y=b3 100
+"#;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "qbdp_durable_{tag}_{}_{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn drive(dm: &DurableMarket) {
+        dm.insert("R", [Tuple::new([Value::text("a3")])]).unwrap();
+        dm.set_price("T.Y=b2", Price::cents(250)).unwrap();
+        dm.purchase_str("Q(x) :- R(x)").unwrap();
+        dm.purchase_str("Q(x, y) :- R(x), S(x, y), T(y)").unwrap();
+        let mut policy = dm.market().policy();
+        policy.fuel = Some(1_000_000);
+        dm.set_policy(policy).unwrap();
+    }
+
+    fn assert_same(a: &Market, b: &Market) {
+        assert_eq!(a.to_qdp(), b.to_qdp());
+        assert_eq!(a.revenue(), b.revenue());
+        assert_eq!(
+            a.with_ledger(Ledger::to_snapshot_text),
+            b.with_ledger(Ledger::to_snapshot_text)
+        );
+        assert_eq!(a.policy(), b.policy());
+        let q = "Q(x, y) :- R(x), S(x, y)";
+        let qa = a.quote_str(q).unwrap();
+        let qb = b.quote_str(q).unwrap();
+        assert_eq!(qa.price, qb.price);
+        assert_eq!(qa.quality, qb.quality);
+    }
+
+    #[test]
+    fn reopen_replays_to_identical_state() {
+        let dir = temp_dir("reopen");
+        let dm = DurableMarket::create(&dir, QDP, FsyncPolicy::Never).unwrap();
+        drive(&dm);
+        let live_qdp = dm.market().to_qdp();
+        drop(dm);
+        let back = DurableMarket::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(back.market().to_qdp(), live_qdp);
+        assert_eq!(back.market().cache_epoch(), 0, "recovered cache is cold");
+        let fresh = Market::open_qdp(&live_qdp).unwrap();
+        assert_eq!(fresh.to_qdp(), back.market().to_qdp());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_then_reopen_matches_wal_reopen() {
+        let dir_a = temp_dir("compact_a");
+        let dir_b = temp_dir("compact_b");
+        let a = DurableMarket::create(&dir_a, QDP, FsyncPolicy::Never).unwrap();
+        let b = DurableMarket::create(&dir_b, QDP, FsyncPolicy::Never).unwrap();
+        drive(&a);
+        drive(&b);
+        let compacted = a.compact().unwrap();
+        assert!(compacted > 0);
+        assert_eq!(a.wal_position(), 0, "compaction truncates the log");
+        // Post-compaction mutations land in the fresh log.
+        a.insert("T", [Tuple::new([Value::text("b2")])]).unwrap();
+        b.insert("T", [Tuple::new([Value::text("b2")])]).unwrap();
+        drop(a);
+        drop(b);
+        let a = DurableMarket::open(&dir_a, FsyncPolicy::Never).unwrap();
+        let b = DurableMarket::open(&dir_b, FsyncPolicy::Never).unwrap();
+        assert_same(a.market(), b.market());
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    #[test]
+    fn create_refuses_existing_directory() {
+        let dir = temp_dir("exists");
+        let dm = DurableMarket::create(&dir, QDP, FsyncPolicy::Never).unwrap();
+        drop(dm);
+        match DurableMarket::create(&dir, QDP, FsyncPolicy::Never) {
+            Err(MarketError::Store(StoreError::AlreadyInitialized)) => {}
+            other => panic!("expected AlreadyInitialized, got {other:?}"),
+        }
+        // open_or_create falls through to open.
+        assert!(DurableMarket::open_or_create(&dir, None, FsyncPolicy::Never).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_uninitialized_is_snapshot_missing() {
+        let dir = temp_dir("missing");
+        match DurableMarket::open(&dir, FsyncPolicy::Never) {
+            Err(MarketError::Store(StoreError::SnapshotMissing)) => {}
+            other => panic!("expected SnapshotMissing, got {other:?}"),
+        }
+        match DurableMarket::open_or_create(&dir, None, FsyncPolicy::Never) {
+            Err(MarketError::Store(StoreError::SnapshotMissing)) => {}
+            other => panic!("expected SnapshotMissing, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejected_mutations_replay_as_no_ops() {
+        let dir = temp_dir("rejected");
+        let dm = DurableMarket::create(&dir, QDP, FsyncPolicy::Never).unwrap();
+        dm.insert("R", [Tuple::new([Value::text("a3")])]).unwrap();
+        // Outside the declared column: refused live, logged, and must be
+        // skipped identically on replay.
+        assert!(dm.insert("R", [Tuple::new([Value::text("zz")])]).is_err());
+        assert!(dm.set_price("R.X=zz", Price::cents(5)).is_err());
+        dm.purchase_str("Q(x) :- R(x)").unwrap();
+        let live_qdp = dm.market().to_qdp();
+        let live_revenue = dm.market().revenue();
+        drop(dm);
+        let back = DurableMarket::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(back.market().to_qdp(), live_qdp);
+        assert_eq!(back.market().revenue(), live_revenue);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn policy_text_roundtrips() {
+        let p = MarketPolicy {
+            deadline: Some(Duration::from_millis(1500)),
+            fuel: Some(42),
+            sell_degraded: true,
+            batch_workers: 8,
+            ..Default::default()
+        };
+        let back = parse_policy(&policy_text(&p)).unwrap();
+        assert_eq!(back, p);
+        assert!(parse_policy("garbage").is_err());
+    }
+}

@@ -2,6 +2,7 @@
 
 use qbdp_core::PricingError;
 use qbdp_query::QueryError;
+use qbdp_store::StoreError;
 use std::fmt;
 
 /// Errors surfaced by the marketplace.
@@ -27,6 +28,14 @@ pub enum MarketError {
     /// A pricing engine panicked; the panic was contained at the market
     /// boundary and the market keeps serving other requests.
     Internal(String),
+    /// The durability layer failed (I/O, corrupt log record, damaged
+    /// snapshot…). For a live mutation this means the event was **not**
+    /// durably recorded and the in-memory state was left unchanged.
+    Store(StoreError),
+    /// Replaying the recorded history would push total revenue past the
+    /// representable range. Recovery refuses rather than wrapping or
+    /// silently saturating (the recovered books must equal the real ones).
+    RevenueOverflow,
 }
 
 impl fmt::Display for MarketError {
@@ -54,6 +63,14 @@ impl fmt::Display for MarketError {
             MarketError::Internal(m) => {
                 write!(f, "internal pricing failure (contained): {m}")
             }
+            MarketError::Store(e) => write!(f, "durability failure: {e}"),
+            MarketError::RevenueOverflow => {
+                write!(
+                    f,
+                    "replayed revenue exceeds the representable range; \
+                     refusing to recover wrapped books"
+                )
+            }
         }
     }
 }
@@ -69,5 +86,11 @@ impl From<PricingError> for MarketError {
 impl From<QueryError> for MarketError {
     fn from(e: QueryError) -> Self {
         MarketError::Query(e)
+    }
+}
+
+impl From<StoreError> for MarketError {
+    fn from(e: StoreError) -> Self {
+        MarketError::Store(e)
     }
 }

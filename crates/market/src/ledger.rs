@@ -81,6 +81,33 @@ impl Ledger {
         id
     }
 
+    /// Record a sale with **checked** revenue arithmetic: `None` (and no
+    /// state change) if the new total would overflow. The durable paths
+    /// use this — both live appends and recovery replay — so the books
+    /// can never silently wrap or saturate, and a replayed history is
+    /// guaranteed to reproduce the live totals digit for digit.
+    pub fn record_sale_checked(
+        &mut self,
+        query: String,
+        price: Price,
+        answer_tuples: usize,
+        views: usize,
+    ) -> Option<u64> {
+        let revenue = self.revenue.checked_add(price)?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.revenue = revenue;
+        self.transactions.push(Transaction::Sale {
+            id,
+            query,
+            price,
+            answer_tuples,
+            views,
+            at: Instant::now(),
+        });
+        Some(id)
+    }
+
     /// Record an update; returns its id.
     pub fn record_update(&mut self, relation: String, added: usize) -> u64 {
         let id = self.next_id;
@@ -111,6 +138,120 @@ impl Ledger {
             .filter(|t| matches!(t, Transaction::Sale { .. }))
             .count()
     }
+
+    /// Serialize for a durable snapshot: one header line each for the
+    /// running totals, then one line per transaction. Timestamps are
+    /// process-relative [`Instant`]s and are deliberately not persisted.
+    pub fn to_snapshot_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("revenue {}\n", self.revenue.as_cents()));
+        out.push_str(&format!("next_id {}\n", self.next_id));
+        for t in &self.transactions {
+            match t {
+                Transaction::Sale {
+                    id,
+                    query,
+                    price,
+                    answer_tuples,
+                    views,
+                    at: _,
+                } => {
+                    out.push_str(&format!(
+                        "sale {id} {} {answer_tuples} {views} {query}\n",
+                        price.as_cents()
+                    ));
+                }
+                Transaction::Update {
+                    id,
+                    relation,
+                    added,
+                    at: _,
+                } => {
+                    out.push_str(&format!("update {id} {added} {relation}\n"));
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuild a ledger from [`Ledger::to_snapshot_text`] output. The
+    /// stored revenue total is cross-checked against the checked sum of
+    /// the sale lines, so a tampered or wrapped total is refused.
+    pub fn from_snapshot_text(text: &str) -> Result<Ledger, String> {
+        let mut lines = text.lines();
+        let header = |line: Option<&str>, key: &str| -> Result<u64, String> {
+            line.and_then(|l| l.strip_prefix(key))
+                .and_then(|v| v.trim().parse().ok())
+                .ok_or_else(|| format!("bad ledger `{key}` line"))
+        };
+        let revenue = Price::cents(header(lines.next(), "revenue ")?);
+        let next_id = header(lines.next(), "next_id ")?;
+        let mut transactions = Vec::new();
+        let mut sum = Price::ZERO;
+        for line in lines {
+            let mut parts = line.splitn(2, ' ');
+            let kind = parts.next().unwrap_or_default();
+            let rest = parts.next().unwrap_or_default();
+            match kind {
+                "sale" => {
+                    let mut f = rest.splitn(5, ' ');
+                    let mut num = |name: &str| -> Result<u64, String> {
+                        f.next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| format!("bad sale {name} in `{line}`"))
+                    };
+                    let id = num("id")?;
+                    let price = Price::cents(num("price")?);
+                    let answer_tuples = num("answer_tuples")? as usize;
+                    let views = num("views")? as usize;
+                    let query = f.next().unwrap_or_default().to_string();
+                    sum = sum
+                        .checked_add(price)
+                        .ok_or_else(|| "ledger revenue overflows".to_string())?;
+                    transactions.push(Transaction::Sale {
+                        id,
+                        query,
+                        price,
+                        answer_tuples,
+                        views,
+                        at: Instant::now(),
+                    });
+                }
+                "update" => {
+                    let mut f = rest.splitn(3, ' ');
+                    let id = f
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("bad update id in `{line}`"))?;
+                    let added = f
+                        .next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .ok_or_else(|| format!("bad update count in `{line}`"))?
+                        as usize;
+                    let relation = f.next().unwrap_or_default().to_string();
+                    transactions.push(Transaction::Update {
+                        id,
+                        relation,
+                        added,
+                        at: Instant::now(),
+                    });
+                }
+                other => return Err(format!("unknown ledger line kind `{other}`")),
+            }
+        }
+        if sum != revenue {
+            return Err(format!(
+                "ledger revenue {} does not match the sum of its sales {}",
+                revenue.as_cents(),
+                sum.as_cents()
+            ));
+        }
+        Ok(Ledger {
+            transactions,
+            revenue,
+            next_id,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -127,5 +268,42 @@ mod tests {
         assert_eq!(l.revenue(), Price::dollars(7));
         assert_eq!(l.sales(), 2);
         assert_eq!(l.transactions().len(), 3);
+    }
+
+    #[test]
+    fn checked_sale_refuses_overflow() {
+        let mut l = Ledger::new();
+        let big = Price::cents(Price::INFINITE.as_cents() - 1);
+        assert!(l.record_sale_checked("Q1".into(), big, 1, 1).is_some());
+        // The second near-MAX sale would cross the sentinel: refused,
+        // and the ledger is untouched.
+        assert!(l.record_sale_checked("Q2".into(), big, 1, 1).is_none());
+        assert_eq!(l.sales(), 1);
+        assert_eq!(l.revenue(), big);
+    }
+
+    #[test]
+    fn snapshot_text_roundtrip() {
+        let mut l = Ledger::new();
+        l.record_sale("Q(x, y) :- R(x), S(x, y)".into(), Price::dollars(6), 1, 6);
+        l.record_update("T".into(), 2);
+        l.record_sale("Q(x) :- R(x)".into(), Price::cents(425), 3, 4);
+        let text = l.to_snapshot_text();
+        let back = Ledger::from_snapshot_text(&text).unwrap();
+        assert_eq!(back.revenue(), l.revenue());
+        assert_eq!(back.sales(), l.sales());
+        assert_eq!(back.transactions().len(), l.transactions().len());
+        // Ids keep counting from where the live ledger stopped.
+        let mut back = back;
+        assert_eq!(back.record_update("R".into(), 1), 4);
+    }
+
+    #[test]
+    fn snapshot_text_rejects_tampered_totals() {
+        let mut l = Ledger::new();
+        l.record_sale("Q(x) :- R(x)".into(), Price::dollars(2), 1, 1);
+        let text = l.to_snapshot_text().replace("revenue 200", "revenue 999");
+        assert!(Ledger::from_snapshot_text(&text).is_err());
+        assert!(Ledger::from_snapshot_text("garbage").is_err());
     }
 }

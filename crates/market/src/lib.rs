@@ -35,11 +35,16 @@
 //! at the market boundary ([`MarketError::Internal`]); the market keeps
 //! serving.
 
+pub mod api;
 mod cache;
+pub mod durable;
 pub mod error;
 pub mod ledger;
 pub mod market;
 
+pub use api::MarketOps;
+pub use durable::{DurableMarket, ReplayStep};
 pub use error::MarketError;
 pub use ledger::{Ledger, Transaction};
 pub use market::{Market, MarketPolicy, MarketQuote, Purchase};
+pub use qbdp_store::{FsyncPolicy, MarketEvent, StoreError};

@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// Per-market resource policy, applied to every pricing call.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MarketPolicy {
     /// Wall-clock deadline per quote; `None` = unlimited.
     pub deadline: Option<Duration>,
@@ -230,6 +230,15 @@ impl Market {
             prices.set(SelectionView::new(attr, value), Price::cents(cents));
         }
         Market::open(file.catalog, file.instance, prices)
+    }
+
+    /// Open (recover) a durable market persisted under `dir` — snapshot
+    /// load plus write-ahead-log suffix replay. See [`crate::durable`].
+    pub fn open_durable(
+        dir: impl AsRef<std::path::Path>,
+        fsync: qbdp_store::FsyncPolicy,
+    ) -> Result<crate::durable::DurableMarket, MarketError> {
+        crate::durable::DurableMarket::open(dir, fsync)
     }
 
     /// Quote a query given in datalog syntax
@@ -441,6 +450,58 @@ impl Market {
     /// aid; the count is momentary under concurrency).
     pub fn cached_quotes(&self) -> usize {
         self.cache.len()
+    }
+
+    /// The quote cache's current epoch: 0 for a fresh (or freshly
+    /// recovered) market, bumped by every data/price mutation. Exposed
+    /// so durability tests can assert a recovered market starts from
+    /// epoch 0 rather than inheriting replay bumps.
+    pub fn cache_epoch(&self) -> u64 {
+        self.cache.epoch()
+    }
+
+    /// Clear the cache and rewind its epoch to 0 (recovery epilogue).
+    pub(crate) fn reset_cache(&self) {
+        self.cache.reset();
+    }
+
+    /// Quote and evaluate a purchase without recording it — the durable
+    /// path splits purchasing into (price, log, apply) so the WAL entry
+    /// is written *between* pricing and the ledger mutation.
+    pub(crate) fn evaluate_purchase(
+        &self,
+        query: &str,
+    ) -> Result<(MarketQuote, Vec<Tuple>), MarketError> {
+        let state = self.state.read();
+        let _slot = self.admit(state.policy.max_in_flight)?;
+        let q = parse_rule(state.pricer.catalog().schema(), query)?;
+        let quote = Self::quote_inner(&state, &q)?;
+        let mut answer: Vec<Tuple> = qbdp_query::eval::eval_cq(&q, state.pricer.instance())?
+            .into_iter()
+            .collect();
+        answer.sort();
+        Ok((quote, answer))
+    }
+
+    /// Record a sale whose terms are already known (durable live path
+    /// and WAL replay), with checked revenue arithmetic.
+    pub(crate) fn apply_recorded_sale(
+        &self,
+        query: String,
+        price: Price,
+        answer_tuples: usize,
+        views: usize,
+    ) -> Result<u64, MarketError> {
+        let mut state = self.state.write();
+        state
+            .ledger
+            .record_sale_checked(query, price, answer_tuples, views)
+            .ok_or(MarketError::RevenueOverflow)
+    }
+
+    /// Replace the ledger wholesale (snapshot restore).
+    pub(crate) fn restore_ledger(&self, ledger: Ledger) {
+        self.state.write().ledger = ledger;
     }
 
     /// Snapshot of the running revenue.

@@ -1,0 +1,67 @@
+//! Store-layer errors.
+
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by the durability layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// A log record is present in full but fails its integrity checks
+    /// (CRC mismatch or undecodable payload). Unlike a torn tail — which
+    /// is the expected residue of a crash and is silently truncated — a
+    /// corrupt record in the *body* of the log means the file was damaged
+    /// after it was written, and recovery refuses to guess.
+    CorruptRecord {
+        /// Byte offset of the record's frame header.
+        offset: u64,
+        /// What failed (CRC, tag, field decoding…).
+        reason: String,
+    },
+    /// A snapshot file is present but damaged (bad header, checksum
+    /// mismatch, or truncated section).
+    CorruptSnapshot(String),
+    /// The directory has no snapshot: it was never initialized as a
+    /// durable market (or the snapshot was deleted).
+    SnapshotMissing,
+    /// The directory already holds a durable market and cannot be
+    /// re-initialized over it.
+    AlreadyInitialized,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::CorruptRecord { offset, reason } => {
+                write!(f, "corrupt WAL record at byte {offset}: {reason}")
+            }
+            StoreError::CorruptSnapshot(m) => write!(f, "corrupt snapshot: {m}"),
+            StoreError::SnapshotMissing => {
+                write!(
+                    f,
+                    "no snapshot found: directory is not an initialized market"
+                )
+            }
+            StoreError::AlreadyInitialized => {
+                write!(f, "directory already holds a durable market")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+// The durability layer sits under the serving layer, so the same rule
+// applies: never panic on bad bytes — every corruption is a typed error.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+//! # qbdp-store — durable market state
+//!
+//! A write-ahead log plus snapshots, so a market survives restarts and
+//! crashes: every mutation is appended to a checksummed, length-prefixed
+//! log *before* it is applied in memory, and periodic [`Snapshot`]s bound
+//! replay time. Recovery is snapshot-load + suffix-replay, and is
+//! **prefix-consistent**: whatever byte a crash (or `kill -9`, or a torn
+//! write) leaves the log at, the recovered state equals a market that
+//! applied exactly the durable prefix of the history — never a
+//! half-applied event, never a resurrected one.
+//!
+//! The crate is deliberately market-agnostic: it speaks [`MarketEvent`]s
+//! whose fields are rendered literals, and snapshots carry opaque named
+//! text sections. `qbdp-market`'s `DurableMarket` owns the semantics
+//! (what applying an event *means*); this crate owns the bytes (framing,
+//! checksums, fsync, atomic rename, torn-tail truncation).
+//!
+//! * [`wal`] — the append-only log: CRC-framed records, configurable
+//!   [`FsyncPolicy`], torn-tail repair on open;
+//! * [`snapshot`] — atomic (temp file + rename) checksummed snapshots
+//!   recording the log position they cover;
+//! * [`event`] — the typed event vocabulary and its wire encoding;
+//! * [`error`] — [`StoreError`], including the load-bearing distinction
+//!   between a *torn tail* (expected crash residue, truncated silently)
+//!   and a *corrupt record* (damage, refused loudly).
+
+pub mod crc;
+pub mod error;
+pub mod event;
+pub mod snapshot;
+pub mod wal;
+
+pub use error::StoreError;
+pub use event::MarketEvent;
+pub use snapshot::Snapshot;
+pub use wal::{FsyncPolicy, LogRecord, Wal};

@@ -1,0 +1,395 @@
+//! The append-only, checksummed write-ahead log.
+//!
+//! # Record framing
+//!
+//! ```text
+//! ┌────────────┬────────────┬──────────────────────┐
+//! │ len: u32LE │ crc: u32LE │ payload (len bytes)  │
+//! └────────────┴────────────┴──────────────────────┘
+//! ```
+//!
+//! `crc` is CRC-32/IEEE over the payload. Records abut with no padding;
+//! a record's *position* is the byte offset of its `len` field, and the
+//! log's position is the offset one past the last record — the value a
+//! snapshot stores as the point its state covers.
+//!
+//! # Crash semantics
+//!
+//! A crash can only leave the file with a **torn tail**: some prefix of
+//! the final record missing (the kernel persists appends in order within
+//! one file). [`Wal::open`] therefore scans the whole log and
+//!
+//! * truncates a trailing *incomplete* frame (header short, or payload
+//!   shorter than `len`) — that is the expected residue of a crash, and
+//!   every byte before it is a clean record;
+//! * truncates a trailing all-zero header (a filesystem that extended
+//!   the file but never wrote the append leaves zeros);
+//! * refuses with [`StoreError::CorruptRecord`] if a frame is present
+//!   *in full* but its CRC or its payload decoding fails — truncation
+//!   cannot manufacture that, so the file was damaged after the fact
+//!   and silently dropping the record (and everything after it) would
+//!   resurrect a state the market never durably confirmed.
+//!
+//! # Fsync policy
+//!
+//! [`FsyncPolicy`] trades durability for append latency: `Always` fsyncs
+//! every append (group-commit left to the caller), `EveryN(n)` fsyncs
+//! every `n` appends, `Never` leaves flushing to the OS. Whatever the
+//! policy, the *framing* guarantees recovery is prefix-consistent — the
+//! policy only bounds how many tail events a power loss may drop.
+
+use crate::crc::crc32;
+use crate::error::StoreError;
+use crate::event::MarketEvent;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// How often the log fsyncs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append: an acknowledged mutation survives
+    /// power loss.
+    Always,
+    /// `fsync` every `n` appends: at most `n-1` acknowledged mutations
+    /// can be lost (`EveryN(0)` and `EveryN(1)` behave like `Always`).
+    EveryN(u64),
+    /// Never `fsync` explicitly; the OS flushes when it pleases. A
+    /// process crash (not power loss) still loses nothing.
+    Never,
+}
+
+/// One decoded log record with its byte extent.
+#[derive(Clone, Debug)]
+pub struct LogRecord {
+    /// Offset of the record's frame header.
+    pub start: u64,
+    /// Offset one past the record (= position of the next record).
+    pub end: u64,
+    /// The decoded event.
+    pub event: MarketEvent,
+}
+
+/// Records larger than this are rejected as corrupt rather than
+/// allocated: no market event comes within orders of magnitude of it.
+const MAX_RECORD: u32 = 1 << 24;
+
+const HEADER: usize = 8;
+
+/// The append handle over one log file. Opening scans and repairs the
+/// torn tail; see the module docs for the exact semantics.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    position: u64,
+    policy: FsyncPolicy,
+    unsynced: u64,
+}
+
+/// Scan `bytes`, returning the decoded records plus the clean length
+/// (the offset the log should be truncated to). A complete-but-invalid
+/// frame is a hard error; an incomplete one ends the scan.
+fn scan(bytes: &[u8]) -> Result<(Vec<LogRecord>, u64), StoreError> {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let remaining = &bytes[pos..];
+        if remaining.len() < HEADER {
+            break; // torn header
+        }
+        let len = u32::from_le_bytes([remaining[0], remaining[1], remaining[2], remaining[3]]);
+        let crc = u32::from_le_bytes([remaining[4], remaining[5], remaining[6], remaining[7]]);
+        if len == 0 && crc == 0 {
+            break; // zero-extended tail: filesystem grew the file, append never landed
+        }
+        if len > MAX_RECORD {
+            return Err(StoreError::CorruptRecord {
+                offset: pos as u64,
+                reason: format!("implausible record length {len}"),
+            });
+        }
+        let len = len as usize;
+        if remaining.len() < HEADER + len {
+            break; // torn payload
+        }
+        let payload = &remaining[HEADER..HEADER + len];
+        if crc32(payload) != crc {
+            return Err(StoreError::CorruptRecord {
+                offset: pos as u64,
+                reason: "CRC mismatch".to_string(),
+            });
+        }
+        let event = MarketEvent::decode(payload, pos as u64)?;
+        records.push(LogRecord {
+            start: pos as u64,
+            end: (pos + HEADER + len) as u64,
+            event,
+        });
+        pos += HEADER + len;
+    }
+    let clean_len = records.last().map_or(0, |r| r.end);
+    Ok((records, clean_len))
+}
+
+impl Wal {
+    /// Open (or create) the log at `path`, truncating a torn tail.
+    /// Returns the handle positioned at the end of the last clean record.
+    pub fn open(path: impl AsRef<Path>, policy: FsyncPolicy) -> Result<Wal, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (_, clean_len) = scan(&bytes)?;
+        if clean_len < bytes.len() as u64 {
+            file.set_len(clean_len)?;
+            file.sync_all()?;
+        }
+        // `read_to_end`/`set_len` leave the cursor elsewhere; appends
+        // must start exactly at the clean end or they'd punch a hole.
+        file.seek(SeekFrom::Start(clean_len))?;
+        Ok(Wal {
+            file,
+            path,
+            position: clean_len,
+            policy,
+            unsynced: 0,
+        })
+    }
+
+    /// The offset one past the last record — what the next append
+    /// returns, and what a snapshot records as the state it covers.
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// Append one event; returns the log position *after* it. The write
+    /// is flushed to the OS unconditionally and fsynced per the policy,
+    /// so once `append` returns the event survives a process crash, and
+    /// survives power loss per [`FsyncPolicy`].
+    pub fn append(&mut self, event: &MarketEvent) -> Result<u64, StoreError> {
+        let payload = event.encode();
+        let mut frame = Vec::with_capacity(HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.position += frame.len() as u64;
+        self.unsynced += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                if self.unsynced >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(self.position)
+    }
+
+    /// Force everything appended so far to stable storage.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.flush()?;
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Decode every record from byte offset `from` (which must be a
+    /// record boundary recorded earlier, e.g. by a snapshot) to the end.
+    /// An offset at or past the end yields no records — after a
+    /// compaction crash the snapshot may legitimately cover more log
+    /// than survived truncation.
+    pub fn replay_from(&self, from: u64) -> Result<Vec<LogRecord>, StoreError> {
+        let mut bytes = Vec::new();
+        File::open(&self.path)?
+            .take(self.position)
+            .read_to_end(&mut bytes)?;
+        if from >= bytes.len() as u64 {
+            return Ok(Vec::new());
+        }
+        let (records, _) = scan(&bytes[from as usize..])?;
+        Ok(records
+            .into_iter()
+            .map(|r| LogRecord {
+                start: r.start + from,
+                end: r.end + from,
+                event: r.event,
+            })
+            .collect())
+    }
+
+    /// All records, oldest first.
+    pub fn replay(&self) -> Result<Vec<LogRecord>, StoreError> {
+        self.replay_from(0)
+    }
+
+    /// Drop every record (compaction: the snapshot now covers them) and
+    /// fsync the truncation.
+    pub fn reset(&mut self) -> Result<(), StoreError> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.sync_all()?;
+        self.position = 0;
+        self.unsynced = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "qbdp_wal_{tag}_{}_{}.wal",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn sample_events() -> Vec<MarketEvent> {
+        vec![
+            MarketEvent::InsertTuple {
+                relation: "T".into(),
+                values: vec!["b2".into()],
+            },
+            MarketEvent::SetPrice {
+                view: "S.Y=b1".into(),
+                cents: 25,
+            },
+            MarketEvent::Purchase {
+                query: "Q(x) :- R(x)".into(),
+                price_cents: 400,
+                answer_tuples: 2,
+                views: 4,
+            },
+        ]
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let path = temp_path("roundtrip");
+        let events = sample_events();
+        let mut wal = Wal::open(&path, FsyncPolicy::EveryN(2)).unwrap();
+        assert_eq!(wal.position(), 0);
+        let mut ends = Vec::new();
+        for ev in &events {
+            ends.push(wal.append(ev).unwrap());
+        }
+        assert_eq!(wal.position(), *ends.last().unwrap());
+        let records = wal.replay().unwrap();
+        assert_eq!(records.len(), events.len());
+        for ((rec, ev), end) in records.iter().zip(&events).zip(&ends) {
+            assert_eq!(&rec.event, ev);
+            assert_eq!(rec.end, *end);
+        }
+        // Suffix replay from the second record's start.
+        let suffix = wal.replay_from(records[1].start).unwrap();
+        assert_eq!(suffix.len(), 2);
+        assert_eq!(suffix[0].event, events[1]);
+        // Reopening lands at the same position.
+        drop(wal);
+        let wal = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(wal.position(), *ends.last().unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let path = temp_path("torn");
+        let mut wal = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        for ev in sample_events() {
+            wal.append(&ev).unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        let second_end = wal.replay().unwrap()[1].end;
+        drop(wal);
+        // Cut into the middle of the third record.
+        std::fs::write(&path, &full[..second_end as usize + 3]).unwrap();
+        let wal = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        assert_eq!(wal.position(), second_end);
+        assert_eq!(wal.replay().unwrap().len(), 2);
+        // The file itself was repaired.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), second_end);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zero_extended_tail_is_truncated() {
+        let path = temp_path("zeros");
+        let mut wal = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        for ev in sample_events() {
+            wal.append(&ev).unwrap();
+        }
+        let end = wal.position();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0u8; 64]);
+        std::fs::write(&path, &bytes).unwrap();
+        let wal = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        assert_eq!(wal.position(), end);
+        assert_eq!(wal.replay().unwrap().len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_log_corruption_is_refused() {
+        let path = temp_path("corrupt");
+        let mut wal = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        for ev in sample_events() {
+            wal.append(&ev).unwrap();
+        }
+        let first_end = wal.replay().unwrap()[0].end;
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one bit in the second record's payload.
+        bytes[first_end as usize + HEADER + 1] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Wal::open(&path, FsyncPolicy::Always);
+        assert!(
+            matches!(err, Err(StoreError::CorruptRecord { offset, .. }) if offset == first_end),
+            "{err:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let path = temp_path("reset");
+        let mut wal = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        for ev in sample_events() {
+            wal.append(&ev).unwrap();
+        }
+        wal.reset().unwrap();
+        assert_eq!(wal.position(), 0);
+        assert!(wal.replay().unwrap().is_empty());
+        // Appends keep working after a reset.
+        wal.append(&sample_events()[0]).unwrap();
+        assert_eq!(wal.replay().unwrap().len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_from_beyond_end_is_empty() {
+        let path = temp_path("beyond");
+        let mut wal = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        wal.append(&sample_events()[0]).unwrap();
+        assert!(wal.replay_from(wal.position()).unwrap().is_empty());
+        assert!(wal.replay_from(wal.position() + 999).unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -4,29 +4,79 @@
 //! qbdp <market.qdp> quote "Q(x, y) :- R(x), S(x, y), T(y)"
 //! qbdp <market.qdp> price --batch queries.txt --threads 4
 //! qbdp --deadline-ms 50 --sell-degraded <market.qdp> repl
+//!
+//! qbdp serve-dir <dir> --from <market.qdp> repl     # durable market
+//! qbdp serve-dir <dir> buy "Q(x) :- R(x)"           # recover + mutate
+//! qbdp snapshot <dir>                               # compact the log
+//! qbdp replay <dir> --probe "Q(x) :- R(x)"          # recovery report
 //! ```
 //!
 //! `--deadline-ms N` bounds every pricing call by a wall-clock deadline;
 //! `--sell-degraded` allows the market to sell sound upper-bound quotes
 //! when the deadline runs out (otherwise such quotes are refused).
+//!
+//! `serve-dir` runs commands against a durable market persisted under a
+//! directory: every mutation is written to a write-ahead log before it is
+//! applied, and reopening the directory recovers the exact state. The
+//! first run needs `--from <market.qdp>` to seed the genesis snapshot;
+//! `--fsync always|every=N|never` picks the log's durability/throughput
+//! trade-off (default `always`). `replay` prints what recovery did,
+//! including §2.7 price-trajectory monotonicity verdicts for `--probe`
+//! queries.
 
 use qbdp::cli;
-use qbdp::prelude::{Market, MarketPolicy};
+use qbdp::prelude::{DurableMarket, FsyncPolicy, Market, MarketPolicy};
 use std::process::ExitCode;
 use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: qbdp [--deadline-ms N] [--sell-degraded] <market.qdp> <command> [args…]\n\
+         \x20      qbdp serve-dir <dir> [--from <market.qdp>] [--fsync always|every=N|never]\n\
+         \x20                           <command> [args…]\n\
+         \x20      qbdp snapshot <dir>\n\
+         \x20      qbdp replay <dir> [--probe <rule>]…\n\
          commands: quote | price [--batch <file> [--threads N]] | explain | buy |\n\
-         \x20         classify | insert | catalog | ledger | save | repl"
+         \x20         classify | insert | setprice | catalog | ledger | save |\n\
+         \x20         compact | sync | repl"
     );
     ExitCode::from(2)
+}
+
+fn parse_fsync(v: &str) -> Option<FsyncPolicy> {
+    match v {
+        "always" => Some(FsyncPolicy::Always),
+        "never" => Some(FsyncPolicy::Never),
+        _ => v
+            .strip_prefix("every=")
+            .and_then(|n| n.parse().ok())
+            .map(FsyncPolicy::EveryN),
+    }
+}
+
+fn run<M: qbdp::market::MarketOps>(market: &M, rest: &[String]) -> ExitCode {
+    if rest[0] == "repl" {
+        let stdin = std::io::stdin();
+        cli::repl(market, stdin.lock(), std::io::stdout());
+        return ExitCode::SUCCESS;
+    }
+    let command = rest.join(" ");
+    let out = cli::run_command(market, &command);
+    println!("{out}");
+    // `run_command` renders failures as text so the repl can share it; a
+    // one-shot invocation still needs a non-zero exit for scripts.
+    if out.starts_with("error:") {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let mut deadline_ms: Option<u64> = None;
     let mut sell_degraded = false;
+    let mut seed_path: Option<String> = None;
+    let mut fsync = FsyncPolicy::Always;
+    let mut probes: Vec<String> = Vec::new();
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -39,46 +89,119 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--from" => match args.next() {
+                Some(p) => seed_path = Some(p),
+                None => {
+                    eprintln!("--from expects a .qdp file path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--fsync" => match args.next().as_deref().and_then(parse_fsync) {
+                Some(p) => fsync = p,
+                None => {
+                    eprintln!("--fsync expects always, never, or every=N");
+                    return ExitCode::from(2);
+                }
+            },
+            "--probe" => match args.next() {
+                Some(rule) => probes.push(rule),
+                None => {
+                    eprintln!("--probe expects a datalog rule");
+                    return ExitCode::from(2);
+                }
+            },
             _ => positional.push(arg),
         }
     }
-    let (path, rest) = match positional.split_first() {
-        Some((p, r)) if !r.is_empty() => (p, r),
-        _ => return usage(),
-    };
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            return ExitCode::from(2);
+    match positional.first().map(String::as_str) {
+        Some("snapshot") => {
+            let Some(dir) = positional.get(1) else {
+                return usage();
+            };
+            let out = cli::snapshot_dir(dir);
+            println!("{out}");
+            if out.starts_with("error:") {
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
         }
-    };
-    let market = match Market::open_qdp(&text) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("cannot open market: {e}");
-            return ExitCode::FAILURE;
+        Some("replay") => {
+            let Some(dir) = positional.get(1) else {
+                return usage();
+            };
+            let out = cli::replay_dir(dir, &probes);
+            println!("{out}");
+            if out.starts_with("error:") {
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
         }
-    };
-    if deadline_ms.is_some() || sell_degraded {
-        market.set_policy(MarketPolicy {
-            deadline: deadline_ms.map(Duration::from_millis),
-            sell_degraded,
-            ..MarketPolicy::default()
-        });
+        Some("serve-dir") => {
+            let (Some(dir), rest) = (positional.get(1), &positional[2.min(positional.len())..])
+            else {
+                return usage();
+            };
+            if rest.is_empty() {
+                return usage();
+            }
+            let seed = match &seed_path {
+                Some(p) => match std::fs::read_to_string(p) {
+                    Ok(t) => Some(t),
+                    Err(e) => {
+                        eprintln!("cannot read {p}: {e}");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => None,
+            };
+            let market = match DurableMarket::open_or_create(dir, seed.as_deref(), fsync) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("cannot open durable market: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if deadline_ms.is_some() || sell_degraded {
+                let policy = MarketPolicy {
+                    deadline: deadline_ms.map(Duration::from_millis),
+                    sell_degraded,
+                    ..market.market().policy()
+                };
+                if let Err(e) = market.set_policy(policy) {
+                    eprintln!("cannot set policy: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            run(&market, rest)
+        }
+        Some(path) => {
+            let rest = &positional[1..];
+            if rest.is_empty() {
+                return usage();
+            }
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let market = match Market::open_qdp(&text) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("cannot open market: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if deadline_ms.is_some() || sell_degraded {
+                market.set_policy(MarketPolicy {
+                    deadline: deadline_ms.map(Duration::from_millis),
+                    sell_degraded,
+                    ..MarketPolicy::default()
+                });
+            }
+            run(&market, rest)
+        }
+        None => usage(),
     }
-    if rest[0] == "repl" {
-        let stdin = std::io::stdin();
-        cli::repl(&market, stdin.lock(), std::io::stdout());
-        return ExitCode::SUCCESS;
-    }
-    let command = rest.join(" ");
-    let out = cli::run_command(&market, &command);
-    println!("{out}");
-    // `run_command` renders failures as text so the repl can share it; a
-    // one-shot invocation still needs a non-zero exit for scripts.
-    if out.starts_with("error:") {
-        return ExitCode::FAILURE;
-    }
-    ExitCode::SUCCESS
 }

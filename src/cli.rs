@@ -20,11 +20,13 @@
 
 use qbdp_catalog::{AttrRef, Tuple, Value};
 use qbdp_core::dichotomy::classify;
-use qbdp_market::{Market, MarketError};
+use qbdp_core::Price;
+use qbdp_market::{MarketError, MarketOps};
 use std::fmt::Write as _;
 
-/// Run one CLI command against a market; returns the text to print.
-pub fn run_command(market: &Market, command: &str) -> String {
+/// Run one CLI command against a market — in-memory or durable (the
+/// latter write-ahead-logs every mutation); returns the text to print.
+pub fn run_command<M: MarketOps>(market: &M, command: &str) -> String {
     let command = command.trim();
     let (verb, rest) = match command.split_once(char::is_whitespace) {
         Some((v, r)) => (v, r.trim()),
@@ -35,12 +37,12 @@ pub fn run_command(market: &Market, command: &str) -> String {
         "help" => help_text(),
         "quote" => quote(market, rest),
         "price" => price_cmd(market, rest),
-        "explain" => match market.explain_str(rest) {
+        "explain" => match market.base().explain_str(rest) {
             Ok(text) => text,
             Err(e) => render_err(e),
         },
         "save" => {
-            let qdp = market.to_qdp();
+            let qdp = market.base().to_qdp();
             match std::fs::write(rest, &qdp) {
                 Ok(()) => format!("market saved to {rest} ({} bytes)", qdp.len()),
                 Err(e) => format!("cannot write {rest}: {e}"),
@@ -49,15 +51,37 @@ pub fn run_command(market: &Market, command: &str) -> String {
         "buy" | "purchase" => buy(market, rest),
         "classify" => classify_cmd(market, rest),
         "insert" => insert(market, rest),
+        "setprice" => setprice(market, rest),
         "catalog" => catalog(market),
         "ledger" => ledger(market),
+        "compact" => match market.durable() {
+            Some(d) => match d.compact() {
+                Ok(bytes) => format!(
+                    "snapshot written to {}; {bytes} log byte(s) compacted",
+                    d.dir().display()
+                ),
+                Err(e) => render_err(e),
+            },
+            None => "compact needs a durable market — run via `qbdp serve-dir <dir>`".to_string(),
+        },
+        "sync" => match market.durable() {
+            Some(d) => match d.sync() {
+                Ok(()) => "log forced to stable storage".to_string(),
+                Err(e) => render_err(e),
+            },
+            None => "sync needs a durable market — run via `qbdp serve-dir <dir>`".to_string(),
+        },
         other => format!("unknown command `{other}` — try `help`"),
     }
 }
 
 /// The REPL: feed lines from `input`, collect output into `output`. Stops
 /// at EOF or `quit`.
-pub fn repl(market: &Market, input: impl std::io::BufRead, mut output: impl std::io::Write) {
+pub fn repl<M: MarketOps>(
+    market: &M,
+    input: impl std::io::BufRead,
+    mut output: impl std::io::Write,
+) {
     let _ = writeln!(
         output,
         "qbdp marketplace — `help` lists commands, `quit` exits"
@@ -87,8 +111,11 @@ fn help_text() -> String {
      \x20 buy <rule>        purchase: price + answer + ledger entry\n\
      \x20 classify <rule>   dichotomy class (Theorem 3.16)\n\
      \x20 insert R(a, b)    seller-side tuple insertion\n\
+     \x20 setprice R.X=a N  seller-side price revision (N in cents)\n\
      \x20 catalog           schema, columns, price list summary\n\
      \x20 ledger            sales and revenue\n\
+     \x20 compact           durable markets: snapshot + truncate the log\n\
+     \x20 sync              durable markets: force the log to disk\n\
      \x20 quit              leave the repl\n\
      binary flags (before the .qdp path):\n\
      \x20 --deadline-ms N   wall-clock budget per pricing call\n\
@@ -96,8 +123,8 @@ fn help_text() -> String {
         .to_string()
 }
 
-fn quote(market: &Market, rule: &str) -> String {
-    match market.quote_str(rule) {
+fn quote<M: MarketOps>(market: &M, rule: &str) -> String {
+    match market.base().quote_str(rule) {
         Ok(q) => {
             let mut out = String::new();
             let _ = writeln!(out, "query : {}", q.query);
@@ -124,7 +151,7 @@ fn quote(market: &Market, rule: &str) -> String {
 /// `price <rule>` is an alias for `quote`; `price --batch <file>
 /// [--threads N]` prices one rule per line of `file` on the market's
 /// parallel batch path (`--threads 0` or omitted = one worker per core).
-fn price_cmd(market: &Market, rest: &str) -> String {
+fn price_cmd<M: MarketOps>(market: &M, rest: &str) -> String {
     if !rest.starts_with("--batch") {
         return quote(market, rest);
     }
@@ -155,11 +182,13 @@ fn price_cmd(market: &Market, rest: &str) -> String {
         return format!("{path}: no queries (one datalog rule per line; # comments)");
     }
     if let Some(n) = threads {
-        let mut policy = market.policy();
+        let mut policy = market.base().policy();
         policy.batch_workers = n;
-        market.set_policy(policy);
+        if let Err(e) = market.set_policy(policy) {
+            return render_err(e);
+        }
     }
-    let results = market.quote_batch(&rules);
+    let results = market.base().quote_batch(&rules);
     let mut out = String::new();
     let mut priced = 0usize;
     for (rule, res) in rules.iter().zip(&results) {
@@ -182,7 +211,7 @@ fn price_cmd(market: &Market, rest: &str) -> String {
     out
 }
 
-fn buy(market: &Market, rule: &str) -> String {
+fn buy<M: MarketOps>(market: &M, rule: &str) -> String {
     match market.purchase_str(rule) {
         Ok(p) => {
             let mut out = String::new();
@@ -205,8 +234,8 @@ fn buy(market: &Market, rule: &str) -> String {
     }
 }
 
-fn classify_cmd(market: &Market, rule: &str) -> String {
-    market.with_pricer(|pricer| {
+fn classify_cmd<M: MarketOps>(market: &M, rule: &str) -> String {
+    market.base().with_pricer(|pricer| {
         match qbdp_query::parser::parse_rule(pricer.catalog().schema(), rule) {
             Ok(q) => {
                 let class = classify(&q);
@@ -222,7 +251,7 @@ fn classify_cmd(market: &Market, rule: &str) -> String {
     })
 }
 
-fn insert(market: &Market, fact: &str) -> String {
+fn insert<M: MarketOps>(market: &M, fact: &str) -> String {
     // Syntax: R(a, b).
     let Some(open) = fact.find('(') else {
         return "insert expects `Relation(v1, v2, …)`".to_string();
@@ -238,14 +267,28 @@ fn insert(market: &Market, fact: &str) -> String {
     let Some(values) = values else {
         return "bad value in tuple".to_string();
     };
-    match market.insert(rel, [Tuple::new(values)]) {
+    match market.insert(rel, vec![Tuple::new(values)]) {
         Ok(added) => format!("{added} tuple(s) added to {rel}"),
         Err(e) => render_err(e),
     }
 }
 
-fn catalog(market: &Market) -> String {
-    market.with_pricer(|pricer| {
+/// `setprice R.X=a <cents>` — revise (or add) one selection-view price.
+fn setprice<M: MarketOps>(market: &M, rest: &str) -> String {
+    let Some((view, cents)) = rest.rsplit_once(char::is_whitespace) else {
+        return "setprice expects `R.X=a <cents>`".to_string();
+    };
+    let Ok(cents) = cents.trim().parse::<u64>() else {
+        return "setprice expects an integer price in cents".to_string();
+    };
+    match market.set_price(view.trim(), Price::cents(cents)) {
+        Ok(()) => format!("{} now priced at {}", view.trim(), Price::cents(cents)),
+        Err(e) => render_err(e),
+    }
+}
+
+fn catalog<M: MarketOps>(market: &M) -> String {
+    market.base().with_pricer(|pricer| {
         let mut out = String::new();
         let catalog = pricer.catalog();
         let schema = catalog.schema();
@@ -278,17 +321,105 @@ fn catalog(market: &Market) -> String {
     })
 }
 
-fn ledger(market: &Market) -> String {
-    market.with_ledger(|l| format!("{} sale(s), revenue {}", l.sales(), l.revenue()))
+fn ledger<M: MarketOps>(market: &M) -> String {
+    market
+        .base()
+        .with_ledger(|l| format!("{} sale(s), revenue {}", l.sales(), l.revenue()))
 }
 
 fn render_err(e: MarketError) -> String {
     format!("error: {e}")
 }
 
+/// `qbdp snapshot <dir>`: open a durable market directory (recovering if
+/// needed), write a fresh snapshot, and truncate the log.
+pub fn snapshot_dir(dir: &str) -> String {
+    let market = match qbdp_market::DurableMarket::open(dir, qbdp_market::FsyncPolicy::Always) {
+        Ok(m) => m,
+        Err(e) => return render_err(e),
+    };
+    match market.compact() {
+        Ok(bytes) => format!("snapshot written to {dir}; {bytes} log byte(s) compacted"),
+        Err(e) => render_err(e),
+    }
+}
+
+/// `qbdp replay <dir> [--probe <rule>]…`: recover a durable market by
+/// snapshot-load + log replay, reporting the recovered state and — for
+/// each probe query — the §2.7 price trajectory observed across the
+/// replayed insertions, with its Proposition 2.22 monotonicity verdict.
+pub fn replay_dir(dir: &str, probes: &[String]) -> String {
+    use qbdp_core::dynamic::PriceTrajectory;
+    use qbdp_market::{DurableMarket, FsyncPolicy, MarketEvent, ReplayStep};
+
+    let mut counts: std::collections::BTreeMap<&'static str, usize> = Default::default();
+    let mut trajectories: Vec<PriceTrajectory> = probes
+        .iter()
+        .map(|_| PriceTrajectory { steps: Vec::new() })
+        .collect();
+    let market = DurableMarket::open_with_observer(dir, FsyncPolicy::Never, |step, market| {
+        let observe = match &step {
+            ReplayStep::SnapshotLoaded => true,
+            ReplayStep::Applied(event) => {
+                *counts.entry(event.kind()).or_insert(0) += 1;
+                // Prices move only when the data does (§2.7: the explicit
+                // price list is fixed between seller revisions).
+                matches!(event, MarketEvent::InsertTuple { .. })
+            }
+        };
+        if !observe {
+            return;
+        }
+        let tuples = market.with_pricer(|p| p.instance().total_tuples());
+        for (probe, traj) in probes.iter().zip(&mut trajectories) {
+            if let Ok(q) = market.quote_str(probe) {
+                traj.steps.push((tuples, q.price));
+            }
+        }
+    });
+    let market = match market {
+        Ok(m) => m,
+        Err(e) => return render_err(e),
+    };
+    let mut out = String::new();
+    let replayed: usize = counts.values().sum();
+    let _ = writeln!(out, "recovered {dir}: {replayed} event(s) replayed");
+    for (kind, n) in &counts {
+        let _ = writeln!(out, "  {n:>6} × {kind}");
+    }
+    let tuples = market.market().with_pricer(|p| p.instance().total_tuples());
+    let _ = writeln!(
+        out,
+        "state : {tuples} tuple(s), {} sale(s), revenue {}",
+        market.market().with_ledger(qbdp_market::Ledger::sales),
+        market.market().revenue()
+    );
+    for (probe, traj) in probes.iter().zip(&trajectories) {
+        let _ = write!(
+            out,
+            "probe : {probe} — {} observation(s); ",
+            traj.steps.len()
+        );
+        match traj.first_violation() {
+            None => {
+                let _ = writeln!(out, "monotone (Prop 2.22 holds along the replay)");
+            }
+            Some((step, before, after)) => {
+                let _ = writeln!(
+                    out,
+                    "NOT monotone — step {step}: {before} dropped to {after}"
+                );
+            }
+        }
+    }
+    out.truncate(out.trim_end().len());
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qbdp_market::Market;
 
     fn market() -> Market {
         Market::open_qdp(include_str!("../data/figure1.qdp")).unwrap()
@@ -391,5 +522,73 @@ mod tests {
         let m = Market::open_qdp(include_str!("../data/mini_market.qdp")).unwrap();
         let out = run_command(&m, "quote Q(n, s) :- Company(n, s), Deal(n, z)");
         assert!(out.contains("price"), "{out}");
+    }
+
+    #[test]
+    fn setprice_revises_and_validates() {
+        let m = market();
+        let out = run_command(&m, "setprice T.Y=b2 250");
+        assert!(out.contains("now priced at $2.50"), "{out}");
+        assert!(run_command(&m, "setprice T.Y=b2").contains("setprice expects"));
+        assert!(run_command(&m, "setprice T.Y=b2 lots").contains("integer price"));
+        assert!(run_command(&m, "setprice T.Y=zz 5").starts_with("error:"));
+    }
+
+    #[test]
+    fn compact_and_sync_need_a_durable_market() {
+        let m = market();
+        assert!(run_command(&m, "compact").contains("needs a durable market"));
+        assert!(run_command(&m, "sync").contains("needs a durable market"));
+    }
+
+    #[test]
+    fn durable_serve_snapshot_replay_cycle() {
+        use qbdp_market::{DurableMarket, FsyncPolicy};
+        let dir = std::env::temp_dir().join(format!("qbdp_cli_durable_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_s = dir.display().to_string();
+
+        // serve-dir semantics: seed, mutate through the generic CLI path.
+        let dm = DurableMarket::create(
+            &dir,
+            include_str!("../data/figure1.qdp"),
+            FsyncPolicy::Never,
+        )
+        .unwrap();
+        assert!(run_command(&dm, "insert T(b2)").contains("1 tuple(s) added"));
+        assert!(run_command(&dm, "buy Q(x) :- R(x)").contains("charged"));
+        assert!(run_command(&dm, "setprice T.Y=b2 250").contains("now priced"));
+        assert!(run_command(&dm, "sync").contains("stable storage"));
+        let live_qdp = dm.market().to_qdp();
+        drop(dm);
+
+        // replay reports the recovered state and a monotone probe verdict.
+        let probes = vec!["Q(x, y) :- R(x), S(x, y), T(y)".to_string()];
+        let out = replay_dir(&dir_s, &probes);
+        assert!(out.contains("event(s) replayed"), "{out}");
+        assert!(out.contains("1 sale(s)"), "{out}");
+        assert!(out.contains("monotone (Prop 2.22"), "{out}");
+
+        // snapshot compacts; reopening still reproduces the state.
+        let out = snapshot_dir(&dir_s);
+        assert!(out.contains("compacted"), "{out}");
+        let back = DurableMarket::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(back.market().to_qdp(), live_qdp);
+        assert_eq!(back.wal_position(), 0);
+        drop(back);
+
+        // replay after compaction: nothing left to replay, state intact.
+        let out = replay_dir(&dir_s, &[]);
+        assert!(out.contains("0 event(s) replayed"), "{out}");
+        assert!(out.contains("1 sale(s)"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_unknown_dir_is_an_error() {
+        let out = replay_dir("/nonexistent-qbdp-dir", &[]);
+        assert!(out.starts_with("error:"), "{out}");
+        let out = snapshot_dir("/nonexistent-qbdp-dir");
+        assert!(out.starts_with("error:"), "{out}");
     }
 }

@@ -46,6 +46,8 @@
 //!   exact engines, dynamic pricing;
 //! * [`market`] — a thread-safe marketplace with quotes, purchases, a
 //!   ledger, and live updates;
+//! * [`store`] — durable market state: a write-ahead log, atomic
+//!   snapshots, and crash recovery;
 //! * [`workload`] — generators and realistic scenarios for benchmarks.
 
 pub mod cli;
@@ -56,6 +58,7 @@ pub use qbdp_determinacy as determinacy;
 pub use qbdp_flow as flow;
 pub use qbdp_market as market;
 pub use qbdp_query as query;
+pub use qbdp_store as store;
 pub use qbdp_workload as workload;
 
 /// One-stop imports for the common workflow.
@@ -69,8 +72,11 @@ pub mod prelude {
     pub use qbdp_core::price_points::{PriceList, PricePoint, PriceSchedule, ViewDef};
     pub use qbdp_core::{Budget, Price, Pricer, PricingError, PricingMethod, Quote, QuoteQuality};
     pub use qbdp_determinacy::selection::{SelectionView, ViewSet};
-    pub use qbdp_market::{Market, MarketError, MarketPolicy, MarketQuote, Purchase};
+    pub use qbdp_market::{
+        DurableMarket, Market, MarketError, MarketOps, MarketPolicy, MarketQuote, Purchase,
+    };
     pub use qbdp_query::ast::{ConjunctiveQuery, CqBuilder, Pred, Ucq};
     pub use qbdp_query::bundle::Bundle;
     pub use qbdp_query::parser::{parse_query, parse_rule};
+    pub use qbdp_store::{FsyncPolicy, MarketEvent, StoreError};
 }
