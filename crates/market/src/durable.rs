@@ -168,17 +168,25 @@ impl DurableMarket {
         // disk, and serialize the *parsed* form so the snapshot is
         // canonical from day one.
         let market = Market::open_qdp(qdp)?;
+        // A stale log without a snapshot is not a market; drop it
+        // *before* the genesis snapshot exists, so a crash anywhere in
+        // create() leaves an uninitialized directory (no snapshot)
+        // rather than a genesis snapshot beside an orphaned old log
+        // whose events the next open() would replay into the freshly
+        // seeded market. Deleting (rather than truncating) also lets
+        // create() succeed over a corrupt leftover log.
+        let wal_path = dir.join(WAL_FILE);
+        match std::fs::remove_file(&wal_path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(MarketError::Store(e.into())),
+        }
+        let wal = Wal::open(&wal_path, fsync)?;
         let mut snapshot = Snapshot::new(0);
         snapshot.push_section("market", market.to_qdp());
         snapshot.push_section("ledger", Ledger::new().to_snapshot_text());
         snapshot.push_section("policy", policy_text(&market.policy()));
         snapshot.write(&snapshot_path)?;
-        let mut wal = Wal::open(dir.join(WAL_FILE), fsync)?;
-        // A stale log without a snapshot is not a market; the genesis
-        // snapshot covers position 0, so drop whatever was there.
-        if wal.position() != 0 {
-            wal.reset()?;
-        }
         Ok(DurableMarket {
             market,
             wal: Mutex::new(wal),
@@ -202,7 +210,7 @@ impl DurableMarket {
         mut observer: impl FnMut(ReplayStep<'_>, &Market),
     ) -> Result<DurableMarket, MarketError> {
         let dir = dir.as_ref().to_path_buf();
-        let snapshot = Snapshot::load(dir.join(SNAPSHOT_FILE))?;
+        let mut snapshot = Snapshot::load(dir.join(SNAPSHOT_FILE))?;
         let qdp = snapshot
             .section("market")
             .ok_or_else(|| StoreError::CorruptSnapshot("missing `market` section".into()))?;
@@ -217,6 +225,22 @@ impl DurableMarket {
             market.set_policy(parse_policy(text)?);
         }
         let wal = Wal::open(dir.join(WAL_FILE), fsync)?;
+        // Compaction crash window: a crash between `wal.reset()` and the
+        // final snapshot rewrite in `compact()` leaves the snapshot
+        // claiming a position past the now-empty log. The *state* is
+        // correct (the snapshot covers every truncated event), but the
+        // stale position must be rebased on disk before any new append
+        // lands at a smaller offset — otherwise the next open's
+        // `replay_from(wal_pos)` would silently drop those appends (log
+        // still shorter than `wal_pos`) or refuse them as corrupt (scan
+        // starting mid-record once the log outgrows `wal_pos`). An
+        // ordinary crash can never produce `wal_pos > position`: the
+        // torn-tail truncation in `Wal::open` only cuts *incomplete*
+        // frames appended after the snapshot's record boundary.
+        if snapshot.wal_pos > wal.position() {
+            snapshot.wal_pos = wal.position();
+            snapshot.write(dir.join(SNAPSHOT_FILE))?;
+        }
         observer(ReplayStep::SnapshotLoaded, &market);
         for record in wal.replay_from(snapshot.wal_pos)? {
             apply_event(&market, &record.event, record.start)?;
@@ -352,7 +376,12 @@ impl DurableMarket {
     /// snapshot covering position `P` lands atomically *before* the log
     /// is truncated (crash between the two → replay-from-`P` of a
     /// shorter log is empty), and the final snapshot rewrite just
-    /// rebases the recorded position to the now-empty log.
+    /// rebases the recorded position to the now-empty log. A crash
+    /// between the truncation and that rebasing rewrite leaves
+    /// `wal_pos = P` over an empty log; [`DurableMarket::open`] detects
+    /// `wal_pos` past the log end and rewrites the snapshot before
+    /// accepting new appends, so no post-recovery mutation can land at
+    /// an offset the recorded position would skip.
     ///
     /// Returns the log position the snapshot covers (bytes compacted).
     pub fn compact(&self) -> Result<u64, MarketError> {
@@ -530,6 +559,75 @@ price T.Y=b3 100
         assert_same(a.market(), b.market());
         std::fs::remove_dir_all(&dir_a).ok();
         std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    #[test]
+    fn compact_crash_window_rebases_stale_snapshot_position() {
+        let dir = temp_dir("compact_crash");
+        let dm = DurableMarket::create(&dir, QDP, FsyncPolicy::Never).unwrap();
+        drive(&dm);
+        let covered = dm.compact().unwrap();
+        assert!(covered > 0);
+        let live_qdp = dm.market().to_qdp();
+        drop(dm);
+        // Reproduce a crash between `wal.reset()` and the rebasing
+        // snapshot rewrite inside compact(): the on-disk state is the
+        // compacted snapshot, but its recorded position is still the
+        // pre-truncation offset over a now-empty log.
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut snap = Snapshot::load(&path).unwrap();
+        snap.wal_pos = covered;
+        snap.write(&path).unwrap();
+        // Recovery must load the full state, repair the stale position…
+        let dm = DurableMarket::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(dm.market().to_qdp(), live_qdp);
+        assert_eq!(
+            Snapshot::load(&path).unwrap().wal_pos,
+            0,
+            "open() rewrites the stale snapshot position before accepting appends"
+        );
+        // …so acknowledged post-recovery mutations land at offsets the
+        // snapshot no longer skips, and the *next* open replays them.
+        dm.insert("T", [Tuple::new([Value::text("b2")])]).unwrap();
+        dm.purchase_str("Q(x) :- R(x)").unwrap();
+        let qdp = dm.market().to_qdp();
+        let revenue = dm.market().revenue();
+        let ledger = dm.market().with_ledger(Ledger::to_snapshot_text);
+        drop(dm);
+        let back = DurableMarket::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(back.market().to_qdp(), qdp);
+        assert_eq!(back.market().revenue(), revenue);
+        assert_eq!(back.market().with_ledger(Ledger::to_snapshot_text), ledger);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_discards_stale_wal_before_writing_the_snapshot() {
+        let dir = temp_dir("stale_wal");
+        // Leave behind a log from a "previous market instance" — no
+        // snapshot next to it, as after a crash mid-create.
+        std::fs::create_dir_all(&dir).unwrap();
+        {
+            let mut wal = Wal::open(dir.join(WAL_FILE), FsyncPolicy::Never).unwrap();
+            wal.append(&MarketEvent::SetPrice {
+                view: "R.X=a1".into(),
+                cents: 9999,
+            })
+            .unwrap();
+        }
+        let dm = DurableMarket::create(&dir, QDP, FsyncPolicy::Never).unwrap();
+        assert_eq!(dm.wal_position(), 0, "stale log is gone before genesis");
+        let seeded_qdp = dm.market().to_qdp();
+        drop(dm);
+        // Reopening replays nothing: the orphaned event never leaks into
+        // the freshly seeded market.
+        let back = DurableMarket::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(back.market().to_qdp(), seeded_qdp);
+        assert_eq!(
+            back.quote_str("Q(x) :- R(x)").unwrap().price,
+            Market::open_qdp(QDP).unwrap().quote_str("Q(x) :- R(x)").unwrap().price
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -246,6 +246,21 @@ impl Ledger {
                 sum.as_cents()
             ));
         }
+        // next_id must clear every recorded id (and be at least 1, the
+        // empty ledger's counter), or a tampered snapshot would hand out
+        // duplicate transaction ids after recovery.
+        let max_id = transactions
+            .iter()
+            .map(|t| match t {
+                Transaction::Sale { id, .. } | Transaction::Update { id, .. } => *id,
+            })
+            .max()
+            .unwrap_or(0);
+        if next_id <= max_id {
+            return Err(format!(
+                "ledger next_id {next_id} does not exceed the largest transaction id {max_id}"
+            ));
+        }
         Ok(Ledger {
             transactions,
             revenue,
@@ -296,6 +311,24 @@ mod tests {
         // Ids keep counting from where the live ledger stopped.
         let mut back = back;
         assert_eq!(back.record_update("R".into(), 1), 4);
+    }
+
+    #[test]
+    fn snapshot_text_rejects_stale_next_id() {
+        let mut l = Ledger::new();
+        l.record_sale("Q(x) :- R(x)".into(), Price::dollars(2), 1, 1);
+        l.record_update("R".into(), 3);
+        // next_id 3 is correct; rewinding it to a recorded id would hand
+        // out duplicates after recovery.
+        let text = l.to_snapshot_text();
+        assert!(Ledger::from_snapshot_text(&text).is_ok());
+        for bad in ["next_id 2", "next_id 1", "next_id 0"] {
+            let tampered = text.replace("next_id 3", bad);
+            assert!(
+                Ledger::from_snapshot_text(&tampered).is_err(),
+                "accepted {bad}"
+            );
+        }
     }
 
     #[test]

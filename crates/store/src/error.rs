@@ -28,6 +28,12 @@ pub enum StoreError {
     /// The directory already holds a durable market and cannot be
     /// re-initialized over it.
     AlreadyInitialized,
+    /// An earlier append failed partway through its frame and the
+    /// partial bytes could not be removed; the handle refuses further
+    /// appends, because writing after the garbage would bury it mid-log
+    /// as a complete-but-invalid frame that recovery must refuse.
+    /// Reopen the log to repair (open truncates the torn tail).
+    Poisoned,
 }
 
 impl fmt::Display for StoreError {
@@ -46,6 +52,12 @@ impl fmt::Display for StoreError {
             }
             StoreError::AlreadyInitialized => {
                 write!(f, "directory already holds a durable market")
+            }
+            StoreError::Poisoned => {
+                write!(
+                    f,
+                    "log handle poisoned by an unrepaired partial append; reopen the log"
+                )
             }
         }
     }

@@ -85,6 +85,9 @@ pub struct Wal {
     position: u64,
     policy: FsyncPolicy,
     unsynced: u64,
+    /// Set when a failed append left partial frame bytes that could not
+    /// be truncated away; all further appends are refused.
+    poisoned: bool,
 }
 
 /// Scan `bytes`, returning the decoded records plus the clean length
@@ -101,7 +104,13 @@ fn scan(bytes: &[u8]) -> Result<(Vec<LogRecord>, u64), StoreError> {
         let len = u32::from_le_bytes([remaining[0], remaining[1], remaining[2], remaining[3]]);
         let crc = u32::from_le_bytes([remaining[4], remaining[5], remaining[6], remaining[7]]);
         if len == 0 && crc == 0 {
-            break; // zero-extended tail: filesystem grew the file, append never landed
+            // Zero-extended tail: the filesystem grew the file but the
+            // append never landed. This is only unambiguous because a
+            // real frame can never be all-zero: `MarketEvent::encode`
+            // always emits at least its tag byte (enforced by the
+            // debug_assert in `append`), and crc32 of any non-empty
+            // payload is checked against the header.
+            break;
         }
         if len > MAX_RECORD {
             return Err(StoreError::CorruptRecord {
@@ -159,6 +168,7 @@ impl Wal {
             position: clean_len,
             policy,
             unsynced: 0,
+            poisoned: false,
         })
     }
 
@@ -177,13 +187,32 @@ impl Wal {
     /// is flushed to the OS unconditionally and fsynced per the policy,
     /// so once `append` returns the event survives a process crash, and
     /// survives power loss per [`FsyncPolicy`].
+    ///
+    /// A failed write (e.g. `ENOSPC`) truncates back to the last record
+    /// boundary so the partial frame cannot be buried by a later
+    /// successful append; if even that truncation fails the handle is
+    /// poisoned and refuses further appends with
+    /// [`StoreError::Poisoned`].
     pub fn append(&mut self, event: &MarketEvent) -> Result<u64, StoreError> {
+        if self.poisoned {
+            return Err(StoreError::Poisoned);
+        }
         let payload = event.encode();
+        // scan() relies on an all-zero header meaning "filesystem
+        // zero-fill, not a record": an empty payload (len 0, crc32 0)
+        // would be indistinguishable from that and silently dropped.
+        debug_assert!(
+            !payload.is_empty(),
+            "MarketEvent::encode must never produce an empty payload"
+        );
         let mut frame = Vec::with_capacity(HEADER + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
+        if let Err(e) = self.file.write_all(&frame) {
+            self.discard_partial_append();
+            return Err(e.into());
+        }
         self.position += frame.len() as u64;
         self.unsynced += 1;
         match self.policy {
@@ -196,6 +225,18 @@ impl Wal {
             FsyncPolicy::Never => {}
         }
         Ok(self.position)
+    }
+
+    /// Drop whatever a failed `write_all` left past the last record
+    /// boundary (the OS cursor has advanced over partial frame bytes)
+    /// and restore the cursor. If the file cannot be repaired, poison
+    /// the handle: appending after the garbage would turn a recoverable
+    /// torn tail into a complete-but-invalid frame mid-log, which
+    /// [`Wal::open`] rightly refuses as corruption.
+    fn discard_partial_append(&mut self) {
+        let repaired = self.file.set_len(self.position).is_ok()
+            && self.file.seek(SeekFrom::Start(self.position)).is_ok();
+        self.poisoned = !repaired;
     }
 
     /// Force everything appended so far to stable storage.
@@ -243,6 +284,8 @@ impl Wal {
         self.file.sync_all()?;
         self.position = 0;
         self.unsynced = 0;
+        // An empty file has no partial frame left to bury.
+        self.poisoned = false;
         Ok(())
     }
 }
@@ -379,6 +422,47 @@ mod tests {
         assert!(wal.replay().unwrap().is_empty());
         // Appends keep working after a reset.
         wal.append(&sample_events()[0]).unwrap();
+        assert_eq!(wal.replay().unwrap().len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn partial_append_residue_is_discarded() {
+        let path = temp_path("partial");
+        let events = sample_events();
+        let mut wal = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        wal.append(&events[0]).unwrap();
+        // Simulate the aftermath of a failed write_all: partial frame
+        // bytes on disk with the cursor advanced past them.
+        wal.file.write_all(&[0x11, 0x22, 0x33]).unwrap();
+        wal.discard_partial_append();
+        assert!(!wal.poisoned);
+        // The next append must land at the record boundary, leaving a
+        // log that reopens cleanly — not a CorruptRecord mid-log.
+        wal.append(&events[1]).unwrap();
+        drop(wal);
+        let wal = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        let replayed = wal.replay().unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[0].event, events[0]);
+        assert_eq!(replayed[1].event, events[1]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn poisoned_handle_refuses_appends_until_reset() {
+        let path = temp_path("poison");
+        let mut wal = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        wal.append(&sample_events()[0]).unwrap();
+        wal.poisoned = true;
+        assert!(matches!(
+            wal.append(&sample_events()[1]),
+            Err(StoreError::Poisoned)
+        ));
+        // reset() truncates everything, so there is no garbage left to
+        // bury and the handle is usable again.
+        wal.reset().unwrap();
+        wal.append(&sample_events()[1]).unwrap();
         assert_eq!(wal.replay().unwrap().len(), 1);
         std::fs::remove_file(&path).ok();
     }
