@@ -1,0 +1,188 @@
+//! The `// audit:` annotation grammar.
+//!
+//! Annotations are ordinary line comments the auditor reads back out of
+//! the token stream. The grammar (documented in DESIGN §5):
+//!
+//! ```text
+//! // audit: allow(R1: reason)      silence one rule on the next code line
+//! //                               (or this line, if trailing)
+//! // audit: holds-lock(wal)        this fn acquires/holds the named lock
+//! // audit: lock-free              this fn must not take any lock
+//! // audit: pricing-entry          this fn is a pricing-engine entry point
+//! // audit: bounded(reason)        the next loop is trivially bounded
+//! ```
+//!
+//! `allow` and `bounded` **require a reason** — an annotation that
+//! disables a check without saying why is itself a diagnostic
+//! ([`AnnotError`]), so the escape hatch cannot silently rot.
+
+use std::fmt;
+
+/// One parsed `// audit:` annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Annot {
+    /// `allow(R2: reason)` — suppress `rule` on the annotated line.
+    Allow {
+        /// Rule id, e.g. `R2`.
+        rule: String,
+        /// Mandatory justification.
+        reason: String,
+    },
+    /// `holds-lock(name)` — the next fn holds the named lock.
+    HoldsLock(String),
+    /// `lock-free` — the next fn must not acquire any lock.
+    LockFree,
+    /// `pricing-entry` — the next fn is a pricing-engine entry point.
+    PricingEntry,
+    /// `bounded(reason)` — the next loop is exempt from R4.
+    Bounded(String),
+}
+
+/// A malformed `// audit:` comment (reported as a diagnostic: a broken
+/// annotation must never silently become a no-op).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnotError {
+    /// What is wrong with the annotation.
+    pub message: String,
+}
+
+impl fmt::Display for AnnotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+fn err(message: impl Into<String>) -> AnnotError {
+    AnnotError {
+        message: message.into(),
+    }
+}
+
+/// Parse the text of a line comment. Returns `Ok(None)` when the
+/// comment is not an audit annotation at all.
+pub fn parse(comment_text: &str) -> Result<Option<Annot>, AnnotError> {
+    let text = comment_text.trim();
+    let Some(body) = text.strip_prefix("audit:") else {
+        return Ok(None);
+    };
+    let body = body.trim();
+    if body == "lock-free" {
+        return Ok(Some(Annot::LockFree));
+    }
+    if body == "pricing-entry" {
+        return Ok(Some(Annot::PricingEntry));
+    }
+    if let Some(args) = call_args(body, "holds-lock")? {
+        if args.trim().is_empty() {
+            return Err(err("holds-lock needs a lock name: holds-lock(wal)"));
+        }
+        return Ok(Some(Annot::HoldsLock(args.trim().to_string())));
+    }
+    if let Some(args) = call_args(body, "bounded")? {
+        if args.trim().is_empty() {
+            return Err(err("bounded needs a reason: bounded(shards are fixed)"));
+        }
+        return Ok(Some(Annot::Bounded(args.trim().to_string())));
+    }
+    if let Some(args) = call_args(body, "allow")? {
+        let (rule, reason) = match args.split_once(':') {
+            Some((r, why)) => (r.trim(), why.trim()),
+            None => (args.trim(), ""),
+        };
+        if !is_rule_id(rule) {
+            return Err(err(format!("allow needs a rule id R1..R9, got `{rule}`")));
+        }
+        if reason.is_empty() {
+            return Err(err(format!(
+                "allow({rule}) needs a reason: allow({rule}: why this is sound)"
+            )));
+        }
+        return Ok(Some(Annot::Allow {
+            rule: rule.to_string(),
+            reason: reason.to_string(),
+        }));
+    }
+    Err(err(format!(
+        "unknown audit annotation `{body}` (expected allow(..), \
+         holds-lock(..), lock-free, pricing-entry, or bounded(..))"
+    )))
+}
+
+/// `name(args)` → `Some(args)`; `name` without parens → error; other
+/// heads → `None`.
+fn call_args<'a>(body: &'a str, name: &str) -> Result<Option<&'a str>, AnnotError> {
+    let Some(rest) = body.strip_prefix(name) else {
+        return Ok(None);
+    };
+    let rest = rest.trim();
+    let Some(inner) = rest.strip_prefix('(') else {
+        return Err(err(format!("`{name}` needs parenthesized arguments")));
+    };
+    let Some(inner) = inner.strip_suffix(')') else {
+        return Err(err(format!("unclosed `{name}(`")));
+    };
+    Ok(Some(inner))
+}
+
+fn is_rule_id(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars.next() == Some('R') && s.len() >= 2 && chars.all(|c| c.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_annotations_pass_through() {
+        assert_eq!(parse(" just a comment"), Ok(None));
+        assert_eq!(parse("SAFETY: fine"), Ok(None));
+    }
+
+    #[test]
+    fn allow_with_reason() {
+        assert_eq!(
+            parse(" audit: allow(R2: fault injection exists to panic)"),
+            Ok(Some(Annot::Allow {
+                rule: "R2".into(),
+                reason: "fault injection exists to panic".into()
+            }))
+        );
+    }
+
+    #[test]
+    fn allow_without_reason_is_an_error() {
+        assert!(parse(" audit: allow(R2)").is_err());
+        assert!(parse(" audit: allow(R2: )").is_err());
+        assert!(parse(" audit: allow(nonsense: x)").is_err());
+    }
+
+    #[test]
+    fn lock_annotations() {
+        assert_eq!(
+            parse(" audit: holds-lock(wal)"),
+            Ok(Some(Annot::HoldsLock("wal".into())))
+        );
+        assert_eq!(parse(" audit: lock-free"), Ok(Some(Annot::LockFree)));
+        assert_eq!(
+            parse(" audit: pricing-entry"),
+            Ok(Some(Annot::PricingEntry))
+        );
+        assert!(parse(" audit: holds-lock()").is_err());
+        assert!(parse(" audit: holds-lock").is_err());
+    }
+
+    #[test]
+    fn bounded_needs_reason() {
+        assert_eq!(
+            parse(" audit: bounded(16 shards)"),
+            Ok(Some(Annot::Bounded("16 shards".into())))
+        );
+        assert!(parse(" audit: bounded()").is_err());
+    }
+
+    #[test]
+    fn unknown_annotation_is_an_error() {
+        assert!(parse(" audit: alow(R2: typo)").is_err());
+    }
+}

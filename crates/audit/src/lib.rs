@@ -1,0 +1,81 @@
+//! `qbdp-audit` — domain-invariant static analysis for the qbdp
+//! workspace.
+//!
+//! The pricing papers this repo reproduces come with invariants the
+//! type system cannot see: arbitrage-freedom is stated over exact
+//! prices (so money arithmetic must not silently wrap), pricing is
+//! worst-case exponential (so hot loops must burn [`Budget`] fuel and
+//! locks must never be held across an engine call), and a pricing host
+//! must degrade instead of abort. This crate enforces those invariants
+//! offline, with no rustc plugin and no external dependencies: a
+//! hand-rolled lexer ([`lexer`]), a structural scanner ([`model`]), and
+//! five rule engines ([`rules`]):
+//!
+//! * **R1** — no unchecked `+`/`-`/`*` on money-tainted operands.
+//! * **R2** — no `unwrap`/`expect`/`panic!` in non-test code.
+//! * **R3** — WAL and cache-shard locks never held across pricing
+//!   (annotation-driven; see the `// audit:` grammar in [`annot`]).
+//! * **R4** — every loop in the exact/determinacy/flow hot paths is
+//!   fuel-metered or explicitly `bounded(..)`.
+//! * **R5** — `unsafe` requires an adjacent `// SAFETY:` comment.
+//!
+//! Run it with `cargo run -p qbdp-audit -- --deny-all`; the CI
+//! `analysis` job gates on it. Approximations and their soundness
+//! arguments are documented in DESIGN.md §5.
+//!
+//! [`Budget`]: https://docs.rs/qbdp-core
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(missing_docs)]
+
+pub mod annot;
+pub mod lexer;
+pub mod model;
+pub mod rules;
+pub mod source;
+
+pub use rules::{Config, Diagnostic, Workspace};
+
+use model::FileModel;
+use std::path::Path;
+
+/// Audit every workspace source file under `root` with the given
+/// config. Returns diagnostics sorted by (file, line, rule).
+pub fn audit_root(root: &Path, config: &Config) -> std::io::Result<Vec<Diagnostic>> {
+    let rel_paths = source::discover(root)?;
+    let mut files = Vec::with_capacity(rel_paths.len());
+    for rel in rel_paths {
+        let class = source::classify(&rel);
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        files.push(FileModel::build(&rel, class, &text));
+    }
+    let ws = Workspace::new(files);
+    Ok(rules::run_all(&ws, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The whole point: the workspace this crate lives in must be
+    /// clean. (The golden fixtures proving each rule *fires* live in
+    /// `tests/golden.rs`; `fixtures/` is excluded from discovery.)
+    #[test]
+    fn workspace_is_clean() {
+        let Some(root) = source::find_root(None) else {
+            return; // not running inside the workspace (e.g. vendored elsewhere)
+        };
+        let diags = audit_root(&root, &Config::workspace_defaults())
+            .expect("workspace sources must be readable");
+        assert!(
+            diags.is_empty(),
+            "audit violations in workspace:\n{}",
+            diags
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! The `qbdp-audit` command-line front end.
+//!
+//! ```text
+//! cargo run -p qbdp-audit -- [--deny-all] [--root PATH] [--rule R#]...
+//! ```
+//!
+//! Prints one `file:line: RULE: message` per finding. Exit code 0 when
+//! clean (or advisory mode), 1 when `--deny-all` and findings exist,
+//! 2 on usage/IO errors.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use qbdp_audit::{audit_root, source, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    deny_all: bool,
+    root: Option<PathBuf>,
+    rules: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny_all: false,
+        root: None,
+        rules: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny-all" => args.deny_all = true,
+            "--root" => {
+                let p = it.next().ok_or("--root requires a path")?;
+                args.root = Some(PathBuf::from(p));
+            }
+            "--rule" => {
+                let r = it.next().ok_or("--rule requires an id (e.g. R2)")?;
+                if !matches!(r.as_str(), "R0" | "R1" | "R2" | "R3" | "R4" | "R5") {
+                    return Err(format!("unknown rule id `{r}` (expected R0..R5)"));
+                }
+                args.rules.push(r);
+            }
+            "--help" | "-h" => {
+                return Err("usage: qbdp-audit [--deny-all] [--root PATH] [--rule R#]...".into())
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = source::find_root(args.root.as_deref()) else {
+        eprintln!("could not locate workspace root (try --root PATH)");
+        return ExitCode::from(2);
+    };
+    let diags = match audit_root(&root, &Config::workspace_defaults()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("audit failed reading {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let diags: Vec<_> = diags
+        .into_iter()
+        .filter(|d| args.rules.is_empty() || args.rules.iter().any(|r| r == d.rule))
+        .collect();
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("qbdp-audit: clean ({} rules enforced)", 5);
+        ExitCode::SUCCESS
+    } else {
+        println!("qbdp-audit: {} finding(s)", diags.len());
+        if args.deny_all {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,739 @@
+//! The structural model of one source file: functions, loops, test
+//! regions, call edges, lock acquisitions, and audit annotations —
+//! everything the rules consume, extracted in one pass over the token
+//! stream.
+//!
+//! The scanner is an approximation of Rust's grammar, tuned to be
+//! *conservative for this workspace* (the approximations are listed in
+//! DESIGN §5): brace-depth item tracking, signature scanning that
+//! treats `<`/`>` as brackets (sound inside signatures, where
+//! comparison operators cannot occur), and the struct-literal
+//! restriction of `for`/`while` headers (which guarantees the first
+//! `{` at bracket-depth 0 opens the loop body).
+
+use crate::annot::{self, Annot};
+use crate::lexer::{lex, Tok, Token};
+use crate::source::FileClass;
+use std::collections::{BTreeSet, HashMap};
+
+/// A function item (or method) found in the file.
+#[derive(Debug)]
+pub struct FnItem {
+    /// Bare name (`quote_str`, not `Market::quote_str` — call edges are
+    /// matched at name granularity).
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Code-token index range of the body, exclusive of its braces.
+    /// `None` for bodiless declarations (trait methods).
+    pub body: Option<(usize, usize)>,
+    /// Whether the fn is test code (`#[test]`, `#[cfg(test)]`, or
+    /// inside a `#[cfg(test)]` module/impl).
+    pub is_test: bool,
+    /// `// audit:` annotations attached to this fn.
+    pub annots: Vec<Annot>,
+    /// Possible callees: idents directly followed by `(` in the body,
+    /// in token order.
+    pub calls: Vec<Call>,
+    /// Zero-argument `.lock()` / `.read()` / `.write()` receivers in
+    /// the body — lock-guard acquisitions (I/O reads and writes always
+    /// take arguments, so the empty argument list is the discriminator).
+    pub lock_acquires: Vec<LockAcquire>,
+}
+
+impl FnItem {
+    /// Whether an annotation names this fn as holding `lock`.
+    pub fn holds_lock(&self, lock: &str) -> bool {
+        self.annots
+            .iter()
+            .any(|a| matches!(a, Annot::HoldsLock(l) if l == lock))
+    }
+
+    /// All `holds-lock(..)` names on this fn.
+    pub fn held_locks(&self) -> Vec<&str> {
+        self.annots
+            .iter()
+            .filter_map(|a| match a {
+                Annot::HoldsLock(l) => Some(l.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether the fn is annotated `lock-free`.
+    pub fn is_lock_free(&self) -> bool {
+        self.annots.iter().any(|a| matches!(a, Annot::LockFree))
+    }
+
+    /// Whether the fn is annotated `pricing-entry`.
+    pub fn is_pricing_entry(&self) -> bool {
+        self.annots.iter().any(|a| matches!(a, Annot::PricingEntry))
+    }
+}
+
+/// One possible call site inside a fn body.
+#[derive(Debug)]
+pub struct Call {
+    /// Callee name (method or free fn — the scanner does not resolve).
+    pub name: String,
+    /// Code-token index of the callee ident.
+    pub idx: usize,
+    /// Source line.
+    pub line: u32,
+}
+
+/// One lock acquisition site inside a fn body.
+#[derive(Debug)]
+pub struct LockAcquire {
+    /// The method: `lock`, `read`, or `write`.
+    pub method: String,
+    /// Code-token index of the method ident.
+    pub idx: usize,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A `for`/`while`/`loop` found in the file.
+#[derive(Debug)]
+pub struct LoopItem {
+    /// The loop keyword.
+    pub keyword: &'static str,
+    /// Line of the keyword.
+    pub line: u32,
+    /// Code-token index range of the body, exclusive of braces.
+    pub body: (usize, usize),
+    /// Index into [`FileModel::fns`] of the innermost enclosing fn.
+    pub fn_index: Option<usize>,
+    /// Whether the loop is inside test code.
+    pub is_test: bool,
+    /// `bounded(reason)` annotation, if present.
+    pub bounded: Option<String>,
+}
+
+/// Everything the rules need to know about one file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Workspace-relative path.
+    pub rel_path: String,
+    /// Policy class (library / harness / test).
+    pub class: FileClass,
+    /// Code tokens (comments stripped).
+    pub code: Vec<Token>,
+    /// Function items, in source order.
+    pub fns: Vec<FnItem>,
+    /// Loops, in source order.
+    pub loops: Vec<LoopItem>,
+    /// `allow(R#: …)` annotations: line → rule ids silenced there.
+    pub allows: HashMap<u32, Vec<String>>,
+    /// Lines whose comments contain `SAFETY:`.
+    pub safety_lines: BTreeSet<u32>,
+    /// Malformed `// audit:` comments (reported as R0 diagnostics).
+    pub annot_errors: Vec<(u32, String)>,
+    /// Lines of `unsafe` keywords in code.
+    pub unsafe_lines: Vec<u32>,
+    /// Code-token index ranges inside `#[cfg(test)]` items.
+    test_ranges: Vec<(usize, usize)>,
+}
+
+impl FileModel {
+    /// Whether the code token at `idx` lies inside `#[cfg(test)]` code.
+    pub fn in_test_code(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| idx >= s && idx < e)
+    }
+
+    /// The innermost fn whose body contains code-token `idx`.
+    pub fn fn_at(&self, idx: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| matches!(f.body, Some((s, e)) if idx >= s && idx < e))
+            .min_by_key(|f| match f.body {
+                Some((s, e)) => e - s,
+                None => usize::MAX,
+            })
+    }
+
+    /// Whether `rule` is silenced on `line` by an `allow` annotation.
+    pub fn allowed(&self, line: u32, rule: &str) -> bool {
+        self.allows
+            .get(&line)
+            .is_some_and(|rules| rules.iter().any(|r| r == rule))
+    }
+
+    /// Build the model for one file.
+    pub fn build(rel_path: &str, class: FileClass, source: &str) -> FileModel {
+        Scanner::new(rel_path, class, lex(source)).run()
+    }
+}
+
+/// Item keywords that clear pending fn-level annotations (the
+/// annotation was written above something that is not a fn).
+const ITEM_KEYWORDS: &[&str] = &[
+    "struct",
+    "enum",
+    "trait",
+    "use",
+    "static",
+    "type",
+    "macro_rules",
+];
+
+/// Keywords that can legally sit between an annotation and its `fn`.
+const FN_PREFIX_KEYWORDS: &[&str] = &[
+    "pub", "const", "unsafe", "async", "extern", "crate", "in", "default",
+];
+
+struct Scanner {
+    rel_path: String,
+    class: FileClass,
+    code: Vec<Token>,
+    /// For each code token, whether a comment-derived annotation maps to it.
+    allows: HashMap<u32, Vec<String>>,
+    safety_lines: BTreeSet<u32>,
+    annot_errors: Vec<(u32, String)>,
+    /// (annotation, comment line) pending attachment to the next fn.
+    fn_annots_by_line: Vec<(u32, Annot)>,
+    /// (reason, comment line) pending attachment to the next loop.
+    bounded_by_line: Vec<(u32, String)>,
+}
+
+impl Scanner {
+    fn new(rel_path: &str, class: FileClass, all_tokens: Vec<Token>) -> Scanner {
+        let mut code = Vec::new();
+        let mut allows: HashMap<u32, Vec<String>> = HashMap::new();
+        let mut safety_lines = BTreeSet::new();
+        let mut annot_errors = Vec::new();
+        let mut fn_annots_by_line = Vec::new();
+        let mut bounded_by_line = Vec::new();
+        // Allow annotations on comment-only lines bind to the next code
+        // line; remember them until it is known. Attribute tokens
+        // (`#[allow(clippy::...)]` lines between the comment and its
+        // target) are skipped over, matching how rustc applies lints.
+        let mut pending_allows: Vec<String> = Vec::new();
+        let mut last_code_line = 0u32;
+        let mut attr_start = false;
+        let mut attr_depth = 0u32;
+
+        for t in all_tokens {
+            match &t.tok {
+                Tok::LineComment(text) | Tok::BlockComment(text) => {
+                    if text.contains("SAFETY:") {
+                        safety_lines.insert(t.line);
+                    }
+                    match annot::parse(text) {
+                        Ok(None) => {}
+                        Ok(Some(Annot::Allow { rule, .. })) => {
+                            if last_code_line == t.line {
+                                allows.entry(t.line).or_default().push(rule);
+                            } else {
+                                pending_allows.push(rule);
+                            }
+                        }
+                        Ok(Some(Annot::Bounded(reason))) => {
+                            bounded_by_line.push((t.line, reason));
+                        }
+                        Ok(Some(a)) => fn_annots_by_line.push((t.line, a)),
+                        Err(e) => annot_errors.push((t.line, e.message)),
+                    }
+                }
+                _ => {
+                    let in_attr = if attr_depth > 0 {
+                        if t.is_punct('[') {
+                            attr_depth += 1;
+                        } else if t.is_punct(']') {
+                            attr_depth -= 1;
+                        }
+                        true
+                    } else if t.is_punct('#') {
+                        attr_start = true;
+                        true
+                    } else if attr_start && t.is_punct('!') {
+                        true
+                    } else if attr_start && t.is_punct('[') {
+                        attr_start = false;
+                        attr_depth = 1;
+                        true
+                    } else {
+                        attr_start = false;
+                        false
+                    };
+                    if !in_attr && !pending_allows.is_empty() {
+                        allows
+                            .entry(t.line)
+                            .or_default()
+                            .append(&mut pending_allows);
+                    }
+                    last_code_line = t.line;
+                    code.push(t);
+                }
+            }
+        }
+        Scanner {
+            rel_path: rel_path.to_string(),
+            class,
+            code,
+            allows,
+            safety_lines,
+            annot_errors,
+            fn_annots_by_line,
+            bounded_by_line,
+        }
+    }
+
+    fn ident_at(&self, i: usize) -> Option<&str> {
+        self.code.get(i).and_then(Token::ident)
+    }
+
+    fn punct_at(&self, i: usize, c: char) -> bool {
+        self.code.get(i).is_some_and(|t| t.is_punct(c))
+    }
+
+    /// Find the body-opening `{` for a fn signature starting after the
+    /// fn name at `i`. Returns `Some(open_idx)` or `None` for `;`.
+    /// Inside a signature, `<`/`>` are generic brackets (comparison
+    /// operators cannot occur there), except in `->`.
+    fn find_fn_body_open(&self, mut i: usize) -> Option<usize> {
+        let (mut paren, mut bracket, mut angle) = (0i32, 0i32, 0i32);
+        while i < self.code.len() {
+            match &self.code[i].tok {
+                Tok::Punct('(') => paren += 1,
+                Tok::Punct(')') => paren -= 1,
+                Tok::Punct('[') => bracket += 1,
+                Tok::Punct(']') => bracket -= 1,
+                Tok::Punct('-') if self.punct_at(i + 1, '>') => i += 1, // skip ->
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') => angle = (angle - 1).max(0),
+                Tok::Punct('{') if paren == 0 && bracket == 0 && angle == 0 => {
+                    return Some(i);
+                }
+                Tok::Punct(';') if paren == 0 && bracket == 0 && angle == 0 => {
+                    return None;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Find the body-opening `{` for a loop header starting at `i`
+    /// (after the keyword). Only `(`/`[` nest — the struct-literal
+    /// restriction keeps stray `{` out of loop headers.
+    fn find_loop_body_open(&self, mut i: usize) -> Option<usize> {
+        let (mut paren, mut bracket) = (0i32, 0i32);
+        while i < self.code.len() {
+            match &self.code[i].tok {
+                Tok::Punct('(') => paren += 1,
+                Tok::Punct(')') => paren -= 1,
+                Tok::Punct('[') => bracket += 1,
+                Tok::Punct(']') => bracket -= 1,
+                Tok::Punct('{') if paren == 0 && bracket == 0 => return Some(i),
+                Tok::Punct(';') if paren == 0 && bracket == 0 => return None,
+                _ => {}
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Index of the `}` matching the `{` at `open`.
+    fn matching_close(&self, open: usize) -> usize {
+        let mut depth = 0i32;
+        for i in open..self.code.len() {
+            match &self.code[i].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.code.len()
+    }
+
+    fn run(mut self) -> FileModel {
+        let mut fns: Vec<FnItem> = Vec::new();
+        let mut loops: Vec<LoopItem> = Vec::new();
+        let mut test_ranges: Vec<(usize, usize)> = Vec::new();
+        let mut unsafe_lines: Vec<u32> = Vec::new();
+
+        // Attribute state, reset after the next item.
+        let mut pending_cfg_test = false;
+        let mut pending_test_attr = false;
+
+        let mut i = 0usize;
+        while i < self.code.len() {
+            let line = self.code[i].line;
+            match &self.code[i].tok {
+                // Attribute: #[...] or #![...]
+                Tok::Punct('#') => {
+                    let mut j = i + 1;
+                    if self.punct_at(j, '!') {
+                        j += 1;
+                    }
+                    if self.punct_at(j, '[') {
+                        let mut depth = 0i32;
+                        let mut idents: Vec<&str> = Vec::new();
+                        let start = j;
+                        while j < self.code.len() {
+                            match &self.code[j].tok {
+                                Tok::Punct('[') => depth += 1,
+                                Tok::Punct(']') => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                Tok::Ident(s) => idents.push(s),
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        let has = |w: &str| idents.contains(&w);
+                        if has("cfg") && has("test") && !has("not") {
+                            pending_cfg_test = true;
+                        } else if has("test") && !has("cfg") && !has("cfg_attr") && !has("not") {
+                            pending_test_attr = true;
+                        }
+                        let _ = start;
+                        i = j + 1;
+                        continue;
+                    }
+                    i += 1;
+                }
+                Tok::Ident(kw) if kw == "fn" => {
+                    // `fn(` is a fn-pointer type, not an item.
+                    let Some(name) = self.ident_at(i + 1).map(str::to_string) else {
+                        i += 1;
+                        continue;
+                    };
+                    let in_test = pending_cfg_test
+                        || pending_test_attr
+                        || test_ranges.iter().any(|&(s, e)| i >= s && i < e);
+                    // Attach the annotations written above this fn
+                    // (annotation lines precede the `fn` keyword line);
+                    // ones for later fns stay pending.
+                    let mut annots: Vec<Annot> = Vec::new();
+                    self.fn_annots_by_line.retain(|(l, a)| {
+                        if *l <= line {
+                            annots.push(a.clone());
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    pending_cfg_test = false;
+                    pending_test_attr = false;
+                    let body = match self.find_fn_body_open(i + 2) {
+                        Some(open) => {
+                            let close = self.matching_close(open);
+                            if in_test {
+                                test_ranges.push((open, close + 1));
+                            }
+                            Some((open + 1, close))
+                        }
+                        None => None,
+                    };
+                    fns.push(FnItem {
+                        name,
+                        line,
+                        body,
+                        is_test: in_test,
+                        annots,
+                        calls: Vec::new(),
+                        lock_acquires: Vec::new(),
+                    });
+                    i += 2;
+                }
+                Tok::Ident(kw) if kw == "mod" || kw == "impl" || kw == "trait" => {
+                    // A #[cfg(test)] mod/impl/trait scopes a test range
+                    // over its whole body. Annotations written above it
+                    // do not leak into its first fn.
+                    self.fn_annots_by_line.retain(|(l, _)| *l > line);
+                    if pending_cfg_test {
+                        let mut j = i + 1;
+                        while j < self.code.len()
+                            && !self.punct_at(j, '{')
+                            && !self.punct_at(j, ';')
+                        {
+                            j += 1;
+                        }
+                        if self.punct_at(j, '{') {
+                            let close = self.matching_close(j);
+                            test_ranges.push((j, close + 1));
+                        }
+                        pending_cfg_test = false;
+                    }
+                    pending_test_attr = false;
+                    i += 1;
+                }
+                Tok::Ident(kw) if kw == "for" || kw == "while" || kw == "loop" => {
+                    // `impl Trait for Type` — not a loop: the `for` is
+                    // preceded by a type (ident or `>`), a loop's `for`
+                    // never is.
+                    let prev_is_type = i > 0
+                        && (matches!(&self.code[i - 1].tok, Tok::Ident(p)
+                                if !matches!(p.as_str(), "if" | "else" | "return" | "break" | "match" | "in" | "unsafe" | "move" | "yield" | "do" | "await"))
+                            || self.punct_at(i - 1, '>'));
+                    if *kw == "for" && (prev_is_type || self.punct_at(i + 1, '<')) {
+                        // `impl Trait for Type` or a higher-ranked
+                        // bound `for<'a> Fn(..)` — not a loop.
+                        i += 1;
+                        continue;
+                    }
+                    let keyword: &'static str = match kw.as_str() {
+                        "for" => "for",
+                        "while" => "while",
+                        _ => "loop",
+                    };
+                    if let Some(open) = self.find_loop_body_open(i + 1) {
+                        let close = self.matching_close(open);
+                        let in_test = test_ranges.iter().any(|&(s, e)| i >= s && i < e);
+                        // The bounded(..) annotation binds to the next
+                        // loop keyword that follows it in the source.
+                        let bounded = {
+                            let pos = self.bounded_by_line.iter().position(|(l, _)| *l <= line);
+                            pos.map(|p| self.bounded_by_line.remove(p).1)
+                        };
+                        // fn_index resolved after the scan (fns vector
+                        // still growing); store token idx for now.
+                        loops.push(LoopItem {
+                            keyword,
+                            line,
+                            body: (open + 1, close),
+                            fn_index: Some(i), // placeholder: token idx
+                            is_test: in_test,
+                            bounded,
+                        });
+                    }
+                    i += 1;
+                }
+                Tok::Ident(kw) if kw == "unsafe" => {
+                    unsafe_lines.push(line);
+                    i += 1;
+                }
+                Tok::Ident(kw) if ITEM_KEYWORDS.contains(&kw.as_str()) => {
+                    self.fn_annots_by_line.retain(|(l, _)| *l > line);
+                    pending_test_attr = false;
+                    // cfg(test) on a struct/use has no body to scope;
+                    // consume the flag.
+                    pending_cfg_test = false;
+                    i += 1;
+                }
+                Tok::Ident(kw) if FN_PREFIX_KEYWORDS.contains(&kw.as_str()) => {
+                    // pub / const / async … may sit between an
+                    // annotation (or attribute) and its fn: keep state.
+                    i += 1;
+                }
+                _ => {
+                    i += 1;
+                }
+            }
+        }
+
+        // Resolve loop → innermost enclosing fn.
+        for l in &mut loops {
+            let tok_idx = l.fn_index.take().unwrap_or(0);
+            l.fn_index = fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| matches!(f.body, Some((s, e)) if tok_idx >= s && tok_idx < e))
+                .min_by_key(|(_, f)| match f.body {
+                    Some((s, e)) => e - s,
+                    None => usize::MAX,
+                })
+                .map(|(idx, _)| idx);
+        }
+
+        // Call edges and lock acquisitions per fn body.
+        for f in &mut fns {
+            let Some((s, e)) = f.body else { continue };
+            for i in s..e.min(self.code.len()) {
+                let Some(name) = self.ident_at(i) else {
+                    continue;
+                };
+                if !self.punct_at(i + 1, '(') {
+                    continue;
+                }
+                if matches!(
+                    name,
+                    "if" | "while" | "for" | "match" | "return" | "fn" | "loop" | "move" | "in"
+                ) {
+                    continue;
+                }
+                if i > 0 && self.ident_at(i - 1) == Some("fn") {
+                    continue; // nested fn definition, not a call
+                }
+                let line = self.code[i].line;
+                if matches!(name, "lock" | "read" | "write")
+                    && i > 0
+                    && self.punct_at(i - 1, '.')
+                    && self.punct_at(i + 2, ')')
+                {
+                    f.lock_acquires.push(LockAcquire {
+                        method: name.to_string(),
+                        idx: i,
+                        line,
+                    });
+                }
+                f.calls.push(Call {
+                    name: name.to_string(),
+                    idx: i,
+                    line,
+                });
+            }
+        }
+
+        FileModel {
+            rel_path: self.rel_path,
+            class: self.class,
+            code: self.code,
+            fns,
+            loops,
+            allows: self.allows,
+            safety_lines: self.safety_lines,
+            annot_errors: self.annot_errors,
+            unsafe_lines,
+            test_ranges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::build("crates/x/src/lib.rs", FileClass::Library, src)
+    }
+
+    #[test]
+    fn finds_fns_and_bodies() {
+        let m = model("fn a() { b(); }\npub const fn b() -> u64 { 1 }\nfn decl();");
+        assert_eq!(m.fns.len(), 3);
+        assert_eq!(m.fns[0].name, "a");
+        assert!(m.fns[0].body.is_some());
+        assert_eq!(m.fns[0].calls.len(), 1);
+        assert_eq!(m.fns[0].calls[0].name, "b");
+        assert_eq!(m.fns[1].name, "b");
+        assert!(m.fns[2].body.is_none());
+    }
+
+    #[test]
+    fn generic_signatures_and_where_clauses() {
+        let m = model(
+            "fn g<T: Into<Vec<u8>>>(x: T) -> Result<(), Box<dyn std::error::Error>>\n\
+             where T: Clone { x.into(); }",
+        );
+        assert_eq!(m.fns.len(), 1);
+        assert!(m.fns[0].body.is_some());
+        assert_eq!(m.fns[0].calls.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_mod_scopes_test_range() {
+        let m = model(
+            "fn live() { x.unwrap(); }\n\
+             #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { y.unwrap(); }\n}",
+        );
+        assert!(!m.fns[0].is_test);
+        assert!(m.fns[1].is_test);
+        let live_call = m.fns[0].calls.iter().find(|c| c.name == "unwrap").unwrap();
+        assert!(!m.in_test_code(live_call.idx));
+        let test_call = m.fns[1].calls.iter().find(|c| c.name == "unwrap").unwrap();
+        assert!(m.in_test_code(test_call.idx));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_code() {
+        let m = model("#[cfg(not(test))]\nfn live() {}");
+        assert!(!m.fns[0].is_test);
+    }
+
+    #[test]
+    fn loops_and_impl_for_disambiguation() {
+        let m = model(
+            "impl Clone for Thing { fn clone(&self) -> Thing { Thing } }\n\
+             fn f() { for x in 0..3 { g(x); } while a < b { } loop { break; } }",
+        );
+        assert_eq!(m.loops.len(), 3);
+        assert_eq!(m.loops[0].keyword, "for");
+        let f_idx = m.fns.iter().position(|f| f.name == "f").unwrap();
+        assert_eq!(m.loops[0].fn_index, Some(f_idx));
+    }
+
+    #[test]
+    fn fn_annotations_attach() {
+        let m = model(
+            "// audit: holds-lock(wal)\n// audit: pricing-entry\npub fn guarded() {}\n\
+             // audit: lock-free\nstruct NotAFn;\nfn unannotated() {}",
+        );
+        assert!(m.fns[0].holds_lock("wal"));
+        assert!(m.fns[0].is_pricing_entry());
+        assert!(
+            !m.fns[1].is_lock_free(),
+            "annotation above struct must not leak"
+        );
+    }
+
+    #[test]
+    fn allow_binds_to_next_or_same_line() {
+        let m = model(
+            "// audit: allow(R2: trailing next line)\nfn a() { x.unwrap(); }\n\
+             fn b() { y.unwrap(); } // audit: allow(R1: same line)",
+        );
+        assert!(m.allowed(2, "R2"));
+        assert!(m.allowed(3, "R1"));
+        assert!(!m.allowed(3, "R2"));
+    }
+
+    #[test]
+    fn allow_skips_interleaved_attributes() {
+        let m = model(
+            "fn a() {\n    // audit: allow(R2: invariant)\n    #[allow(clippy::expect_used)]\n    let x = y.expect(\"m\");\n}",
+        );
+        assert!(m.allowed(4, "R2"), "allow must skip the attribute line");
+        assert!(!m.allowed(3, "R2"));
+    }
+
+    #[test]
+    fn bounded_binds_to_next_loop() {
+        let m = model(
+            "fn f() {\n    // audit: bounded(fixed 16 shards)\n    for s in shards { }\n    for t in others { }\n}",
+        );
+        assert_eq!(m.loops[0].bounded.as_deref(), Some("fixed 16 shards"));
+        assert!(m.loops[1].bounded.is_none());
+    }
+
+    #[test]
+    fn lock_acquires_need_empty_args() {
+        let m = model(
+            "fn f(buf: &mut [u8]) { let g = self.state.read(); file.read(buf); wal.lock(); }",
+        );
+        let acquires: Vec<&str> = m.fns[0]
+            .lock_acquires
+            .iter()
+            .map(|a| a.method.as_str())
+            .collect();
+        assert_eq!(
+            acquires,
+            vec!["read", "lock"],
+            "read(buf) is I/O, not a lock"
+        );
+    }
+
+    #[test]
+    fn unsafe_lines_and_safety_comments() {
+        let m = model("// SAFETY: checked above\nfn f() { unsafe { g(); } }");
+        assert_eq!(m.unsafe_lines, vec![2]);
+        assert!(m.safety_lines.contains(&1));
+    }
+
+    #[test]
+    fn annot_errors_are_collected() {
+        let m = model("// audit: allow(R2)\nfn f() {}");
+        assert_eq!(m.annot_errors.len(), 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! The rule engines and the workspace-level analysis driver.
+//!
+//! Each rule consumes [`FileModel`]s and emits [`Diagnostic`]s. R1, R2,
+//! and R5 are file-local; R3 and R4 need the cross-file call graph, so
+//! the driver builds every model first and hands rules a
+//! [`Workspace`] view.
+
+use crate::model::FileModel;
+use std::collections::HashMap;
+use std::fmt;
+
+pub mod r1_money;
+pub mod r2_panic;
+pub mod r3_locks;
+pub mod r4_fuel;
+pub mod r5_safety;
+
+/// One finding, printed as `file:line: RULE: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (`R1`…`R5`, or `R0` for a malformed annotation).
+    pub rule: &'static str,
+    /// Human-readable finding.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Tunables for the rule engines. [`Config::workspace_defaults`] is the
+/// qbdp policy; tests construct narrower configs.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// R1: identifier words that taint an operand as money-valued.
+    pub taint_words: Vec<String>,
+    /// R1: fn-name prefixes inside which raw arithmetic is the point
+    /// (the wrappers themselves).
+    pub blessed_fn_prefixes: Vec<String>,
+    /// R3: lock names that must never be held across pricing calls.
+    pub guarded_locks: Vec<String>,
+    /// R3: fn names that are pricing-engine entry points (in addition
+    /// to fns annotated `// audit: pricing-entry`).
+    pub pricing_entries: Vec<String>,
+    /// R3: path prefixes where every lock-acquiring fn must carry a
+    /// `holds-lock(..)` annotation.
+    pub lock_annotation_paths: Vec<String>,
+    /// R4: path prefixes whose loops must be fuel-metered.
+    pub metered_paths: Vec<String>,
+    /// R4: method/fn names that charge a budget.
+    pub meter_calls: Vec<String>,
+    /// R3: direct `qbdp-*` dependency edges, as short crate names
+    /// (`market` → its dependencies). Name-level call resolution only
+    /// targets definitions in the caller's dependency closure — a fn in
+    /// `qbdp-market` cannot call the root CLI or the bench drivers, so
+    /// shared std vocabulary (`get`, `insert`, `run`…) must not route a
+    /// lock-discipline walk into them. Crates absent from the table
+    /// resolve only within themselves.
+    pub crate_deps: Vec<(String, Vec<String>)>,
+}
+
+impl Config {
+    /// The policy enforced on the qbdp workspace.
+    pub fn workspace_defaults() -> Config {
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect();
+        Config {
+            taint_words: s(&["price", "prices", "revenue", "cents", "proceeds"]),
+            blessed_fn_prefixes: s(&["checked_", "saturating_", "wrapping_"]),
+            guarded_locks: s(&["wal", "cache-shard"]),
+            pricing_entries: s(&[
+                "price_rule",
+                "price_rule_within",
+                "price_cq",
+                "price_cq_within",
+                "price_ucq",
+                "price_ucq_within",
+                "price_bundle",
+                "price_bundle_within",
+                "price_batch_within",
+                "price_batch_with_workers",
+                "quote_str",
+                "quote_batch",
+                "quote_inner",
+                "evaluate_purchase",
+                "explain_str",
+            ]),
+            lock_annotation_paths: s(&["crates/market/src/", "crates/store/src/"]),
+            metered_paths: s(&[
+                "crates/core/src/exact/",
+                "crates/determinacy/src/",
+                "crates/flow/src/",
+            ]),
+            meter_calls: s(&["charge", "tick"]),
+            crate_deps: {
+                let d = |name: &str, deps: &[&str]| {
+                    (
+                        name.to_string(),
+                        deps.iter().map(|s| s.to_string()).collect(),
+                    )
+                };
+                vec![
+                    d("catalog", &[]),
+                    d("flow", &[]),
+                    d("store", &[]),
+                    d("query", &["catalog"]),
+                    d("determinacy", &["catalog", "query"]),
+                    d("core", &["catalog", "query", "determinacy", "flow"]),
+                    d(
+                        "market",
+                        &["catalog", "core", "determinacy", "query", "store"],
+                    ),
+                    d("workload", &["catalog", "core", "determinacy", "query"]),
+                    d(
+                        "bench",
+                        &[
+                            "catalog",
+                            "core",
+                            "determinacy",
+                            "flow",
+                            "market",
+                            "query",
+                            "store",
+                            "workload",
+                        ],
+                    ),
+                    d(
+                        "root",
+                        &[
+                            "catalog",
+                            "core",
+                            "determinacy",
+                            "flow",
+                            "market",
+                            "query",
+                            "store",
+                            "workload",
+                        ],
+                    ),
+                ]
+            },
+        }
+    }
+}
+
+/// Every audited file, modeled, plus the name-level fn index the
+/// cross-file rules resolve calls against.
+pub struct Workspace {
+    /// All file models, in deterministic (sorted-path) order.
+    pub files: Vec<FileModel>,
+    /// fn name → (file index, fn index) of every definition.
+    pub fn_index: HashMap<String, Vec<(usize, usize)>>,
+}
+
+impl Workspace {
+    /// Build the index over prebuilt models.
+    pub fn new(files: Vec<FileModel>) -> Workspace {
+        let mut fn_index: HashMap<String, Vec<(usize, usize)>> = HashMap::new();
+        for (fi, f) in files.iter().enumerate() {
+            for (gi, g) in f.fns.iter().enumerate() {
+                fn_index.entry(g.name.clone()).or_default().push((fi, gi));
+            }
+        }
+        Workspace { files, fn_index }
+    }
+}
+
+/// Run every rule over the workspace; diagnostics come back sorted by
+/// (file, line, rule). Malformed annotations surface as `R0`.
+pub fn run_all(ws: &Workspace, config: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        for (line, msg) in &f.annot_errors {
+            out.push(Diagnostic {
+                file: f.rel_path.clone(),
+                line: *line,
+                rule: "R0",
+                message: format!("malformed audit annotation: {msg}"),
+            });
+        }
+        out.extend(r1_money::check(f, config));
+        out.extend(r2_panic::check(f, config));
+        out.extend(r5_safety::check(f, config));
+    }
+    out.extend(r3_locks::check(ws, config));
+    out.extend(r4_fuel::check(ws, config));
+    out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    out.dedup();
+    out
+}

@@ -1,0 +1,319 @@
+//! R1 — no unchecked arithmetic on money values.
+//!
+//! Theorem 2.15's arbitrage-freedom is stated over exact prices;
+//! PR 3's durable books additionally demand that revenue never wraps.
+//! The `Price` type therefore exposes `checked_add` / `saturating_add`
+//! and the workspace rule is: **raw `+`, `-`, `*` (and their compound
+//! assignments) never touch a money-valued operand** outside the
+//! wrapper implementations themselves.
+//!
+//! Without a type checker, "money-valued" is decided by taint: an
+//! operand whose identifier chain contains a money word (`price`,
+//! `revenue`, `cents`, …, split on `_`, matched whole — `priced` does
+//! not taint) or a call to a money accessor (`as_cents()` taints via
+//! the `cents` word). Arithmetic inside fns whose name starts with
+//! `checked_`/`saturating_`/`wrapping_` is exempt — those *are* the
+//! wrappers. Justified exceptions carry `// audit: allow(R1: why)`.
+
+use crate::lexer::Tok;
+use crate::model::FileModel;
+use crate::rules::{Config, Diagnostic};
+use crate::source::FileClass;
+
+/// Run R1 over one file.
+pub fn check(f: &FileModel, config: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if f.class == FileClass::TestCode {
+        return out;
+    }
+    let code = &f.code;
+    let mut i = 0usize;
+    while i < code.len() {
+        let op = match &code[i].tok {
+            Tok::Punct(c @ ('+' | '-' | '*')) => *c,
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        // `->`, `=>`-adjacent, `+=`-style compound ops are still the
+        // same binary operator for taint purposes; `->` is not.
+        if op == '-' && code.get(i + 1).is_some_and(|t| t.is_punct('>')) {
+            i += 2;
+            continue;
+        }
+        if !is_binary(f, i) {
+            i += 1;
+            continue;
+        }
+        if f.in_test_code(i) {
+            i += 1;
+            continue;
+        }
+        let line = code[i].line;
+        if f.allowed(line, "R1") {
+            i += 1;
+            continue;
+        }
+        if let Some(g) = f.fn_at(i) {
+            if config
+                .blessed_fn_prefixes
+                .iter()
+                .any(|p| g.name.starts_with(p))
+            {
+                i += 1;
+                continue;
+            }
+        }
+        let left = left_operand_idents(f, i);
+        let right = right_operand_idents(f, i);
+        let tainted = |chain: &[String]| {
+            chain.iter().any(|ident| {
+                ident
+                    .split('_')
+                    .any(|w| config.taint_words.iter().any(|t| t.eq_ignore_ascii_case(w)))
+            })
+        };
+        let hit = if tainted(&left) {
+            Some(left)
+        } else if tainted(&right) {
+            Some(right)
+        } else {
+            None
+        };
+        if let Some(chain) = hit {
+            out.push(Diagnostic {
+                file: f.rel_path.clone(),
+                line,
+                rule: "R1",
+                message: format!(
+                    "unchecked `{op}` on money-tainted operand `{}` — use \
+                     checked_*/saturating_* (or `// audit: allow(R1: why)` \
+                     if the arithmetic cannot overflow)",
+                    chain.join(".")
+                ),
+            });
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Is the `+`/`-`/`*` at `i` a binary operator? It is when the previous
+/// code token can end an expression. Rules out unary minus, deref `*`,
+/// `&*`, `+` in generic bounds does not occur inside bodies scanned
+/// here except in rare type ascriptions (silence those with allow).
+fn is_binary(f: &FileModel, i: usize) -> bool {
+    if i == 0 {
+        return false;
+    }
+    match &f.code[i - 1].tok {
+        Tok::Ident(name) => {
+            // `return -x`, `match x`, … keyword before the op means the
+            // op is unary.
+            !matches!(
+                name.as_str(),
+                "return" | "match" | "if" | "while" | "in" | "break" | "else" | "as" | "mut"
+            )
+        }
+        Tok::Num | Tok::Str => true,
+        Tok::Punct(')') | Tok::Punct(']') => true,
+        _ => false,
+    }
+}
+
+/// Collect the identifier chain of the operand ending just before `i`:
+/// `quote.price` → [quote, price]; `sum.as_cents()` → [sum, as_cents];
+/// `weights[e]` → [weights].
+fn left_operand_idents(f: &FileModel, op: usize) -> Vec<String> {
+    let code = &f.code;
+    let mut idents = Vec::new();
+    let mut j = op as isize - 1;
+    let mut steps = 0;
+    while j >= 0 && steps < 32 {
+        steps += 1;
+        match &code[j as usize].tok {
+            Tok::Ident(name) => {
+                idents.push(name.clone());
+                // keep walking left only across `.` / `::` chains
+                if j >= 1 && code[j as usize - 1].is_punct('.') {
+                    j -= 2;
+                } else if j >= 2
+                    && code[j as usize - 1].is_punct(':')
+                    && code[j as usize - 2].is_punct(':')
+                {
+                    j -= 3;
+                } else {
+                    break;
+                }
+            }
+            Tok::Punct(')') | Tok::Punct(']') => {
+                // Skip the bracketed group, then continue with what is
+                // before it (a call or an index).
+                let open = match &code[j as usize].tok {
+                    Tok::Punct(')') => '(',
+                    _ => '[',
+                };
+                let close = match open {
+                    '(' => ')',
+                    _ => ']',
+                };
+                let mut depth = 0i32;
+                while j >= 0 {
+                    if code[j as usize].is_punct(close) {
+                        depth += 1;
+                    } else if code[j as usize].is_punct(open) {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j -= 1;
+                }
+                j -= 1;
+            }
+            Tok::Num | Tok::Str => break,
+            _ => break,
+        }
+    }
+    idents.reverse();
+    idents
+}
+
+/// Collect the identifier chain of the operand starting just after `i`.
+fn right_operand_idents(f: &FileModel, op: usize) -> Vec<String> {
+    let code = &f.code;
+    let mut idents = Vec::new();
+    let mut j = op + 1;
+    // Leading unary operators / reference on the right operand.
+    while j < code.len()
+        && matches!(
+            &code[j].tok,
+            Tok::Punct('&') | Tok::Punct('*') | Tok::Punct('-')
+        )
+    {
+        j += 1;
+    }
+    let mut steps = 0;
+    while j < code.len() && steps < 32 {
+        steps += 1;
+        match &code[j].tok {
+            Tok::Ident(name) => {
+                idents.push(name.clone());
+                j += 1;
+                // Skip a call / index group right after the name.
+                while j < code.len() && matches!(&code[j].tok, Tok::Punct('(') | Tok::Punct('[')) {
+                    let (open, close) = if code[j].is_punct('(') {
+                        ('(', ')')
+                    } else {
+                        ('[', ']')
+                    };
+                    let mut depth = 0i32;
+                    while j < code.len() {
+                        if code[j].is_punct(open) {
+                            depth += 1;
+                        } else if code[j].is_punct(close) {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                }
+                // Continue across `.` / `::` chains only.
+                if j < code.len() && code[j].is_punct('.') {
+                    j += 1;
+                } else if j + 1 < code.len() && code[j].is_punct(':') && code[j + 1].is_punct(':') {
+                    j += 2;
+                } else {
+                    break;
+                }
+            }
+            Tok::Num | Tok::Str => break,
+            _ => break,
+        }
+    }
+    idents
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileClass;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        let m = FileModel::build("crates/x/src/lib.rs", FileClass::Library, src);
+        check(&m, &Config::workspace_defaults())
+    }
+
+    #[test]
+    fn flags_addition_on_price_names() {
+        let d = diags("fn f(price: u64, x: u64) -> u64 { price + x }");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "R1");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn flags_compound_assign_and_field_chains() {
+        let d = diags("fn f(q: Quote) { total_revenue += q.price; }");
+        // `total_revenue +=` fires once; `q.price` is on the right of
+        // the same operator.
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn flags_as_cents_calls() {
+        let d = diags("fn f(a: Price, b: Price) -> u64 { a.as_cents() - b.as_cents() }");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn word_split_avoids_priced() {
+        assert!(diags("fn f(priced: u64) -> u64 { priced + 1 }").is_empty());
+        assert_eq!(
+            diags("fn f(price_cents: u64) -> u64 { price_cents * 2 }").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn wrapper_fns_are_blessed() {
+        assert!(diags("fn checked_add(price: u64, o: u64) -> u64 { price + o }").is_empty());
+        assert!(diags("fn saturating_mul(cents: u64) -> u64 { cents * 2 }").is_empty());
+    }
+
+    #[test]
+    fn unary_and_deref_do_not_fire() {
+        assert!(diags("fn f(cents: &u64) -> u64 { *cents }").is_empty());
+        assert!(diags("fn f(cents: u64) { g(&cents); h(*p, cents); }").is_empty());
+    }
+
+    #[test]
+    fn untainted_arithmetic_is_fine() {
+        assert!(diags("fn f(a: u64, b: u64) -> u64 { a * b + 7 }").is_empty());
+    }
+
+    #[test]
+    fn allow_silences_with_reason() {
+        let d = diags(
+            "fn f(w: u128, cents: u128) -> u128 {\n    // audit: allow(R1: u128 cannot overflow here)\n    w * cents\n}",
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let d = diags(
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let x = price + price; }\n}",
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn arrow_is_not_subtraction() {
+        assert!(diags("fn f(x: u64) -> u64 { x }").is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! R2 — no `unwrap` / `expect` / `panic!` in non-test code.
+//!
+//! A pricing host must degrade, refuse, or return a typed error — never
+//! abort — because Theorem 2.15's guarantees are about what the market
+//! *serves*, and a panicking path serves nothing while poisoning
+//! whatever lock it held. PR 1 established the policy for
+//! `qbdp-market`; this rule extends it workspace-wide.
+//!
+//! Policy by file class:
+//!
+//! * **Library** (serving path): `unwrap()`, `expect(..)`, and `panic!`
+//!   all denied.
+//! * **Harness** (`crates/bench`, `examples/`): a measurement binary is
+//!   allowed to abort loudly *with a message* — `expect("context")`
+//!   passes, bare `unwrap()` and `panic!` do not.
+//! * **Test code**: exempt (a failing assertion is the point).
+//!
+//! Deliberate exceptions (e.g. fault injection) carry
+//! `// audit: allow(R2: why)`.
+
+use crate::model::FileModel;
+use crate::rules::{Config, Diagnostic};
+use crate::source::FileClass;
+
+/// Run R2 over one file.
+pub fn check(f: &FileModel, _config: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if f.class == FileClass::TestCode {
+        return out;
+    }
+    let code = &f.code;
+    for i in 0..code.len() {
+        let Some(name) = code[i].ident() else {
+            continue;
+        };
+        let line = code[i].line;
+        let finding = match name {
+            "unwrap" | "expect" if is_method_call(f, i) => {
+                if name == "expect" && f.class == FileClass::Harness {
+                    None // a harness may abort with a message
+                } else {
+                    Some(format!(
+                        "`{name}` in non-test code — return a typed error \
+                         (or `// audit: allow(R2: why)` for a deliberate abort)"
+                    ))
+                }
+            }
+            "panic" if code.get(i + 1).is_some_and(|t| t.is_punct('!')) => Some(
+                "`panic!` in non-test code — return a typed error \
+                 (or `// audit: allow(R2: why)` for a deliberate abort)"
+                    .to_string(),
+            ),
+            _ => None,
+        };
+        let Some(message) = finding else { continue };
+        if f.in_test_code(i) || f.allowed(line, "R2") {
+            continue;
+        }
+        if f.fn_at(i).is_some_and(|g| g.is_test) {
+            continue;
+        }
+        out.push(Diagnostic {
+            file: f.rel_path.clone(),
+            line,
+            rule: "R2",
+            message,
+        });
+    }
+    out
+}
+
+/// `.unwrap(` / `::unwrap(` — a call of exactly that method, not
+/// `unwrap_or`, not an fn definition.
+fn is_method_call(f: &FileModel, i: usize) -> bool {
+    let code = &f.code;
+    if !code.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+        return false;
+    }
+    if i == 0 {
+        return false;
+    }
+    if code[i - 1].is_punct('.') {
+        return true;
+    }
+    i >= 2 && code[i - 1].is_punct(':') && code[i - 2].is_punct(':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileClass;
+
+    fn diags_in(class: FileClass, src: &str) -> Vec<Diagnostic> {
+        let m = FileModel::build("crates/x/src/lib.rs", class, src);
+        check(&m, &Config::workspace_defaults())
+    }
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        diags_in(FileClass::Library, src)
+    }
+
+    #[test]
+    fn flags_unwrap_expect_panic() {
+        let d = diags("fn f() {\n    x.unwrap();\n    y.expect(\"m\");\n    panic!(\"boom\");\n}");
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert!(d.iter().all(|d| d.rule == "R2"));
+    }
+
+    #[test]
+    fn unwrap_or_is_fine() {
+        assert!(
+            diags("fn f() { x.unwrap_or(0); y.unwrap_or_else(g); z.unwrap_or_default(); }")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn path_call_is_flagged_definition_is_not() {
+        assert_eq!(diags("fn f() { Option::unwrap(x); }").len(), 1);
+        assert!(diags("fn unwrap(x: u8) {}").is_empty());
+        assert!(diags("trait T { fn unwrap(self); }").is_empty());
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let d = diags(
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); panic!(); }\n}\n#[test]\nfn top() { y.unwrap(); }",
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn harness_may_expect_with_message() {
+        let src = "fn main() { x.expect(\"context\"); y.unwrap(); panic!(); }";
+        let d = diags_in(FileClass::Harness, src);
+        assert_eq!(d.len(), 2, "unwrap and panic! still denied: {d:?}");
+        assert_eq!(diags_in(FileClass::Library, src).len(), 3);
+    }
+
+    #[test]
+    fn allow_with_reason_silences() {
+        let d = diags(
+            "fn f() {\n    // audit: allow(R2: fault injection exists to panic)\n    panic!(\"injected\");\n}",
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn test_files_entirely_exempt() {
+        let m = FileModel::build(
+            "tests/governance.rs",
+            FileClass::TestCode,
+            "fn f() { x.unwrap(); }",
+        );
+        assert!(check(&m, &Config::workspace_defaults()).is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! R4 — every loop on a pricing hot path must be fuel-metered.
+//!
+//! Pricing is worst-case exponential (Theorem 3.5); PR 2 introduced
+//! `Budget` so a hostile bundle exhausts its fuel instead of the host.
+//! The guarantee only holds if every loop the pricing engines execute
+//! actually charges. This rule checks each `for`/`while`/`loop` in the
+//! configured hot paths (`core::exact`, `determinacy`, `flow`) for one
+//! of:
+//!
+//! * a direct meter call in its body (`charge(..)` / `tick(..)`),
+//! * a call to a fn that transitively meters (computed as a name-level
+//!   fixpoint from the direct-charge fns — a loop whose body prices a
+//!   sub-bundle is metered because the sub-pricing charges), or
+//! * a `// audit: bounded(reason)` annotation for loops whose trip
+//!   count is structurally small (iterating the fixed variable set of
+//!   one rule, a shard array, …) — the reason is mandatory and shows
+//!   up in review.
+//!
+//! Test code is exempt.
+
+use crate::rules::{Config, Diagnostic, Workspace};
+use std::collections::HashSet;
+
+/// Run R4 over the workspace.
+pub fn check(ws: &Workspace, config: &Config) -> Vec<Diagnostic> {
+    let metering = metering_fns(ws, config);
+    let mut out = Vec::new();
+    for f in &ws.files {
+        if !config
+            .metered_paths
+            .iter()
+            .any(|p| f.rel_path.starts_with(p))
+        {
+            continue;
+        }
+        for l in &f.loops {
+            if l.is_test || l.bounded.is_some() || f.allowed(l.line, "R4") {
+                continue;
+            }
+            let Some(g) = l.fn_index.map(|i| &f.fns[i]) else {
+                continue; // loop outside any fn (const initializer): no fuel to charge
+            };
+            if g.is_test {
+                continue;
+            }
+            let meters = g.calls.iter().any(|c| {
+                c.idx >= l.body.0
+                    && c.idx < l.body.1
+                    && (config.meter_calls.iter().any(|m| m == &c.name)
+                        || metering.contains(&c.name))
+            });
+            if !meters {
+                out.push(Diagnostic {
+                    file: f.rel_path.clone(),
+                    line: l.line,
+                    rule: "R4",
+                    message: format!(
+                        "`{}` loop in hot-path fn `{}` neither charges a Budget nor \
+                         calls a metering fn — add a `charge`/`tick` or \
+                         `// audit: bounded(why)`",
+                        l.keyword, g.name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Name-level fixpoint: fns that charge directly, then everything that
+/// calls them (so a loop body reaching `charge` through a helper
+/// counts). Conservative in the permissive direction only for name
+/// collisions, which DESIGN §5 accepts.
+fn metering_fns(ws: &Workspace, config: &Config) -> HashSet<String> {
+    let mut metering: HashSet<String> = HashSet::new();
+    for f in &ws.files {
+        for g in &f.fns {
+            if g.calls
+                .iter()
+                .any(|c| config.meter_calls.iter().any(|m| m == &c.name))
+            {
+                metering.insert(g.name.clone());
+            }
+        }
+    }
+    loop {
+        let mut grew = false;
+        for f in &ws.files {
+            for g in &f.fns {
+                if metering.contains(&g.name) {
+                    continue;
+                }
+                if g.calls.iter().any(|c| metering.contains(&c.name)) {
+                    metering.insert(g.name.clone());
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    metering
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+    use crate::rules::Workspace;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace::new(
+            files
+                .iter()
+                .map(|(p, s)| FileModel::build(p, crate::source::classify(p), s))
+                .collect(),
+        )
+    }
+
+    fn diags(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        check(&ws(files), &Config::workspace_defaults())
+    }
+
+    #[test]
+    fn unmetered_hot_loop_is_flagged() {
+        let d = diags(&[(
+            "crates/core/src/exact/search.rs",
+            "fn explore(&self) {\n    for s in subsets {\n        visit(s);\n    }\n}",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("explore"));
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn direct_charge_passes() {
+        let d = diags(&[(
+            "crates/core/src/exact/search.rs",
+            "fn explore(&self, budget: &Budget) {\n    for s in subsets {\n        if !budget.charge(1) { return; }\n        visit(s);\n    }\n}",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn transitive_metering_passes() {
+        let d = diags(&[
+            (
+                "crates/core/src/exact/search.rs",
+                "fn explore(&self) {\n    for s in subsets {\n        step(s);\n    }\n}",
+            ),
+            (
+                "crates/core/src/exact/step.rs",
+                "fn step(s: S) { inner(s); }\nfn inner(s: S) { budget.charge(1); }",
+            ),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn bounded_annotation_passes() {
+        let d = diags(&[(
+            "crates/determinacy/src/lib.rs",
+            "fn scan(&self) {\n    // audit: bounded(iterates the fixed rule variable set)\n    for v in vars {\n        mark(v);\n    }\n}",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn cold_paths_and_tests_exempt() {
+        let d = diags(&[
+            (
+                "crates/market/src/market.rs",
+                "fn sweep(&self) { for x in xs { drop(x); } }",
+            ),
+            (
+                "crates/flow/src/lib.rs",
+                "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { for x in xs { drop(x); } }\n}",
+            ),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn while_and_loop_keywords_covered() {
+        let d = diags(&[(
+            "crates/flow/src/lib.rs",
+            "fn pump(&self) {\n    while active {\n        push();\n    }\n    loop {\n        relabel();\n    }\n}",
+        )]);
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+}

@@ -1,0 +1,100 @@
+//! R5 — every `unsafe` needs an adjacent `// SAFETY:` justification.
+//!
+//! The workspace currently contains no `unsafe` at all (every crate
+//! root carries `#![forbid(unsafe_code)]`), so in practice this rule
+//! guards the *introduction* of unsafe code: the day a crate drops the
+//! forbid for an FFI block or a hand-rolled sync primitive, the
+//! justification comment is demanded from the first commit. Unlike
+//! R1/R2/R4, test code is **not** exempt — an unjustified `unsafe` in a
+//! test harness is just as unsound.
+//!
+//! A `SAFETY:` comment counts if it sits on the same line as the
+//! `unsafe` keyword or within the two lines above it (rustdoc
+//! convention). `// audit: allow(R5: why)` is accepted but `SAFETY:` is
+//! the preferred spelling.
+
+use crate::model::FileModel;
+use crate::rules::{Config, Diagnostic};
+
+/// Run R5 over one file.
+pub fn check(f: &FileModel, _config: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for &line in &f.unsafe_lines {
+        let justified = (line.saturating_sub(2)..=line).any(|l| f.safety_lines.contains(&l));
+        if justified || f.allowed(line, "R5") {
+            continue;
+        }
+        out.push(Diagnostic {
+            file: f.rel_path.clone(),
+            line,
+            rule: "R5",
+            message: "`unsafe` without an adjacent `// SAFETY:` comment \
+                      justifying the invariants"
+                .to_string(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileClass;
+
+    fn diags(class: FileClass, src: &str) -> Vec<Diagnostic> {
+        let m = FileModel::build("crates/x/src/lib.rs", class, src);
+        check(&m, &Config::workspace_defaults())
+    }
+
+    #[test]
+    fn bare_unsafe_is_flagged() {
+        let d = diags(FileClass::Library, "fn f() {\n    unsafe { g() }\n}");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "R5");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_above_passes() {
+        let d = diags(
+            FileClass::Library,
+            "fn f() {\n    // SAFETY: g has no preconditions\n    unsafe { g() }\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn safety_comment_same_line_passes() {
+        let d = diags(
+            FileClass::Library,
+            "fn f() {\n    unsafe { g() } // SAFETY: g has no preconditions\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn distance_three_is_too_far() {
+        let d = diags(
+            FileClass::Library,
+            "// SAFETY: stale justification\n\n\nfn f() { unsafe { g() } }",
+        );
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn test_code_is_not_exempt() {
+        let d = diags(FileClass::TestCode, "fn t() { unsafe { g() } }");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn unsafe_fn_declarations_need_justification_too() {
+        let d = diags(FileClass::Library, "pub unsafe fn raw(p: *const u8) {}");
+        assert_eq!(d.len(), 1);
+        let d = diags(
+            FileClass::Library,
+            "// SAFETY: caller must uphold p validity\npub unsafe fn raw(p: *const u8) {}",
+        );
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Workspace discovery: which `.rs` files are audited, and under which
+//! policy class.
+
+use std::path::{Path, PathBuf};
+
+/// The policy class of a source file, decided by its path.
+///
+/// * `Library` — serving-path code: every rule at full strength.
+/// * `Harness` — measurement binaries and examples (`crates/bench`,
+///   `examples/`): R2 permits `expect("context")` (a harness is allowed
+///   to abort loudly with a message) but still bans bare `unwrap()` and
+///   `panic!`.
+/// * `TestCode` — integration tests and benches (`tests/`, `benches/`
+///   directories): exempt from R1, R2, and R4; R5 still applies.
+///
+/// In-file `#[cfg(test)]` / `#[test]` regions get `TestCode` treatment
+/// regardless of file class — that is tracked by the
+/// [`FileModel`](crate::model::FileModel), not here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Serving-path code: every rule at full strength.
+    Library,
+    /// Measurement/demo binaries: `expect` with a message allowed.
+    Harness,
+    /// Test code: exempt from R1/R2/R4.
+    TestCode,
+}
+
+/// The short crate name a workspace-relative path belongs to:
+/// `crates/<name>/…` → `<name>`, everything else (the root facade,
+/// `src/`, `examples/`) → `root`. R3 uses this to keep name-level call
+/// resolution honest about dependency direction.
+pub fn crate_of(rel_path: &str) -> &str {
+    rel_path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("root")
+}
+
+/// Classify a workspace-relative path.
+pub fn classify(rel_path: &str) -> FileClass {
+    let components: Vec<&str> = rel_path.split('/').collect();
+    if components.iter().any(|c| *c == "tests" || *c == "benches") {
+        return FileClass::TestCode;
+    }
+    if rel_path.starts_with("crates/bench/") || components.first() == Some(&"examples") {
+        return FileClass::Harness;
+    }
+    FileClass::Library
+}
+
+/// Directories never descended into. `vendor/` holds offline stand-ins
+/// for external crates (not this project's code); `fixtures/` holds the
+/// auditor's own deliberately-violating golden snippets.
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    "vendor",
+    ".git",
+    "fixtures",
+    "data",
+    "node_modules",
+];
+
+/// Recursively collect workspace-relative paths of every audited `.rs`
+/// file under `root`, sorted for deterministic output.
+pub fn discover(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Locate the workspace root: `--root` if given, else walk up from the
+/// current directory to the first directory holding both a `Cargo.toml`
+/// and a `crates/` subdirectory.
+pub fn find_root(explicit: Option<&Path>) -> Option<PathBuf> {
+    if let Some(p) = explicit {
+        return Some(p.to_path_buf());
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify("crates/core/src/money.rs"), FileClass::Library);
+        assert_eq!(classify("src/cli.rs"), FileClass::Library);
+        assert_eq!(
+            classify("crates/market/tests/concurrent.rs"),
+            FileClass::TestCode
+        );
+        assert_eq!(classify("tests/governance.rs"), FileClass::TestCode);
+        assert_eq!(
+            classify("crates/bench/benches/cycle.rs"),
+            FileClass::TestCode
+        );
+        assert_eq!(
+            classify("crates/bench/src/bin/experiments.rs"),
+            FileClass::Harness
+        );
+        assert_eq!(classify("examples/web_crawl.rs"), FileClass::Harness);
+    }
+}

@@ -1,0 +1,7 @@
+//! R1 golden fixture: raw arithmetic on a money-tainted operand.
+//! Never compiled — tests/golden.rs feeds it to the auditor and the
+//! trailing rule markers name the diagnostics it must produce.
+
+fn owed(price_cents: u64, fee_cents: u64) -> u64 {
+    price_cents + fee_cents //~ R1
+}

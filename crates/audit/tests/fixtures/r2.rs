@@ -1,0 +1,7 @@
+//! R2 golden fixture: `unwrap()` on the serving path.
+//! Never compiled — tests/golden.rs feeds it to the auditor and the
+//! trailing rule markers name the diagnostics it must produce.
+
+fn first_sale(sales: &[u64]) -> u64 {
+    sales.first().copied().unwrap() //~ R2
+}

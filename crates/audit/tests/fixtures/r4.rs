@@ -1,0 +1,12 @@
+//! R4 golden fixture: an unmetered loop on a pricing hot path.
+//! Never compiled — tests/golden.rs feeds it to the auditor (under the
+//! virtual path `crates/core/src/exact/…`, a metered path) and the
+//! trailing rule markers name the diagnostics it must produce.
+
+fn scan_candidates(items: &[u64]) -> u64 {
+    let mut best = 0;
+    for it in items { //~ R4
+        best = best.max(*it);
+    }
+    best
+}

@@ -1,0 +1,7 @@
+//! R5 golden fixture: an `unsafe` block without a `// SAFETY:` comment.
+//! Never compiled — tests/golden.rs feeds it to the auditor and the
+//! trailing rule markers name the diagnostics it must produce.
+
+fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p } //~ R5
+}

@@ -4,6 +4,8 @@
 //!
 //! Usage: cargo run --release -p qbdp-bench --bin cycle_probe
 
+#![forbid(unsafe_code)]
+
 use qbdp_catalog::{Catalog, CatalogBuilder, Column, Tuple, Value};
 use qbdp_core::cycle::{cycle_bounds, partition_upper_bound};
 use qbdp_core::exact::certificates::{certificate_price, CertificateConfig};
@@ -40,7 +42,7 @@ fn cycle_catalog(k: usize, n: i64) -> Catalog {
     for i in 1..=k {
         b = b.uniform_relation(format!("R{i}"), &["X", "Y"], &col);
     }
-    b.build().unwrap()
+    b.build().expect("bench setup")
 }
 
 fn main() {
@@ -57,7 +59,7 @@ fn main() {
             })
             .collect();
         let src = format!("C({}) :- {}", head.join(", "), body.join(", "));
-        let q = parse_rule(catalog.schema(), &src).unwrap();
+        let q = parse_rule(catalog.schema(), &src).expect("query parses");
         let parts = partitions(n as usize);
         for _case in 0..400 {
             let mut d = catalog.empty_instance();
@@ -87,9 +89,9 @@ fn main() {
                 &problem.query,
                 CertificateConfig::default(),
             )
-            .unwrap()
+            .expect("bench setup")
             .price;
-            let (lb, ub) = cycle_bounds(&problem).unwrap();
+            let (lb, ub) = cycle_bounds(&problem).expect("pricing succeeds");
             assert!(lb <= exact && exact <= ub.price, "sandwich violated");
             // Best partition UB.
             let mut best_part = Price::INFINITE;
@@ -98,7 +100,7 @@ fn main() {
                     .iter()
                     .map(|g| g.iter().map(|&i| Value::Int(i as i64)).collect())
                     .collect();
-                let ubp = partition_upper_bound(&problem, &groups).unwrap();
+                let ubp = partition_upper_bound(&problem, &groups).expect("pricing succeeds");
                 best_part = best_part.min(ubp);
             }
             assert!(best_part >= exact, "partition UB below exact!");

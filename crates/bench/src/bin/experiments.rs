@@ -7,7 +7,9 @@
 //!
 //! Each experiment prints a table; correctness-style experiments also
 //! assert their claims (a failed claim aborts with a message). See
-//! DESIGN.md §5 for the experiment ↔ paper mapping.
+//! DESIGN.md §6 for the experiment ↔ paper mapping.
+
+#![forbid(unsafe_code)]
 
 use qbdp_bench::{chain, cycle, figure1, h1};
 use qbdp_catalog::{tuple, CatalogBuilder, Column, Value};
@@ -74,7 +76,7 @@ fn ms(d: std::time::Duration) -> String {
 fn e1() {
     let f = figure1();
     let q = &f.query;
-    let chain_q = ChainQuery::from_cq(q).unwrap();
+    let chain_q = ChainQuery::from_cq(q).expect("pricing succeeds");
     let pa = chain_q.partial_answers(&f.catalog, &f.instance);
     println!("partial answers (paper Figure 1b):");
     let fmt_set = |s: &qbdp_catalog::FxHashSet<Value>| {
@@ -91,7 +93,7 @@ fn e1() {
     }
     println!("  |Md[1:1]| = {} (= S(D))", pa.md(1, 1).len());
     let t = Instant::now();
-    let quote = f.pricer().price_cq(q).unwrap();
+    let quote = f.pricer().price_cq(q).expect("pricing succeeds");
     let dt = t.elapsed();
     let mut views: Vec<String> = quote
         .views
@@ -122,18 +124,19 @@ fn e2() {
             let mut quote = None;
             for _ in 0..3 {
                 let t = Instant::now();
-                quote = Some(pricer.price_cq(&f.query).unwrap());
+                quote = Some(pricer.price_cq(&f.query).expect("pricing succeeds"));
                 dt = dt.min(t.elapsed().as_secs_f64());
             }
-            let quote = quote.unwrap();
+            let quote = quote.expect("pricing succeeds");
             // Graph size via a direct chain build (reorder is identity).
             let problem = Problem::new(
                 f.catalog.clone(),
                 f.instance.clone(),
                 f.prices.clone(),
-                qbdp_core::gchq::reorder_to_gchq(&f.query).unwrap(),
+                qbdp_core::gchq::reorder_to_gchq(&f.query).expect("pricing succeeds"),
             );
-            let r = chain_price(&problem, TupleEdgeMode::Hub, FlowAlgo::Dinic).unwrap();
+            let r = chain_price(&problem, TupleEdgeMode::Hub, FlowAlgo::Dinic)
+                .expect("pricing succeeds");
             let growth = last.map(|p| format!("x{:.1}", dt / p)).unwrap_or_default();
             println!(
                 "{:>4} {:>6} {:>8} {:>10} {:>9.2}ms {:>12} {}",
@@ -161,11 +164,19 @@ fn e3() {
     for &n in &[2i64, 4, 6, 8, 10] {
         let fh = h1(n, (n * n) as usize, 7);
         let t = Instant::now();
-        let ph = fh.pricer().price_cq(&fh.query).unwrap().price;
+        let ph = fh
+            .pricer()
+            .price_cq(&fh.query)
+            .expect("pricing succeeds")
+            .price;
         let th = t.elapsed();
         let fc = chain(3, n, (n * n) as usize, 7);
         let t = Instant::now();
-        let pc = fc.pricer().price_cq(&fc.query).unwrap().price;
+        let pc = fc
+            .pricer()
+            .price_cq(&fc.query)
+            .expect("pricing succeeds")
+            .price;
         let tc = t.elapsed();
         println!(
             "{:>6} | {:>12} {:>12} | {:>12} {:>12}",
@@ -188,7 +199,7 @@ fn e4() {
         "n", "|Σ|", "consistent?", "time"
     );
     for &n in &[8i64, 32, 128, 512] {
-        let qs = qbdp_workload::queries::chain_schema(2, n).unwrap();
+        let qs = qbdp_workload::queries::chain_schema(2, n).expect("workload schema");
         let pl = qbdp_workload::prices::random(&qs.catalog, &mut rng, 2, 9);
         let t = Instant::now();
         let ok = find_list_arbitrage(&qs.catalog, &pl).is_empty();
@@ -202,8 +213,9 @@ fn e4() {
         );
     }
     // Engineered arbitrage is detected.
-    let qs = qbdp_workload::queries::chain_schema(2, 16).unwrap();
-    let bad = qbdp_workload::prices::with_arbitrage(&qs.catalog, Price::dollars(1)).unwrap();
+    let qs = qbdp_workload::queries::chain_schema(2, 16).expect("workload schema");
+    let bad = qbdp_workload::prices::with_arbitrage(&qs.catalog, Price::dollars(1))
+        .expect("workload schema");
     let viol = find_list_arbitrage(&qs.catalog, &bad);
     assert!(!viol.is_empty(), "E4 FAILED: engineered arbitrage missed");
     println!(
@@ -226,7 +238,7 @@ fn e5() {
         .uniform_relation("B3", &["X", "Y"], &col)
         .uniform_relation("T1", &["X", "Y", "Z"], &col)
         .build()
-        .unwrap();
+        .expect("bench setup");
     let mut rng = StdRng::seed_from_u64(5);
     let mut counts: Vec<(String, usize)> = Vec::new();
     let mut bump = |k: String| match counts.iter_mut().find(|(n, _)| *n == k) {
@@ -264,9 +276,11 @@ fn e5() {
         };
         let bv = q_bool.body_vars();
         let q = match mode {
-            0 => q_bool.with_head(bv).unwrap(),
+            0 => q_bool.with_head(bv).expect("bench setup"),
             1 => q_bool,
-            _ => q_bool.with_head(bv.into_iter().take(1).collect()).unwrap(),
+            _ => q_bool
+                .with_head(bv.into_iter().take(1).collect())
+                .expect("bench setup"),
         };
         corpus += 1;
         let class = classify(&q);
@@ -289,18 +303,18 @@ fn e5() {
             let mut d = catalog.empty_instance();
             for (rid, _) in catalog.schema().iter() {
                 qbdp_workload::dbgen::insert_random(&catalog, &mut d, rid, &mut rng, 5, None)
-                    .unwrap();
+                    .expect("data generation");
             }
             let prices = PriceList::uniform(&catalog, Price::dollars(1));
             let flow = Pricer::new(catalog.clone(), d.clone(), prices.clone())
-                .unwrap()
+                .expect("pricing succeeds")
                 .price_cq(&q)
-                .unwrap()
+                .expect("pricing succeeds")
                 .price;
             if qbdp_query::analysis::is_full(&q) {
                 let exact =
                     certificate_price(&catalog, &d, &prices, &q, CertificateConfig::default())
-                        .unwrap()
+                        .expect("pricing succeeds")
                         .price;
                 assert_eq!(flow, exact, "E5 FAILED: flow != exact on {q}");
                 verified += 1;
@@ -327,10 +341,10 @@ fn e6() {
         .uniform_relation("R", &["X"], &col)
         .uniform_relation("S", &["X", "Y"], &col)
         .build()
-        .unwrap();
+        .expect("bench setup");
     let schema = catalog.schema();
-    let v = parse_rule(schema, "V(x, y) :- R(x), S(x, y)").unwrap();
-    let q = parse_rule(schema, "Q() :- R(x)").unwrap();
+    let v = parse_rule(schema, "V(x, y) :- R(x), S(x, y)").expect("query parses");
+    let q = parse_rule(schema, "Q() :- R(x)").expect("query parses");
     let qb = Bundle::from(q.clone());
     let mut s1 = PriceSchedule::new();
     s1.add(PricePoint::new(
@@ -361,20 +375,25 @@ fn e6() {
     ));
     let d1 = catalog.empty_instance();
     let mut d2 = catalog.empty_instance();
-    d2.insert(schema.rel_id("R").unwrap(), tuple![0]).unwrap();
-    d2.insert(schema.rel_id("S").unwrap(), tuple![0, 1])
-        .unwrap();
+    d2.insert(schema.rel_id("R").expect("declared relation"), tuple![0])
+        .expect("declared relation");
+    d2.insert(schema.rel_id("S").expect("declared relation"), tuple![0, 1])
+        .expect("declared relation");
     let cfg = SupportConfig::default();
     println!("Example 2.18 (V = R ⋈ S with projection, Q = ∃x R(x)):");
     println!("{:>26} {:>14} {:>14}", "", "D1 = ∅", "D2 = +R(0),S(0,1)");
     println!(
         "{:>26} {:>14} {:>14}",
         "S1 consistent?",
-        is_consistent(&catalog, &d1, &s1, cfg).unwrap(),
-        is_consistent(&catalog, &d2, &s1, cfg).unwrap()
+        is_consistent(&catalog, &d1, &s1, cfg).expect("bench setup"),
+        is_consistent(&catalog, &d2, &s1, cfg).expect("bench setup")
     );
-    let p1 = arbitrage_price(&catalog, &d1, &s2, &qb, cfg).unwrap().price;
-    let p2 = arbitrage_price(&catalog, &d2, &s2, &qb, cfg).unwrap().price;
+    let p1 = arbitrage_price(&catalog, &d1, &s2, &qb, cfg)
+        .expect("pricing succeeds")
+        .price;
+    let p2 = arbitrage_price(&catalog, &d2, &s2, &qb, cfg)
+        .expect("pricing succeeds")
+        .price;
     println!(
         "{:>26} {:>14} {:>14}",
         "price of Q under S2",
@@ -392,10 +411,10 @@ fn e6() {
         bruteforce_limit: 8,
     };
     let r1 = arbitrage_price_restricted(&catalog, &d1, &s2, &qb, rcfg)
-        .unwrap()
+        .expect("pricing succeeds")
         .price;
     let r2 = arbitrage_price_restricted(&catalog, &d2, &s2, &qb, rcfg)
-        .unwrap()
+        .expect("pricing succeeds")
         .price;
     println!(
         "{:>26} {:>14} {:>14}",
@@ -417,23 +436,28 @@ fn e6() {
         .uniform_relation("S", &["X", "Y"], &col)
         .uniform_relation("T", &["Y"], &col)
         .build()
-        .unwrap();
+        .expect("bench setup");
     let prices = PriceList::uniform(&cat, Price::dollars(1));
-    let mut pricer = Pricer::new(cat.clone(), cat.empty_instance(), prices).unwrap();
-    let q = parse_rule(cat.schema(), "Q(x, y) :- R(x), S(x, y), T(y)").unwrap();
+    let mut pricer =
+        Pricer::new(cat.clone(), cat.empty_instance(), prices).expect("pricing succeeds");
+    let q = parse_rule(cat.schema(), "Q(x, y) :- R(x), S(x, y), T(y)").expect("query parses");
     let mut rng = StdRng::seed_from_u64(6);
     let mut batches = Vec::new();
     for _ in 0..8 {
         let mut batch = Vec::new();
         for _ in 0..2 {
-            let rel = cat.schema().rel_ids().nth(rng.gen_range(0..3)).unwrap();
+            let rel = cat
+                .schema()
+                .rel_ids()
+                .nth(rng.gen_range(0..3))
+                .expect("declared relation");
             let arity = cat.schema().relation(rel).arity();
             let t = qbdp_catalog::Tuple::new((0..arity).map(|_| Value::Int(rng.gen_range(0..4))));
             batch.push((rel, t));
         }
         batches.push(batch);
     }
-    let traj = price_trajectory(&mut pricer, batches, &q).unwrap();
+    let traj = price_trajectory(&mut pricer, batches, &q).expect("pricing succeeds");
     println!("selection views + full CQ under random insertions:");
     let line: Vec<String> = traj
         .steps
@@ -457,8 +481,8 @@ fn e7() {
         .uniform_relation("A", &["X"], &col)
         .uniform_relation("B", &["X"], &col)
         .build()
-        .unwrap();
-    let q = parse_rule(catalog.schema(), "Q(x, y) :- A(x), B(y)").unwrap();
+        .expect("bench setup");
+    let q = parse_rule(catalog.schema(), "Q(x, y) :- A(x), B(y)").expect("query parses");
     let prices = PriceList::uniform(&catalog, Price::dollars(1));
     println!(
         "{:>10} {:>10} {:>12} {:>20}",
@@ -472,17 +496,23 @@ fn e7() {
     ] {
         let mut d = catalog.empty_instance();
         if fill_a {
-            d.insert(catalog.schema().rel_id("A").unwrap(), tuple![0])
-                .unwrap();
+            d.insert(
+                catalog.schema().rel_id("A").expect("declared relation"),
+                tuple![0],
+            )
+            .expect("declared relation");
         }
         if fill_b {
-            d.insert(catalog.schema().rel_id("B").unwrap(), tuple![1])
-                .unwrap();
+            d.insert(
+                catalog.schema().rel_id("B").expect("declared relation"),
+                tuple![1],
+            )
+            .expect("declared relation");
         }
         let p = Pricer::new(catalog.clone(), d, prices.clone())
-            .unwrap()
+            .expect("pricing succeeds")
             .price_cq(&q)
-            .unwrap()
+            .expect("pricing succeeds")
             .price;
         println!(
             "{:>10} {:>10} {:>12} {:>20}",
@@ -509,7 +539,8 @@ fn e8() {
             .filter(|_| rng.gen_bool(0.5))
             .collect();
         let t = Instant::now();
-        let _ = determines_monotone_cq(&f.catalog, &f.instance, &views, &f.query).unwrap();
+        let _ =
+            determines_monotone_cq(&f.catalog, &f.instance, &views, &f.query).expect("bench setup");
         let dt = t.elapsed();
         let dmax = qbdp_determinacy::selection::max_world(&f.catalog, &f.instance, &views);
         println!("{:>6} {:>10} {:>12}", n, dmax.total_tuples(), ms(dt));
@@ -523,11 +554,15 @@ fn e8() {
             .uniform_relation("R", &["X"], &col)
             .uniform_relation("S", &["X", "Y"], &col)
             .build()
-            .unwrap();
+            .expect("bench setup");
         let mut d = catalog.empty_instance();
-        d.insert(catalog.schema().rel_id("S").unwrap(), tuple![0, 1])
-            .unwrap();
-        let q = parse_rule(catalog.schema(), "Q(x, y) :- R(x), S(x, y)").unwrap();
+        d.insert(
+            catalog.schema().rel_id("S").expect("declared relation"),
+            tuple![0, 1],
+        )
+        .expect("declared relation");
+        let q =
+            parse_rule(catalog.schema(), "Q(x, y) :- R(x), S(x, y)").expect("declared relation");
         let views: ViewSet = ViewSet::sigma(&catalog).iter().collect();
         let candidates = (n + n * n) as u32;
         let t = Instant::now();
@@ -538,9 +573,9 @@ fn e8() {
             &Bundle::from(q.clone()),
             16,
         )
-        .unwrap();
+        .expect("bench setup");
         let dt = t.elapsed();
-        let fast = determines_monotone_cq(&catalog, &d, &views, &q).unwrap();
+        let fast = determines_monotone_cq(&catalog, &d, &views, &q).expect("bench setup");
         assert_eq!(slow, fast, "E8 FAILED: oracles disagree");
         println!(
             "{:>12} {:>10} {:>12}",
@@ -579,13 +614,13 @@ fn e9() {
                     &f.query,
                     CertificateConfig::default(),
                 )
-                .unwrap()
+                .expect("bench setup")
                 .price;
                 let via_cycle = cycle_price(&problem, CertificateConfig::default())
-                    .unwrap()
+                    .expect("pricing succeeds")
                     .price;
                 assert_eq!(via_cycle, exact, "E9 FAILED: cycle engine disagrees");
-                let (lb, ub) = cycle_bounds(&problem).unwrap();
+                let (lb, ub) = cycle_bounds(&problem).expect("pricing succeeds");
                 assert!(
                     lb <= exact && exact <= ub.price,
                     "E9 FAILED: sandwich broken"
@@ -627,27 +662,30 @@ fn e10() {
         .uniform_relation("S", &["X", "Y"], &col)
         .uniform_relation("T", &["Y"], &col)
         .build()
-        .unwrap();
+        .expect("bench setup");
     let mut d = catalog.empty_instance();
     d.insert_all(
-        catalog.schema().rel_id("R").unwrap(),
+        catalog.schema().rel_id("R").expect("declared relation"),
         [tuple![0], tuple![1], tuple![2]],
     )
-    .unwrap();
-    d.insert(catalog.schema().rel_id("S").unwrap(), tuple![0, 0])
-        .unwrap();
+    .expect("declared relation");
+    d.insert(
+        catalog.schema().rel_id("S").expect("declared relation"),
+        tuple![0, 0],
+    )
+    .expect("declared relation");
     d.insert_all(
-        catalog.schema().rel_id("T").unwrap(),
+        catalog.schema().rel_id("T").expect("declared relation"),
         [tuple![0], tuple![1]],
     )
-    .unwrap();
-    let q = parse_rule(catalog.schema(), "Q(x, y) :- R(x), S(x, y), T(y)").unwrap();
+    .expect("declared relation");
+    let q = parse_rule(catalog.schema(), "Q(x, y) :- R(x), S(x, y), T(y)").expect("query parses");
     let prices = PriceList::uniform(&catalog, Price::dollars(10));
     let problem = Problem::new(catalog.clone(), d, prices, q);
-    let s_rel = catalog.schema().rel_id("S").unwrap();
+    let s_rel = catalog.schema().rel_id("S").expect("declared relation");
     println!("{:>18} {:>12}", "pair price", "chain price");
     let base = multi_attr_chain_price(&problem, &PairPriceList::new())
-        .unwrap()
+        .expect("declared relation")
         .price;
     println!("{:>18} {:>12}", "(none)", base.to_string());
     for cents in [100u64, 300, 700] {
@@ -657,7 +695,7 @@ fn e10() {
                 pairs.set(s_rel, Value::Int(a), Value::Int(b), Price::cents(cents));
             }
         }
-        let r = multi_attr_chain_price(&problem, &pairs).unwrap();
+        let r = multi_attr_chain_price(&problem, &pairs).expect("pricing succeeds");
         println!(
             "{:>18} {:>12}   ({} pair views bought)",
             Price::cents(cents).to_string(),
@@ -679,13 +717,18 @@ fn e11() {
         let f = chain(2, 3, rng.gen_range(0..8), 1100 + seed);
         let pricer = f.pricer();
         let id_price = f.prices.identity_price(&f.catalog);
-        let p = pricer.price_cq(&f.query).unwrap().price;
+        let p = pricer.price_cq(&f.query).expect("pricing succeeds").price;
         assert!(p <= id_price, "E11 FAILED: upper bound");
         // Lemma 2.14(a): a slice view's derived price ≤ its explicit price.
-        let rx = f.catalog.schema().resolve_attr("A.X").unwrap();
+        let rx = f
+            .catalog
+            .schema()
+            .resolve_attr("A.X")
+            .expect("declared attribute");
         let a0 = f.catalog.column(rx).value_at(0).clone();
-        let vq = parse_rule(f.catalog.schema(), &format!("V(x) :- A(x), x = {a0}")).unwrap();
-        let pv = pricer.price_cq(&vq).unwrap().price;
+        let vq = parse_rule(f.catalog.schema(), &format!("V(x) :- A(x), x = {a0}"))
+            .expect("declared attribute");
+        let pv = pricer.price_cq(&vq).expect("declared attribute").price;
         assert!(
             pv <= f.prices.get(&SelectionView::new(rx, a0.clone())),
             "E11 FAILED: arbitrage-price exceeds explicit price"
@@ -711,7 +754,7 @@ fn e12() {
             f.catalog.clone(),
             f.instance.clone(),
             f.prices.clone(),
-            qbdp_core::gchq::reorder_to_gchq(&f.query).unwrap(),
+            qbdp_core::gchq::reorder_to_gchq(&f.query).expect("pricing succeeds"),
         );
         let mut row: Vec<String> = Vec::new();
         let mut prices_seen = Vec::new();
@@ -719,7 +762,7 @@ fn e12() {
         for mode in [TupleEdgeMode::Hub, TupleEdgeMode::Dense] {
             for algo in [FlowAlgo::Dinic, FlowAlgo::EdmondsKarp] {
                 let t = Instant::now();
-                let r = chain_price(&problem, mode, algo).unwrap();
+                let r = chain_price(&problem, mode, algo).expect("pricing succeeds");
                 row.push(ms(t.elapsed()));
                 prices_seen.push(r.price);
                 match mode {
@@ -758,21 +801,21 @@ fn e13() {
             ..Default::default()
         },
     )
-    .unwrap();
-    let market = Market::open(m.catalog.clone(), m.instance, m.prices).unwrap();
+    .expect("bench setup");
+    let market = Market::open(m.catalog.clone(), m.instance, m.prices).expect("report file I/O");
     let queries: Vec<String> = (0..10)
         .map(|s| format!("Q(n, c) :- Business(n, 'S{s}', c)"))
         .collect();
     // Uncached pricing throughput (parse + full Min-Cut per call).
     let parsed: Vec<_> = queries
         .iter()
-        .map(|q| parse_rule(m.catalog.schema(), q).unwrap())
+        .map(|q| parse_rule(m.catalog.schema(), q).expect("query parses"))
         .collect();
     let t = Instant::now();
     let mut priced = 0usize;
     while t.elapsed().as_secs_f64() < 2.0 {
         for q in &parsed {
-            market.quote(q).unwrap();
+            market.quote(q).expect("pricing succeeds");
             priced += 1;
         }
     }
@@ -782,7 +825,7 @@ fn e13() {
     let mut quotes = 0usize;
     while t.elapsed().as_secs_f64() < 2.0 {
         for q in &queries {
-            market.quote_str(q).unwrap();
+            market.quote_str(q).expect("pricing succeeds");
             quotes += 1;
         }
     }
@@ -797,14 +840,17 @@ fn e13() {
                 let t = Instant::now();
                 while t.elapsed().as_secs_f64() < 2.0 {
                     for q in &queries {
-                        market.quote_str(q).unwrap();
+                        market.quote_str(q).expect("pricing succeeds");
                         local += 1;
                     }
                 }
                 local
             }));
         }
-        handles.into_iter().map(|h| h.join().unwrap()).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench setup"))
+            .sum()
     });
     let conc = total as f64 / t.elapsed().as_secs_f64();
     println!("uncached pricing : {uncached:>8.0} quotes/s  (parse + Min-Cut each call)");
@@ -837,11 +883,14 @@ fn e14() {
         .uniform_relation("U", &["X"], &col)
         .uniform_relation("W", &["X"], &col)
         .build()
-        .unwrap();
+        .expect("bench setup");
     let members: Vec<ConjunctiveQuery> = vec![
-        parse_rule(cat.schema(), "Q1(x, y, z) :- A(x), S(x, y), R(y, z), U(z)").unwrap(),
-        parse_rule(cat.schema(), "Q2(x, y, z) :- A(x), S(x, y), T(y, z), W(z)").unwrap(),
-        parse_rule(cat.schema(), "Q3(x, y, z) :- A(x), S(x, y), T(y, z), U(z)").unwrap(),
+        parse_rule(cat.schema(), "Q1(x, y, z) :- A(x), S(x, y), R(y, z), U(z)")
+            .expect("query parses"),
+        parse_rule(cat.schema(), "Q2(x, y, z) :- A(x), S(x, y), T(y, z), W(z)")
+            .expect("query parses"),
+        parse_rule(cat.schema(), "Q3(x, y, z) :- A(x), S(x, y), T(y, z), U(z)")
+            .expect("query parses"),
     ];
     let mut rng = StdRng::seed_from_u64(14);
     println!(
@@ -851,17 +900,18 @@ fn e14() {
     for case in 0..5 {
         let mut d = cat.empty_instance();
         for (rid, _) in cat.schema().iter() {
-            qbdp_workload::dbgen::insert_random(&cat, &mut d, rid, &mut rng, 8, None).unwrap();
+            qbdp_workload::dbgen::insert_random(&cat, &mut d, rid, &mut rng, 8, None)
+                .expect("data generation");
         }
         let prices = qbdp_workload::prices::random(&cat, &mut rng, 1, 5);
-        let pricer = Pricer::new(cat.clone(), d.clone(), prices.clone()).unwrap();
+        let pricer = Pricer::new(cat.clone(), d.clone(), prices.clone()).expect("data generation");
         let sum: Price = members
             .iter()
-            .map(|q| pricer.price_cq(q).unwrap().price)
+            .map(|q| pricer.price_cq(q).expect("pricing succeeds").price)
             .sum();
         let t = Instant::now();
-        let bundle =
-            chain_bundle_price(&cat, &d, &prices, &members, &Provenance::identity()).unwrap();
+        let bundle = chain_bundle_price(&cat, &d, &prices, &members, &Provenance::identity())
+            .expect("pricing succeeds");
         let flow_time = t.elapsed();
         let member_refs: Vec<&ConjunctiveQuery> = members.iter().collect();
         let exact = certificate_price_bundle(
@@ -871,13 +921,13 @@ fn e14() {
             &member_refs,
             CertificateConfig::default(),
         )
-        .unwrap();
+        .expect("bench setup");
         assert_eq!(
             bundle.price, exact.price,
             "E14 FAILED: bundle flow != exact"
         );
         assert!(bundle.price <= sum, "E14 FAILED: superadditive bundle");
-        let saved = Price::cents(sum.as_cents() - bundle.price.as_cents());
+        let saved = Price::cents(sum.as_cents().saturating_sub(bundle.price.as_cents()));
         println!(
             "{:>5} {:>12} {:>12} {:>12} {:>10} {:>12}",
             case,

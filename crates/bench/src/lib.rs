@@ -1,9 +1,12 @@
 //! # qbdp-bench — experiment fixtures
 //!
 //! Shared builders for the benchmark suite and the `experiments` binary.
-//! Every experiment of DESIGN.md §5 (E1–E13) draws its workloads from
+//! Every experiment of DESIGN.md §6 (E1–E13) draws its workloads from
 //! here, so the criterion benches and the table-printing harness measure
 //! the same objects.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use qbdp_catalog::{Catalog, CatalogBuilder, Column, Instance};
 use qbdp_core::price_points::PriceList;
@@ -47,17 +50,17 @@ pub fn figure1() -> Fixture {
         .relation("S", &[("X", ax), ("Y", by.clone())])
         .relation("T", &[("Y", by)])
         .build()
-        .unwrap();
+        .expect("bench setup");
     let mut instance = catalog.empty_instance();
     instance
         .insert_all(
-            catalog.schema().rel_id("R").unwrap(),
+            catalog.schema().rel_id("R").expect("declared relation"),
             [qbdp_catalog::tuple!["a1"], qbdp_catalog::tuple!["a2"]],
         )
-        .unwrap();
+        .expect("declared relation");
     instance
         .insert_all(
-            catalog.schema().rel_id("S").unwrap(),
+            catalog.schema().rel_id("S").expect("declared relation"),
             [
                 qbdp_catalog::tuple!["a1", "b1"],
                 qbdp_catalog::tuple!["a1", "b2"],
@@ -65,15 +68,16 @@ pub fn figure1() -> Fixture {
                 qbdp_catalog::tuple!["a4", "b1"],
             ],
         )
-        .unwrap();
+        .expect("bench setup");
     instance
         .insert_all(
-            catalog.schema().rel_id("T").unwrap(),
+            catalog.schema().rel_id("T").expect("declared relation"),
             [qbdp_catalog::tuple!["b1"], qbdp_catalog::tuple!["b3"]],
         )
-        .unwrap();
+        .expect("declared relation");
     let prices = PriceList::uniform(&catalog, Price::dollars(1));
-    let query = parse_rule(catalog.schema(), "Q(x, y) :- R(x), S(x, y), T(y)").unwrap();
+    let query =
+        parse_rule(catalog.schema(), "Q(x, y) :- R(x), S(x, y), T(y)").expect("query parses");
     Fixture {
         catalog,
         instance,
@@ -85,9 +89,9 @@ pub fn figure1() -> Fixture {
 /// A populated chain-join fixture: `k` binary hops over columns of size
 /// `n`, with `tuples` random tuples per relation (E2/E3/E12).
 pub fn chain(k: usize, n: i64, tuples: usize, seed: u64) -> Fixture {
-    let qs = qbdp_workload::queries::chain_schema(k, n).unwrap();
+    let qs = qbdp_workload::queries::chain_schema(k, n).expect("workload schema");
     let mut rng = StdRng::seed_from_u64(seed);
-    let instance = dbgen::populate_random(&qs.catalog, &mut rng, tuples).unwrap();
+    let instance = dbgen::populate_random(&qs.catalog, &mut rng, tuples).expect("data generation");
     let prices = qbdp_workload::prices::random(&qs.catalog, &mut rng, 1, 5);
     Fixture {
         catalog: qs.catalog,
@@ -99,9 +103,9 @@ pub fn chain(k: usize, n: i64, tuples: usize, seed: u64) -> Fixture {
 
 /// A populated star-join fixture (E2, Step 3 branching).
 pub fn star(k: usize, n: i64, tuples: usize, seed: u64) -> Fixture {
-    let qs = qbdp_workload::queries::star_schema(k, n).unwrap();
+    let qs = qbdp_workload::queries::star_schema(k, n).expect("workload schema");
     let mut rng = StdRng::seed_from_u64(seed);
-    let instance = dbgen::populate_random(&qs.catalog, &mut rng, tuples).unwrap();
+    let instance = dbgen::populate_random(&qs.catalog, &mut rng, tuples).expect("data generation");
     let prices = qbdp_workload::prices::random(&qs.catalog, &mut rng, 1, 5);
     Fixture {
         catalog: qs.catalog,
@@ -113,9 +117,9 @@ pub fn star(k: usize, n: i64, tuples: usize, seed: u64) -> Fixture {
 
 /// A populated cycle fixture (E9).
 pub fn cycle(k: usize, n: i64, tuples: usize, seed: u64) -> Fixture {
-    let qs = qbdp_workload::queries::cycle_schema(k, n).unwrap();
+    let qs = qbdp_workload::queries::cycle_schema(k, n).expect("workload schema");
     let mut rng = StdRng::seed_from_u64(seed);
-    let instance = dbgen::populate_random(&qs.catalog, &mut rng, tuples).unwrap();
+    let instance = dbgen::populate_random(&qs.catalog, &mut rng, tuples).expect("data generation");
     let prices = qbdp_workload::prices::random(&qs.catalog, &mut rng, 1, 5);
     Fixture {
         catalog: qs.catalog,
@@ -127,9 +131,9 @@ pub fn cycle(k: usize, n: i64, tuples: usize, seed: u64) -> Fixture {
 
 /// A populated H1 fixture (E3, NP-complete).
 pub fn h1(n: i64, tuples: usize, seed: u64) -> Fixture {
-    let qs = qbdp_workload::queries::h1_schema(n).unwrap();
+    let qs = qbdp_workload::queries::h1_schema(n).expect("workload schema");
     let mut rng = StdRng::seed_from_u64(seed);
-    let instance = dbgen::populate_random(&qs.catalog, &mut rng, tuples).unwrap();
+    let instance = dbgen::populate_random(&qs.catalog, &mut rng, tuples).expect("data generation");
     let prices = qbdp_workload::prices::random(&qs.catalog, &mut rng, 1, 5);
     Fixture {
         catalog: qs.catalog,
@@ -141,9 +145,9 @@ pub fn h1(n: i64, tuples: usize, seed: u64) -> Fixture {
 
 /// A populated H2 fixture (E9 brittleness).
 pub fn h2(n: i64, tuples: usize, seed: u64) -> Fixture {
-    let qs = qbdp_workload::queries::h2_schema(n).unwrap();
+    let qs = qbdp_workload::queries::h2_schema(n).expect("workload schema");
     let mut rng = StdRng::seed_from_u64(seed);
-    let instance = dbgen::populate_random(&qs.catalog, &mut rng, tuples).unwrap();
+    let instance = dbgen::populate_random(&qs.catalog, &mut rng, tuples).expect("data generation");
     let prices = qbdp_workload::prices::random(&qs.catalog, &mut rng, 1, 5);
     Fixture {
         catalog: qs.catalog,

@@ -41,7 +41,9 @@ pub fn secure_witness_price(
     let mut best_views: Vec<SelectionView> = Vec::new();
     for assignment in assignments {
         // Instantiate the witness.
+        #[allow(clippy::expect_used)]
         let value_of = |v: qbdp_query::ast::Var| {
+            // audit: allow(R2: assignments are generated over exactly these vars)
             let i = vars.iter().position(|&w| w == v).expect("body var");
             assignment.get(i).clone()
         };

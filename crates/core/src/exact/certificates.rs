@@ -233,7 +233,9 @@ pub fn build_certificates_within(
             });
         }
         // Materialize the witness for this assignment.
+        #[allow(clippy::expect_used)]
         let value_of = |v: Var| -> &Value {
+            // audit: allow(R2: idx is indexed by exactly these body vars)
             let vi = vars.iter().position(|&w| w == v).expect("body var");
             cols[vi].value_at(idx[vi])
         };
@@ -312,6 +314,7 @@ fn remove_supersets(constraints: &mut Vec<Vec<u32>>, budget: &Budget) {
             metered = false;
         }
         if metered {
+            // audit: bounded(scan of kept is pre-charged by this round's charge(1 + kept.len()))
             for k in &kept {
                 if k.iter().all(|e| c.binary_search(e).is_ok()) {
                     continue 'outer;

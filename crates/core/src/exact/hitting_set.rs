@@ -125,20 +125,22 @@ fn greedy_solution(
         }
         // Element covering the most constraints, weight as tiebreak.
         let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        // audit: bounded(constraint scan is pre-charged by this round's charge(1 + unhit.len()))
         for c in &unhit {
+            // audit: bounded(element lists are fixed at build time, one scan per charged round)
             for &e in *c {
                 *counts.entry(e).or_insert(0) += 1;
             }
         }
-        let (&e, _) = counts
-            .iter()
-            .max_by(|(a, ca), (b, cb)| {
-                // score = count / weight; compare count * w_other.
-                let wa = weights[**a as usize].as_cents().max(1) as u128;
-                let wb = weights[**b as usize].as_cents().max(1) as u128;
-                ((**ca as u128) * wb).cmp(&((**cb as u128) * wa))
-            })
-            .expect("unhit constraints are nonempty");
+        let Some((&e, _)) = counts.iter().max_by(|(a, ca), (b, cb)| {
+            // score = count / weight; compare count * w_other.
+            let wa = weights[**a as usize].as_cents().max(1) as u128;
+            let wb = weights[**b as usize].as_cents().max(1) as u128;
+            ((**ca as u128) * wb).cmp(&((**cb as u128) * wa))
+        }) else {
+            // An element-free constraint is unhittable: no finite cover.
+            return (Price::INFINITE, Vec::new(), false);
+        };
         total = total.saturating_add(weights[e as usize]);
         picked.push(e);
         unhit.retain(|c| !c.contains(&e));

@@ -183,6 +183,7 @@ pub fn subset_price_within(
                 .fold(cost, Price::min)
                 .min(best);
             let mut views: Vec<SelectionView> = free.clone();
+            // audit: bounded(result assembly over at most 64 mask-indexed candidates)
             for (i, (v, _)) in candidates.iter().enumerate() {
                 if best_mask & (1 << i) != 0 {
                     views.push(v.clone());
@@ -213,6 +214,7 @@ pub fn subset_price_within(
     }
 
     let mut views: Vec<SelectionView> = free;
+    // audit: bounded(result assembly over at most 64 mask-indexed candidates)
     for (i, (v, _)) in candidates.iter().enumerate() {
         if best_mask & (1 << i) != 0 {
             views.push(v.clone());

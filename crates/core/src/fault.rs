@@ -21,6 +21,7 @@ pub fn arm_panic() {
 #[doc(hidden)]
 pub fn maybe_panic() {
     if ARMED.load(Ordering::Relaxed) && ARMED.swap(false, Ordering::SeqCst) {
+        // audit: allow(R2: fault injection exists to panic; armed only by tests)
         panic!("injected fault: pricing engine panic (tests only)");
     }
 }

@@ -90,8 +90,10 @@ impl ViewDef {
                         }
                         AtomicView::Relation(r) => {
                             // The identity query for one relation.
-                            let id =
-                                Bundle::identity(schema).expect("identity bundle is well-formed");
+                            #[allow(clippy::expect_used)]
+                            let id = Bundle::identity(schema)
+                                // audit: allow(R2: identity over a built schema is well-formed)
+                                .expect("identity bundle is well-formed");
                             queries.push(id.queries()[r.0 as usize].clone());
                         }
                     }

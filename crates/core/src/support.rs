@@ -136,7 +136,11 @@ fn arbitrage_price_with(
                 let mut vs = ViewSet::new();
                 for (i, p) in schedule.points().iter().enumerate() {
                     if mask & (1 << i) != 0 {
-                        let pv = p.views.as_viewset(catalog).expect("atomic");
+                        let pv = p.views.as_viewset(catalog).ok_or_else(|| {
+                            PricingError::Internal(
+                                "schedule flagged atomic but a point is not".into(),
+                            )
+                        })?;
                         for v in pv.iter() {
                             vs.insert(v);
                         }
@@ -148,7 +152,11 @@ fn arbitrage_price_with(
                 let mut vs = ViewSet::new();
                 for (i, p) in schedule.points().iter().enumerate() {
                     if mask & (1 << i) != 0 {
-                        let pv = p.views.as_viewset(catalog).expect("atomic");
+                        let pv = p.views.as_viewset(catalog).ok_or_else(|| {
+                            PricingError::Internal(
+                                "schedule flagged atomic but a point is not".into(),
+                            )
+                        })?;
                         for v in pv.iter() {
                             vs.insert(v);
                         }

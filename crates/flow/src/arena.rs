@@ -74,9 +74,11 @@ impl DinicArena {
             self.queue.clear();
             self.queue.push(s);
             let mut head = 0;
+            // audit: bounded(one BFS pass, pre-charged by tick(phase_cost = n + m) above)
             while head < self.queue.len() {
                 let v = self.queue[head];
                 head += 1;
+                // audit: bounded(adjacency scan within the pre-charged BFS pass)
                 for &e in &g.adj[v] {
                     let e = e as usize;
                     let w = g.to[e] as usize;
@@ -130,6 +132,7 @@ fn dfs(
     if v == t {
         return limit;
     }
+    // audit: bounded(edge iterators advance monotonically, amortized into the phase tick)
     while it[v] < g.adj[v].len() {
         let e = g.adj[v][it[v]] as usize;
         let w = g.to[e] as usize;

@@ -45,9 +45,11 @@ pub fn edmonds_karp_metered(
         queue.push(s);
         let mut head = 0;
         let mut found = false;
+        // audit: bounded(one BFS pass, pre-charged by tick(round_cost = n + m) above)
         'bfs: while head < queue.len() {
             let v = queue[head];
             head += 1;
+            // audit: bounded(adjacency scan within the pre-charged BFS pass)
             for &e in &g.adj[v] {
                 let e = e as usize;
                 let w = g.to[e] as usize;
@@ -67,6 +69,7 @@ pub fn edmonds_karp_metered(
         // Bottleneck along the path.
         let mut bottleneck = u64::MAX;
         let mut v = t;
+        // audit: bounded(walks one augmenting path, length < n, within the charged round)
         while v != s {
             let e = parent_edge[v] as usize;
             bottleneck = bottleneck.min(residual[e]);
@@ -74,6 +77,7 @@ pub fn edmonds_karp_metered(
         }
         // Augment.
         let mut v = t;
+        // audit: bounded(walks one augmenting path, length < n, within the charged round)
         while v != s {
             let e = parent_edge[v] as usize;
             residual[e] -= bottleneck;

@@ -115,7 +115,9 @@ impl MaxFlowResult {
         let mut seen = vec![false; g.num_nodes()];
         let mut stack = vec![s];
         seen[s] = true;
+        // audit: bounded(residual DFS visits each node once; cut extraction runs once per priced flow)
         while let Some(v) = stack.pop() {
+            // audit: bounded(adjacency scan within the single residual DFS)
             for &e in &g.adj[v] {
                 let e = e as usize;
                 if self.residual[e] > 0 {
@@ -136,6 +138,7 @@ impl MaxFlowResult {
     pub fn min_cut_edges(&self, g: &FlowGraph, s: NodeId) -> Vec<EdgeId> {
         let side = self.source_side(g, s);
         let mut cut = Vec::new();
+        // audit: bounded(one pass over the edge list, once per priced flow)
         for e in (0..g.to.len()).step_by(2) {
             let from = g.to[e ^ 1] as usize;
             let to = g.to[e] as usize;

@@ -82,6 +82,7 @@ impl ShardedQuoteCache {
 
     /// Look up a quote; only entries tagged with the current epoch are
     /// served.
+    // audit: holds-lock(cache-shard)
     pub(crate) fn get(&self, key: &str) -> Option<MarketQuote> {
         let shard = self.shard(key).read();
         let entry = shard.get(key)?;
@@ -95,6 +96,7 @@ impl ShardedQuoteCache {
     /// Insert a quote computed under `epoch`; silently discarded if an
     /// update has bumped the epoch since (caching it would serve a stale
     /// price until the *next* update).
+    // audit: holds-lock(cache-shard)
     pub(crate) fn insert(&self, key: String, quote: MarketQuote, epoch: u64) {
         let mut shard = self.shard(&key).write();
         // Re-check under the shard lock: an invalidation that has already
@@ -109,6 +111,7 @@ impl ShardedQuoteCache {
     /// Bump-then-clear: a racing insert tagged with the old epoch either
     /// lands before the clear (and is removed) or after (and is discarded
     /// by its own epoch re-check), so no dead entry lingers.
+    // audit: holds-lock(cache-shard)
     pub(crate) fn invalidate(&self) {
         self.epoch.fetch_add(1, Ordering::SeqCst);
         for shard in &self.shards {
@@ -117,6 +120,7 @@ impl ShardedQuoteCache {
     }
 
     /// Total cached quotes across all shards (test/introspection aid).
+    // audit: holds-lock(cache-shard)
     pub(crate) fn len(&self) -> usize {
         self.shards.iter().map(|s| s.read().len()).sum()
     }
@@ -126,6 +130,7 @@ impl ShardedQuoteCache {
     /// but a recovered market starts with an empty cache and should tag
     /// fresh quotes from epoch 0 like a newly opened one (pre-crash
     /// cache entries died with the process; none can survive to here).
+    // audit: holds-lock(cache-shard)
     pub(crate) fn reset(&self) {
         self.epoch.store(0, Ordering::SeqCst);
         for shard in &self.shards {

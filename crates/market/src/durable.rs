@@ -76,6 +76,7 @@ pub struct DurableMarket {
 }
 
 impl std::fmt::Debug for DurableMarket {
+    // audit: holds-lock(wal)
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DurableMarket")
             .field("dir", &self.dir)
@@ -284,6 +285,7 @@ impl DurableMarket {
     }
 
     /// Current end-of-log position (bytes).
+    // audit: holds-lock(wal)
     pub fn wal_position(&self) -> u64 {
         self.wal.lock().position()
     }
@@ -292,6 +294,7 @@ impl DurableMarket {
     /// one tuple at a time so replay reproduces the exact ledger
     /// sequence; returns the number of tuples actually added (duplicates
     /// are logged but add 0, same as the in-memory market).
+    // audit: holds-lock(wal)
     pub fn insert(
         &self,
         relation: &str,
@@ -311,6 +314,7 @@ impl DurableMarket {
     }
 
     /// Durable seller-side price revision (`R.X=a` selector syntax).
+    // audit: holds-lock(wal)
     pub fn set_price(&self, view: &str, price: Price) -> Result<(), MarketError> {
         let mut wal = self.wal.lock();
         wal.append(&MarketEvent::SetPrice {
@@ -320,35 +324,59 @@ impl DurableMarket {
         self.market.set_price(view, price)
     }
 
-    /// Durable purchase: quote and evaluate, log the terms, then record
-    /// the sale. Overflowing revenue is refused *before* the event is
-    /// logged, so the log never contains an unreplayable purchase.
+    /// Durable purchase: price and evaluate *outside* the WAL mutex (the
+    /// pricing engine must never run under it — qbdp-audit rule R3),
+    /// then take the lock and revalidate before logging. The cache epoch
+    /// names the data/price snapshot the quote was derived from: every
+    /// mutation bumps it, and durable mutations serialize on the WAL
+    /// mutex, so an unchanged epoch observed *under* the lock proves the
+    /// quoted terms still hold when the event is appended. An epoch that
+    /// moved means an update landed mid-purchase; the stale quote is
+    /// discarded and the purchase re-priced (bounded retries, then
+    /// [`MarketError::Contended`]). Overflowing revenue is refused
+    /// *before* the event is logged, so the log never contains an
+    /// unreplayable purchase.
+    // audit: holds-lock(wal)
     pub fn purchase_str(&self, query: &str) -> Result<Purchase, MarketError> {
-        let wal = &mut *self.wal.lock();
-        let (quote, answer) = self.market.evaluate_purchase(query)?;
-        if self.market.revenue().checked_add(quote.price).is_none() {
-            return Err(MarketError::RevenueOverflow);
+        const RETRIES: usize = 8;
+        // audit: bounded(fixed retry cap; each round does one pricing call)
+        for _ in 0..RETRIES {
+            let epoch = self.market.cache_epoch();
+            let (quote, answer) = self.market.evaluate_purchase(query)?;
+            let mut wal = self.wal.lock();
+            if self.market.cache_epoch() != epoch {
+                // A mutation slipped in between pricing and the append;
+                // the quote may no longer match the market. Drop the
+                // lock and re-price against the new state.
+                drop(wal);
+                continue;
+            }
+            if self.market.revenue().checked_add(quote.price).is_none() {
+                return Err(MarketError::RevenueOverflow);
+            }
+            wal.append(&MarketEvent::Purchase {
+                query: quote.query.clone(),
+                price_cents: quote.price.as_cents(),
+                answer_tuples: answer.len() as u64,
+                views: quote.views.len() as u64,
+            })?;
+            let transaction_id = self.market.apply_recorded_sale(
+                quote.query.clone(),
+                quote.price,
+                answer.len(),
+                quote.views.len(),
+            )?;
+            return Ok(Purchase {
+                transaction_id,
+                quote,
+                answer,
+            });
         }
-        wal.append(&MarketEvent::Purchase {
-            query: quote.query.clone(),
-            price_cents: quote.price.as_cents(),
-            answer_tuples: answer.len() as u64,
-            views: quote.views.len() as u64,
-        })?;
-        let transaction_id = self.market.apply_recorded_sale(
-            quote.query.clone(),
-            quote.price,
-            answer.len(),
-            quote.views.len(),
-        )?;
-        Ok(Purchase {
-            transaction_id,
-            quote,
-            answer,
-        })
+        Err(MarketError::Contended)
     }
 
     /// Durable policy change.
+    // audit: holds-lock(wal)
     pub fn set_policy(&self, policy: MarketPolicy) -> Result<(), MarketError> {
         let mut wal = self.wal.lock();
         wal.append(&policy_event(&policy))?;
@@ -367,6 +395,7 @@ impl DurableMarket {
     }
 
     /// Force the log to stable storage regardless of the fsync policy.
+    // audit: holds-lock(wal)
     pub fn sync(&self) -> Result<(), MarketError> {
         Ok(self.wal.lock().sync()?)
     }
@@ -384,6 +413,7 @@ impl DurableMarket {
     /// an offset the recorded position would skip.
     ///
     /// Returns the log position the snapshot covers (bytes compacted).
+    // audit: holds-lock(wal)
     pub fn compact(&self) -> Result<u64, MarketError> {
         let mut wal = self.wal.lock();
         let covered = wal.position();
@@ -625,7 +655,11 @@ price T.Y=b3 100
         assert_eq!(back.market().to_qdp(), seeded_qdp);
         assert_eq!(
             back.quote_str("Q(x) :- R(x)").unwrap().price,
-            Market::open_qdp(QDP).unwrap().quote_str("Q(x) :- R(x)").unwrap().price
+            Market::open_qdp(QDP)
+                .unwrap()
+                .quote_str("Q(x) :- R(x)")
+                .unwrap()
+                .price
         );
         std::fs::remove_dir_all(&dir).ok();
     }

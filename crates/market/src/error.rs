@@ -36,6 +36,10 @@ pub enum MarketError {
     /// representable range. Recovery refuses rather than wrapping or
     /// silently saturating (the recovered books must equal the real ones).
     RevenueOverflow,
+    /// A durable purchase kept colliding with concurrent data or price
+    /// mutations: every quote was invalidated before it could be logged.
+    /// Nothing was recorded; retry when the update stream quiets down.
+    Contended,
 }
 
 impl fmt::Display for MarketError {
@@ -69,6 +73,12 @@ impl fmt::Display for MarketError {
                     f,
                     "replayed revenue exceeds the representable range; \
                      refusing to recover wrapped books"
+                )
+            }
+            MarketError::Contended => {
+                write!(
+                    f,
+                    "purchase repeatedly invalidated by concurrent updates; retry later"
                 )
             }
         }

@@ -1,6 +1,7 @@
 #![warn(missing_docs)]
 // The serving layer must never panic on buyer input: unwrap/expect are
 // banned outside tests (enforced by the CI clippy step).
+#![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! # qbdp-market — a query-priced data marketplace

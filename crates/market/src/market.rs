@@ -191,11 +191,13 @@ impl Market {
     }
 
     /// Replace the market's resource policy.
+    // audit: holds-lock(state)
     pub fn set_policy(&self, policy: MarketPolicy) {
         self.state.write().policy = policy;
     }
 
     /// The current resource policy.
+    // audit: holds-lock(state)
     pub fn policy(&self) -> MarketPolicy {
         self.state.read().policy
     }
@@ -244,6 +246,7 @@ impl Market {
     /// Quote a query given in datalog syntax
     /// (`"Q(x, y) :- R(x), S(x, y)"`). Exact quotes are cached until the
     /// next data update.
+    // audit: holds-lock(state)
     pub fn quote_str(&self, query: &str) -> Result<MarketQuote, MarketError> {
         let state = self.state.read();
         let _slot = self.admit(state.policy.max_in_flight)?;
@@ -278,6 +281,7 @@ impl Market {
     /// job gets the policy's per-quote fuel; the wall-clock deadline is
     /// shared across the batch. Exact quotes (cache hits and fresh ones)
     /// are served from / fill the sharded cache.
+    // audit: holds-lock(state)
     pub fn quote_batch(&self, queries: &[&str]) -> Vec<Result<MarketQuote, MarketError>> {
         if queries.is_empty() {
             return Vec::new();
@@ -354,6 +358,7 @@ impl Market {
     }
 
     /// Quote a parsed query (uncached path).
+    // audit: holds-lock(state)
     pub fn quote(&self, q: &ConjunctiveQuery) -> Result<MarketQuote, MarketError> {
         let state = self.state.read();
         let _slot = self.admit(state.policy.max_in_flight)?;
@@ -399,6 +404,7 @@ impl Market {
     }
 
     /// Purchase a query (datalog syntax): quote, evaluate, record, deliver.
+    // audit: holds-lock(state)
     pub fn purchase_str(&self, query: &str) -> Result<Purchase, MarketError> {
         let mut state = self.state.write();
         let _slot = self.admit(state.policy.max_in_flight)?;
@@ -423,6 +429,7 @@ impl Market {
 
     /// Seller-side data insertion (§2.7). Prices stay fixed; consistency is
     /// automatic for selection-view lists.
+    // audit: holds-lock(state)
     pub fn insert(
         &self,
         relation: &str,
@@ -468,6 +475,7 @@ impl Market {
     /// Quote and evaluate a purchase without recording it — the durable
     /// path splits purchasing into (price, log, apply) so the WAL entry
     /// is written *between* pricing and the ledger mutation.
+    // audit: holds-lock(state)
     pub(crate) fn evaluate_purchase(
         &self,
         query: &str,
@@ -485,6 +493,7 @@ impl Market {
 
     /// Record a sale whose terms are already known (durable live path
     /// and WAL replay), with checked revenue arithmetic.
+    // audit: holds-lock(state)
     pub(crate) fn apply_recorded_sale(
         &self,
         query: String,
@@ -500,31 +509,37 @@ impl Market {
     }
 
     /// Replace the ledger wholesale (snapshot restore).
+    // audit: holds-lock(state)
     pub(crate) fn restore_ledger(&self, ledger: Ledger) {
         self.state.write().ledger = ledger;
     }
 
     /// Snapshot of the running revenue.
+    // audit: holds-lock(state)
     pub fn revenue(&self) -> Price {
         self.state.read().ledger.revenue()
     }
 
     /// Number of completed sales.
+    // audit: holds-lock(state)
     pub fn sales(&self) -> usize {
         self.state.read().ledger.sales()
     }
 
     /// Run a closure over the ledger (snapshot access without cloning).
+    // audit: holds-lock(state)
     pub fn with_ledger<R>(&self, f: impl FnOnce(&Ledger) -> R) -> R {
         f(&self.state.read().ledger)
     }
 
     /// Run a closure over the pricer (schema/catalog introspection).
+    // audit: holds-lock(state)
     pub fn with_pricer<R>(&self, f: impl FnOnce(&Pricer) -> R) -> R {
         f(&self.state.read().pricer)
     }
 
     /// A full explanation of a quote (class, engine, itemized receipt).
+    // audit: holds-lock(state)
     pub fn explain_str(&self, query: &str) -> Result<String, MarketError> {
         let state = self.state.read();
         let _slot = self.admit(state.policy.max_in_flight)?;
@@ -538,6 +553,7 @@ impl Market {
     /// view. The revised list must remain arbitrage-free (Proposition 3.2)
     /// or the update is rejected and nothing changes. Quotes are
     /// re-derived from the new list (the cache is cleared).
+    // audit: holds-lock(state)
     pub fn set_price(&self, view: &str, price: Price) -> Result<(), MarketError> {
         let mut state = self.state.write();
         // `view` syntax: `R.X=a`.
@@ -580,6 +596,7 @@ impl Market {
 
     /// Serialize the market's current state (catalog, data, prices) back to
     /// `.qdp` text — reopening it reproduces the same prices.
+    // audit: holds-lock(state)
     pub fn to_qdp(&self) -> String {
         let state = self.state.read();
         let pricer = &state.pricer;

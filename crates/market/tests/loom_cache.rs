@@ -1,0 +1,554 @@
+//! Loom-style exhaustive model checking of the market's two core
+//! concurrency protocols, with no external dependency: a tiny
+//! depth-first scheduler enumerates **every** interleaving of the
+//! modelled threads at the granularity of their lock-protected
+//! critical sections.
+//!
+//! # Protocols under check
+//!
+//! 1. **Quote-cache invalidation** (`crates/market/src/cache.rs`):
+//!    bump-then-clear epoch invalidation racing a cache fill and a
+//!    cache read. Invariants: a served quote always equals the price
+//!    derived from the current data (*serve safety*), and no entry
+//!    tagged with a dead epoch survives quiescence (*hygiene* — the
+//!    module docs' "no dead entry lingers" claim).
+//! 2. **Durable purchase** (`crates/market/src/durable.rs`):
+//!    price-outside-the-WAL-mutex with epoch revalidation, racing a
+//!    durable mutation. Invariants: the market state always equals the
+//!    replay of some prefix of the log (*prefix consistency* — the
+//!    crash-recovery contract), and every logged purchase carries the
+//!    price of the data it was appended against (*quote freshness*).
+//!
+//! # Why a model, and why that is sound here
+//!
+//! `ShardedQuoteCache` and `DurableMarket` protect every shared-state
+//! transition with a lock or a single atomic; each critical section is
+//! linearizable, so any execution of the real code is equivalent to
+//! some interleaving of those sections. The models below reproduce the
+//! protocols step-for-step at exactly that granularity — one model
+//! step per critical section or bare atomic, annotated with the code
+//! it mirrors — so exhaustively exploring the model covers every
+//! behaviour the real scheduler can produce at this abstraction level.
+//!
+//! # Teeth
+//!
+//! Each protocol also runs in seeded-bug variants (one ordering or one
+//! check deliberately broken: clear-then-bump, fill without the epoch
+//! re-check, serve without the epoch check, skipping revalidation,
+//! apply-before-append). The same invariants must *catch* every seeded
+//! bug, proving the harness can actually detect violations.
+
+/// One scheduling decision's outcome.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Step {
+    /// The thread ran one atomic step; its program counter moved.
+    Ran(usize),
+    /// The thread cannot run now (a mutex it needs is held).
+    Blocked,
+    /// The thread has finished.
+    Done,
+}
+
+/// Program-counter value meaning "thread finished".
+const DONE: usize = usize::MAX;
+
+/// Depth-first exhaustive scheduler. `step(state, thread, pc)` applies
+/// one atomic step and returns the next program counter; `invariant`
+/// runs after every step; `at_end` runs on every fully-quiescent final
+/// state. Returns the number of distinct complete executions, or the
+/// first violation.
+fn explore<S: Clone>(
+    state: &S,
+    pcs: &[usize],
+    step: &impl Fn(&mut S, usize, usize) -> Step,
+    invariant: &impl Fn(&S) -> Result<(), String>,
+    at_end: &impl Fn(&S) -> Result<(), String>,
+) -> Result<u64, String> {
+    let mut ran_any = false;
+    let mut executions = 0u64;
+    for t in 0..pcs.len() {
+        if pcs[t] == DONE {
+            continue;
+        }
+        let mut s = state.clone();
+        let next = match step(&mut s, t, pcs[t]) {
+            Step::Blocked => continue,
+            Step::Done => DONE,
+            Step::Ran(pc) => pc,
+        };
+        ran_any = true;
+        invariant(&s).map_err(|e| format!("after thread {t} pc {}: {e}", pcs[t]))?;
+        let mut pcs2 = pcs.to_vec();
+        pcs2[t] = next;
+        executions += explore(&s, &pcs2, step, invariant, at_end)?;
+    }
+    if !ran_any {
+        if pcs.iter().any(|&p| p != DONE) {
+            return Err(format!("deadlock with pcs {pcs:?}"));
+        }
+        at_end(state)?;
+        executions = 1;
+    }
+    Ok(executions)
+}
+
+// ---------------------------------------------------------------------
+// Model 1: ShardedQuoteCache bump-then-clear invalidation.
+// ---------------------------------------------------------------------
+
+/// Protocol variant knobs; `CORRECT_CACHE` mirrors the shipped code,
+/// the others seed one bug each.
+#[derive(Clone, Copy)]
+struct CacheVariant {
+    /// `invalidate()` bumps the epoch before clearing the shards
+    /// (cache.rs `invalidate`); the seeded bug clears first.
+    bump_then_clear: bool,
+    /// `insert()` re-checks the epoch under the shard lock before
+    /// storing (cache.rs `insert`); the seeded bug stores blindly.
+    recheck_on_insert: bool,
+    /// `get()` serves an entry only if its tag equals the current
+    /// epoch (cache.rs `get`); the seeded bug serves any entry.
+    check_epoch_on_get: bool,
+    /// Whether the updater drops the state write lock *before* the
+    /// shard clear — a realistic refactor (calling `invalidate()`
+    /// after the lock scope) that widens the visible window. The
+    /// shipped code clears inside the critical section, but the
+    /// protocol must stay safe either way: that is exactly what the
+    /// get-side epoch check is for.
+    release_before_clear: bool,
+}
+
+const CORRECT_CACHE: CacheVariant = CacheVariant {
+    bump_then_clear: true,
+    recheck_on_insert: true,
+    check_epoch_on_get: true,
+    release_before_clear: false,
+};
+
+#[derive(Clone)]
+struct CacheState {
+    /// `ShardedQuoteCache::epoch` (AtomicU64).
+    epoch: u64,
+    /// One shard, one key: `(tagged epoch, cached quote value)`.
+    entry: Option<(u64, u64)>,
+    /// The data version quotes are derived from; `price(dv) == dv`, so
+    /// a stale quote is immediately visible.
+    dv: u64,
+    /// Whether the updater currently holds the market's state write
+    /// lock (its whole mutation is one multi-step critical section;
+    /// readers of `dv`/quoters block on it, shard-only steps do not).
+    state_write_held: bool,
+    /// Quoter's epoch loaded under the state read lock.
+    quoter_epoch: u64,
+    /// Quoter's computed quote.
+    quoter_quote: u64,
+    /// `(served quote, dv at serve time)` observed by the reader.
+    served: Vec<(u64, u64)>,
+}
+
+/// Threads: 0 = quoter (cache-miss fill), 1 = updater (data mutation +
+/// invalidation), 2 = reader (cache hit path).
+fn cache_step(v: CacheVariant) -> impl Fn(&mut CacheState, usize, usize) -> Step {
+    move |s, t, pc| match (t, pc) {
+        // Quoter, mirrors Market::quote_str's miss path.
+        (0, 0) => {
+            // Under the state read lock: load the epoch and price the
+            // query against the current data (quote_str loads the
+            // epoch while holding `state.read()`).
+            if s.state_write_held {
+                return Step::Blocked;
+            }
+            s.quoter_epoch = s.epoch;
+            s.quoter_quote = s.dv;
+            Step::Ran(1)
+        }
+        (0, 1) => {
+            // Under the shard write lock only (the state lock was
+            // dropped): cache.rs `insert` — re-check the epoch, store
+            // tagged with the load-time epoch.
+            if !v.recheck_on_insert || s.epoch == s.quoter_epoch {
+                s.entry = Some((s.quoter_epoch, s.quoter_quote));
+            }
+            Step::Done
+        }
+        // Updater, mirrors Market::insert + ShardedQuoteCache::invalidate.
+        (1, 0) => {
+            // Take the state write lock; mutate the data; with the
+            // shipped ordering the epoch bump (invalidate's fetch_add)
+            // is also inside this critical section.
+            s.state_write_held = true;
+            s.dv += 1;
+            if v.bump_then_clear {
+                s.epoch += 1;
+            }
+            Step::Ran(1)
+        }
+        (1, 1) => {
+            // Variant: the state lock may be dropped before the clear.
+            if v.release_before_clear {
+                s.state_write_held = false;
+            }
+            Step::Ran(2)
+        }
+        (1, 2) => {
+            // Clear the shard (its own shard write lock; a concurrent
+            // cache fill can interleave on either side).
+            s.entry = None;
+            Step::Ran(3)
+        }
+        (1, 3) => {
+            // Seeded clear-then-bump bug: the bump lands only now,
+            // leaving a window after the clear for a stale fill.
+            if !v.bump_then_clear {
+                s.epoch += 1;
+            }
+            if !v.release_before_clear {
+                s.state_write_held = false;
+            }
+            Step::Done
+        }
+        // Reader, mirrors Market::quote_str's hit path: under the state
+        // read lock, serve only an entry tagged with the current epoch.
+        (2, 0) => {
+            if s.state_write_held {
+                return Step::Blocked;
+            }
+            if let Some((tag, quote)) = s.entry {
+                if !v.check_epoch_on_get || tag == s.epoch {
+                    s.served.push((quote, s.dv));
+                }
+            }
+            Step::Done
+        }
+        _ => unreachable!("no such step: thread {t} pc {pc}"),
+    }
+}
+
+/// Serve safety: a quote served from the cache equals the price of the
+/// data current at serve time.
+fn cache_invariant(s: &CacheState) -> Result<(), String> {
+    for &(quote, dv) in &s.served {
+        if quote != dv {
+            return Err(format!(
+                "stale quote served: cached {quote}, live price {dv}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Hygiene at quiescence: no entry tagged with a dead epoch survives
+/// (the "bump-then-clear, so no dead entry lingers" claim).
+fn cache_at_end(s: &CacheState) -> Result<(), String> {
+    if let Some((tag, _)) = s.entry {
+        if tag != s.epoch {
+            return Err(format!(
+                "dead entry lingers: tagged epoch {tag}, current epoch {}",
+                s.epoch
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn run_cache(v: CacheVariant) -> Result<u64, String> {
+    let init = CacheState {
+        epoch: 0,
+        entry: None,
+        dv: 0,
+        state_write_held: false,
+        quoter_epoch: 0,
+        quoter_quote: 0,
+        served: Vec::new(),
+    };
+    explore(
+        &init,
+        &[0, 0, 0],
+        &cache_step(v),
+        &cache_invariant,
+        &cache_at_end,
+    )
+}
+
+#[test]
+fn cache_protocol_is_safe_under_all_interleavings() {
+    let executions = run_cache(CORRECT_CACHE).expect("shipped protocol must be clean");
+    // The schedule space must actually have been explored.
+    assert!(executions >= 18, "only {executions} interleavings explored");
+}
+
+#[test]
+fn seeded_clear_then_bump_leaks_a_dead_entry() {
+    let err = run_cache(CacheVariant {
+        bump_then_clear: false,
+        ..CORRECT_CACHE
+    })
+    .expect_err("harness must catch the seeded ordering bug");
+    assert!(err.contains("dead entry"), "unexpected violation: {err}");
+}
+
+#[test]
+fn seeded_fill_without_epoch_recheck_leaks_a_dead_entry() {
+    let err = run_cache(CacheVariant {
+        recheck_on_insert: false,
+        ..CORRECT_CACHE
+    })
+    .expect_err("harness must catch the missing re-check");
+    assert!(err.contains("dead entry"), "unexpected violation: {err}");
+}
+
+#[test]
+fn clearing_outside_the_critical_section_is_still_safe() {
+    // The get-side epoch check is what makes the widened window safe.
+    run_cache(CacheVariant {
+        release_before_clear: true,
+        ..CORRECT_CACHE
+    })
+    .expect("epoch-checked gets must keep the widened window safe");
+}
+
+#[test]
+fn seeded_unchecked_get_serves_a_stale_quote() {
+    let err = run_cache(CacheVariant {
+        release_before_clear: true,
+        check_epoch_on_get: false,
+        ..CORRECT_CACHE
+    })
+    .expect_err("harness must catch the stale serve");
+    assert!(err.contains("stale quote"), "unexpected violation: {err}");
+}
+
+// ---------------------------------------------------------------------
+// Model 2: DurableMarket purchase vs. durable mutation.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+struct WalVariant {
+    /// `purchase_str` re-checks the cache epoch under the WAL mutex
+    /// before logging (durable.rs `purchase_str`); the seeded bug
+    /// logs the possibly-stale quote unconditionally.
+    revalidate_epoch: bool,
+    /// Events are appended to the log before being applied (the
+    /// write protocol in durable.rs module docs); the seeded bug
+    /// applies the sale first.
+    append_before_apply: bool,
+}
+
+const CORRECT_WAL: WalVariant = WalVariant {
+    revalidate_epoch: true,
+    append_before_apply: true,
+};
+
+#[derive(Clone, PartialEq, Debug)]
+enum Ev {
+    /// A durable data/price mutation.
+    Mutate,
+    /// A logged purchase: the agreed price, plus (as ghost state for
+    /// the freshness invariant) the data version at append time.
+    Purchase { price: u64, dv_at_append: u64 },
+}
+
+#[derive(Clone)]
+struct WalState {
+    log: Vec<Ev>,
+    /// Data version; the arbitrage-free price of the modelled query is
+    /// `dv` itself, so staleness is visible.
+    dv: u64,
+    /// Cache-epoch mirror: bumped by every mutation's apply.
+    epoch: u64,
+    /// Applied sales (the ledger).
+    ledger: Vec<u64>,
+    /// WAL mutex owner.
+    mutex_held_by: Option<usize>,
+    /// Prices acknowledged (returned `Ok`) to the buyer.
+    acked: Vec<u64>,
+    // Purchaser locals.
+    p_epoch: u64,
+    p_quote: u64,
+    p_retries: u32,
+}
+
+/// Threads: 0 = purchaser (`DurableMarket::purchase_str`),
+/// 1 = mutator (`DurableMarket::insert` / `set_price`).
+fn wal_step(v: WalVariant) -> impl Fn(&mut WalState, usize, usize) -> Step {
+    move |s, t, pc| match (t, pc) {
+        // Purchaser.
+        (0, 0) => {
+            // Bare atomic: `self.market.cache_epoch()`.
+            s.p_epoch = s.epoch;
+            Step::Ran(1)
+        }
+        (0, 1) => {
+            // Under the state read lock: `evaluate_purchase` prices
+            // against the current data.
+            s.p_quote = s.dv;
+            Step::Ran(2)
+        }
+        (0, 2) => {
+            // `self.wal.lock()`.
+            if s.mutex_held_by.is_some() {
+                return Step::Blocked;
+            }
+            s.mutex_held_by = Some(0);
+            Step::Ran(3)
+        }
+        (0, 3) => {
+            // Revalidate under the mutex; on mismatch drop the lock and
+            // re-price (bounded retries, then Contended without an ack).
+            if v.revalidate_epoch && s.epoch != s.p_epoch {
+                s.mutex_held_by = None;
+                s.p_retries += 1;
+                return if s.p_retries > 2 {
+                    Step::Done
+                } else {
+                    Step::Ran(0)
+                };
+            }
+            Step::Ran(if v.append_before_apply { 4 } else { 5 })
+        }
+        (0, 4) => {
+            // Append the purchase event.
+            s.log.push(Ev::Purchase {
+                price: s.p_quote,
+                dv_at_append: s.dv,
+            });
+            Step::Ran(if v.append_before_apply { 5 } else { 6 })
+        }
+        (0, 5) => {
+            // Apply: record the sale in the ledger.
+            s.ledger.push(s.p_quote);
+            Step::Ran(if v.append_before_apply { 6 } else { 4 })
+        }
+        (0, 6) => {
+            // Release and acknowledge to the buyer.
+            s.mutex_held_by = None;
+            s.acked.push(s.p_quote);
+            Step::Done
+        }
+        // Mutator.
+        (1, 0) => {
+            if s.mutex_held_by.is_some() {
+                return Step::Blocked;
+            }
+            s.mutex_held_by = Some(1);
+            Step::Ran(1)
+        }
+        (1, 1) => {
+            s.log.push(Ev::Mutate);
+            Step::Ran(2)
+        }
+        (1, 2) => {
+            // Apply under the state write lock: mutate the data and
+            // bump the cache epoch in the same critical section.
+            s.dv += 1;
+            s.epoch += 1;
+            Step::Ran(3)
+        }
+        (1, 3) => {
+            s.mutex_held_by = None;
+            Step::Done
+        }
+        _ => unreachable!("no such step: thread {t} pc {pc}"),
+    }
+}
+
+/// Replay a log prefix from genesis.
+fn replay(log: &[Ev]) -> (u64, Vec<u64>) {
+    let mut dv = 0;
+    let mut ledger = Vec::new();
+    for ev in log {
+        match ev {
+            Ev::Mutate => dv += 1,
+            Ev::Purchase { price, .. } => ledger.push(*price),
+        }
+    }
+    (dv, ledger)
+}
+
+/// Prefix consistency (the crash-recovery contract: cutting the log at
+/// any point must recover a state the market actually passed through)
+/// plus quote freshness for every logged purchase.
+fn wal_invariant(s: &WalState) -> Result<(), String> {
+    let consistent = (0..=s.log.len()).any(|k| replay(&s.log[..k]) == (s.dv, s.ledger.clone()));
+    if !consistent {
+        return Err(format!(
+            "state (dv {}, ledger {:?}) is not the replay of any log prefix ({:?})",
+            s.dv, s.ledger, s.log
+        ));
+    }
+    for ev in &s.log {
+        if let Ev::Purchase {
+            price,
+            dv_at_append,
+        } = ev
+        {
+            if price != dv_at_append {
+                return Err(format!(
+                    "stale purchase logged: agreed price {price}, price at append {dv_at_append}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// At quiescence: everything applied (the state equals the full-log
+/// replay) and every acknowledged purchase is in the durable ledger.
+fn wal_at_end(s: &WalState) -> Result<(), String> {
+    if replay(&s.log) != (s.dv, s.ledger.clone()) {
+        return Err("final state does not equal full-log replay".to_string());
+    }
+    for p in &s.acked {
+        if !s.ledger.contains(p) {
+            return Err(format!("acknowledged purchase {p} missing from the ledger"));
+        }
+    }
+    Ok(())
+}
+
+fn run_wal(v: WalVariant) -> Result<u64, String> {
+    let init = WalState {
+        log: Vec::new(),
+        dv: 0,
+        epoch: 0,
+        ledger: Vec::new(),
+        mutex_held_by: None,
+        acked: Vec::new(),
+        p_epoch: 0,
+        p_quote: 0,
+        p_retries: 0,
+    };
+    explore(&init, &[0, 0], &wal_step(v), &wal_invariant, &wal_at_end)
+}
+
+#[test]
+fn durable_purchase_protocol_is_safe_under_all_interleavings() {
+    let executions = run_wal(CORRECT_WAL).expect("shipped protocol must be clean");
+    assert!(executions >= 10, "only {executions} interleavings explored");
+}
+
+#[test]
+fn seeded_skipping_revalidation_logs_a_stale_price() {
+    let err = run_wal(WalVariant {
+        revalidate_epoch: false,
+        ..CORRECT_WAL
+    })
+    .expect_err("harness must catch the stale logged purchase");
+    assert!(
+        err.contains("stale purchase"),
+        "unexpected violation: {err}"
+    );
+}
+
+#[test]
+fn seeded_apply_before_append_breaks_prefix_consistency() {
+    let err = run_wal(WalVariant {
+        append_before_apply: false,
+        ..CORRECT_WAL
+    })
+    .expect_err("harness must catch the unlogged application window");
+    assert!(
+        err.contains("not the replay"),
+        "unexpected violation: {err}"
+    );
+}

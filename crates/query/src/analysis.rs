@@ -225,7 +225,7 @@ pub fn cycle_order(q: &ConjunctiveQuery) -> Option<Vec<(usize, bool)>> {
     let mut order: Vec<(usize, bool)> = Vec::with_capacity(k);
     let mut seen = 1u64;
     // Start at atom 0, entering through its first variable.
-    let entry0 = atoms[0].terms[0].as_var().unwrap();
+    let entry0 = atoms[0].terms[0].as_var()?;
     let mut cur = 0usize;
     let mut entry = entry0;
     loop {

@@ -98,7 +98,9 @@ impl ChainQuery {
             unary: true,
         });
         for i in 1..n {
-            let prev_right = *join_vars.last().unwrap(); // x_i
+            let Some(&prev_right) = join_vars.last() else {
+                return fail("chain walk lost its join variable");
+            }; // x_i
             let vs = &atom_vars[i];
             let atom = &q.atoms()[i];
             if vs.len() == 1 {
@@ -244,7 +246,7 @@ impl ChainQuery {
             row.push(cols[i].iter().map(|v| (v.clone(), v.clone())).collect());
             for j in i..=k.saturating_sub(1) {
                 // Md[i:j] = Md[i:j-1] ∘ atom j transitions.
-                let prev = row.last().unwrap();
+                let Some(prev) = row.last() else { break };
                 // Index prev by right endpoint for the DP join.
                 let mut by_right: qbdp_catalog::FxHashMap<&Value, Vec<&Value>> =
                     qbdp_catalog::FxHashMap::default();

@@ -20,11 +20,11 @@ pub type AnswerSet = FxHashSet<Tuple>;
 pub fn eval_cq(q: &ConjunctiveQuery, d: &Instance) -> Result<AnswerSet, QueryError> {
     let mut out = AnswerSet::default();
     for_each_assignment(q, d, |binding| {
-        let tuple = Tuple::new(
-            q.head()
-                .iter()
-                .map(|v| binding[v.0 as usize].clone().unwrap()),
-        );
+        #[allow(clippy::expect_used)]
+        let tuple = Tuple::new(q.head().iter().map(|v| {
+            // audit: allow(R2: the callback fires only on fully bound assignments)
+            binding[v.0 as usize].clone().expect("head var bound")
+        }));
         out.insert(tuple);
         true
     })?;
@@ -66,7 +66,11 @@ pub fn satisfying_assignments(
     let mut seen = AnswerSet::default();
     let mut out = Vec::new();
     for_each_assignment(q, d, |binding| {
-        let t = Tuple::new(vars.iter().map(|v| binding[v.0 as usize].clone().unwrap()));
+        #[allow(clippy::expect_used)]
+        let t = Tuple::new(vars.iter().map(|v| {
+            // audit: allow(R2: the callback fires only on fully bound assignments)
+            binding[v.0 as usize].clone().expect("body var bound")
+        }));
         if seen.insert(t.clone()) {
             out.push(t);
         }
@@ -185,7 +189,12 @@ fn recurse(
             // Eagerly check predicates on newly bound variables.
             for &v in &newly_bound {
                 for &pi in &preds_by_var[v.0 as usize] {
-                    let val = binding[v.0 as usize].as_ref().unwrap();
+                    // A var is in newly_bound exactly when its slot was just
+                    // filled; if that ever breaks, reject the assignment.
+                    let Some(val) = binding[v.0 as usize].as_ref() else {
+                        ok = false;
+                        break;
+                    };
                     match q.preds()[pi].pred.eval(val) {
                         Ok(true) => {}
                         Ok(false) => {

@@ -1,0 +1,38 @@
+//! The workload error type: generators parse rule text and resolve
+//! schema names, so both catalog and query errors can surface.
+
+use qbdp_catalog::CatalogError;
+use qbdp_query::QueryError;
+use std::fmt;
+
+/// Anything a generator can fail with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// Schema construction or name resolution failed.
+    Catalog(CatalogError),
+    /// A family query failed to parse against its schema.
+    Query(QueryError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Catalog(e) => write!(f, "catalog: {e}"),
+            WorkloadError::Query(e) => write!(f, "query: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl From<CatalogError> for WorkloadError {
+    fn from(e: CatalogError) -> Self {
+        WorkloadError::Catalog(e)
+    }
+}
+
+impl From<QueryError> for WorkloadError {
+    fn from(e: QueryError) -> Self {
+        WorkloadError::Query(e)
+    }
+}

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 //! # qbdp-workload — generators and named scenarios
@@ -15,12 +17,14 @@
 //! benches and property tests are reproducible.
 
 pub mod dbgen;
+pub mod error;
 pub mod prices;
 pub mod queries;
 pub mod scenarios;
 pub mod zipf;
 
 pub use dbgen::{populate_random, populate_zipf};
+pub use error::WorkloadError;
 pub use queries::{
     chain_schema, cycle_schema, h1_schema, h2_schema, h4_schema, star_schema, QuerySet,
 };

@@ -1,6 +1,7 @@
 //! Schema + query builders for the paper's query families.
 
-use qbdp_catalog::{Catalog, CatalogBuilder, CatalogError, Column};
+use crate::error::WorkloadError;
+use qbdp_catalog::{Catalog, CatalogBuilder, Column};
 use qbdp_query::ast::ConjunctiveQuery;
 use qbdp_query::parser::parse_rule;
 
@@ -15,7 +16,7 @@ pub struct QuerySet {
 /// Chain (path-join) schema with `k` binary hops and unary caps, all over
 /// the integer column `{0..n}`:
 /// `Q(x0..xk) = A(x0), E1(x0,x1), …, Ek(x_{k-1},x_k), B(x_k)`.
-pub fn chain_schema(k: usize, n: i64) -> Result<QuerySet, CatalogError> {
+pub fn chain_schema(k: usize, n: i64) -> Result<QuerySet, WorkloadError> {
     assert!(k >= 1);
     let col = Column::int_range(0, n);
     let mut builder = CatalogBuilder::new().uniform_relation("A", &["X"], &col);
@@ -31,13 +32,13 @@ pub fn chain_schema(k: usize, n: i64) -> Result<QuerySet, CatalogError> {
     }
     body.push(format!("B(x{k})"));
     let src = format!("Q({}) :- {}", head.join(", "), body.join(", "));
-    let query = parse_rule(catalog.schema(), &src).expect("generated chain parses");
+    let query = parse_rule(catalog.schema(), &src)?;
     Ok(QuerySet { catalog, query })
 }
 
 /// Star schema: `Q(x, y1..yk) = C(x), S1(x,y1), …, Sk(x,yk)` — a GChQ with
 /// `k` hanging variables, exercising Step 3's `2^k` branches.
-pub fn star_schema(k: usize, n: i64) -> Result<QuerySet, CatalogError> {
+pub fn star_schema(k: usize, n: i64) -> Result<QuerySet, WorkloadError> {
     assert!(k >= 1);
     let col = Column::int_range(0, n);
     let mut builder = CatalogBuilder::new().uniform_relation("C", &["X"], &col);
@@ -52,12 +53,12 @@ pub fn star_schema(k: usize, n: i64) -> Result<QuerySet, CatalogError> {
         body.push(format!("S{i}(x, y{i})"));
     }
     let src = format!("Q({}) :- {}", head.join(", "), body.join(", "));
-    let query = parse_rule(catalog.schema(), &src).expect("generated star parses");
+    let query = parse_rule(catalog.schema(), &src)?;
     Ok(QuerySet { catalog, query })
 }
 
 /// Cycle schema: `C_k(x1..xk) = R1(x1,x2), …, Rk(xk,x1)` (Theorem 3.15).
-pub fn cycle_schema(k: usize, n: i64) -> Result<QuerySet, CatalogError> {
+pub fn cycle_schema(k: usize, n: i64) -> Result<QuerySet, WorkloadError> {
     assert!(k >= 2);
     let col = Column::int_range(0, n);
     let mut builder = CatalogBuilder::new();
@@ -72,12 +73,12 @@ pub fn cycle_schema(k: usize, n: i64) -> Result<QuerySet, CatalogError> {
         body.push(format!("R{i}(x{i}, x{j})"));
     }
     let src = format!("C{k}({}) :- {}", head.join(", "), body.join(", "));
-    let query = parse_rule(catalog.schema(), &src).expect("generated cycle parses");
+    let query = parse_rule(catalog.schema(), &src)?;
     Ok(QuerySet { catalog, query })
 }
 
 /// The NP-complete `H1(x,y,z) = R(x,y,z), S(x), T(y), U(z)` (Theorem 3.5).
-pub fn h1_schema(n: i64) -> Result<QuerySet, CatalogError> {
+pub fn h1_schema(n: i64) -> Result<QuerySet, WorkloadError> {
     let col = Column::int_range(0, n);
     let catalog = CatalogBuilder::new()
         .uniform_relation("R", &["X", "Y", "Z"], &col)
@@ -88,33 +89,32 @@ pub fn h1_schema(n: i64) -> Result<QuerySet, CatalogError> {
     let query = parse_rule(
         catalog.schema(),
         "H1(x, y, z) :- R(x, y, z), S(x), T(y), U(z)",
-    )
-    .unwrap();
+    )?;
     Ok(QuerySet { catalog, query })
 }
 
 /// The NP-complete `H2(x,y) = P(x), R(x,y), S(x,y)` (Theorem 3.5; `C_2`
 /// plus one unary atom — the cycle class's brittleness).
-pub fn h2_schema(n: i64) -> Result<QuerySet, CatalogError> {
+pub fn h2_schema(n: i64) -> Result<QuerySet, WorkloadError> {
     let col = Column::int_range(0, n);
     let catalog = CatalogBuilder::new()
         .uniform_relation("P", &["X"], &col)
         .uniform_relation("R", &["X", "Y"], &col)
         .uniform_relation("S", &["X", "Y"], &col)
         .build()?;
-    let query = parse_rule(catalog.schema(), "H2(x, y) :- P(x), R(x, y), S(x, y)").unwrap();
+    let query = parse_rule(catalog.schema(), "H2(x, y) :- P(x), R(x, y), S(x, y)")?;
     Ok(QuerySet { catalog, query })
 }
 
 /// The NP-complete projection query `H4(x) = R(x, y)` (Theorem 3.5): the
 /// simplest non-full CQ, priced by the exact subset engine — the
 /// adversarial workload for budget/deadline tests.
-pub fn h4_schema(n: i64) -> Result<QuerySet, CatalogError> {
+pub fn h4_schema(n: i64) -> Result<QuerySet, WorkloadError> {
     let col = Column::int_range(0, n);
     let catalog = CatalogBuilder::new()
         .uniform_relation("R", &["X", "Y"], &col)
         .build()?;
-    let query = parse_rule(catalog.schema(), "H4(x) :- R(x, y)").unwrap();
+    let query = parse_rule(catalog.schema(), "H4(x) :- R(x, y)")?;
     Ok(QuerySet { catalog, query })
 }
 

@@ -7,7 +7,9 @@
 //! a state's counties hold no businesses, buying the remaining counties is
 //! cheaper than buying the state yet yields the same information.
 
-use qbdp_catalog::{Catalog, CatalogBuilder, CatalogError, Column, Instance, Tuple, Value};
+use super::lookup;
+use crate::error::WorkloadError;
+use qbdp_catalog::{Catalog, CatalogBuilder, Column, Instance, Tuple, Value};
 use qbdp_core::price_points::PriceList;
 use qbdp_core::Price;
 use qbdp_determinacy::selection::SelectionView;
@@ -66,7 +68,7 @@ impl Default for BusinessConfig {
 pub fn generate(
     rng: &mut impl Rng,
     config: BusinessConfig,
-) -> Result<BusinessMarket, CatalogError> {
+) -> Result<BusinessMarket, WorkloadError> {
     let states: Vec<String> = (0..config.states).map(|i| format!("S{i}")).collect();
     let counties: Vec<String> = (0..config.states)
         .flat_map(|s| (0..config.counties_per_state).map(move |c| format!("S{s}_C{c}")))
@@ -99,8 +101,8 @@ pub fn generate(
         .collect();
 
     let mut instance = catalog.empty_instance();
-    let business = catalog.schema().rel_id("Business").unwrap();
-    let restaurant = catalog.schema().rel_id("Restaurant").unwrap();
+    let business = lookup(&catalog, "Business")?;
+    let restaurant = lookup(&catalog, "Restaurant")?;
     for name in &names {
         let s = rng.gen_range(0..config.states);
         let live = &live_counties[s];
@@ -129,10 +131,10 @@ pub fn generate(
     let min_name_cents = covers_needed.as_cents() / (config.businesses as u64).max(1) + 1;
     let name_price = config.name_price.max(Price::cents(min_name_cents));
     let mut prices = PriceList::new();
-    let name_attr = catalog.schema().resolve_attr("Business.Name").unwrap();
-    let state_attr = catalog.schema().resolve_attr("Business.State").unwrap();
-    let county_attr = catalog.schema().resolve_attr("Business.County").unwrap();
-    let rest_attr = catalog.schema().resolve_attr("Restaurant.Name").unwrap();
+    let name_attr = catalog.schema().resolve_attr("Business.Name")?;
+    let state_attr = catalog.schema().resolve_attr("Business.State")?;
+    let county_attr = catalog.schema().resolve_attr("Business.County")?;
+    let rest_attr = catalog.schema().resolve_attr("Restaurant.Name")?;
     for v in catalog.column(name_attr).iter() {
         prices.set(SelectionView::new(name_attr, v.clone()), name_price);
     }

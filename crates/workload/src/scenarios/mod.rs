@@ -1,5 +1,16 @@
 //! Named, realistic scenarios modeled on the data markets the paper cites.
 
+use crate::error::WorkloadError;
+use qbdp_catalog::{Catalog, CatalogError, RelId};
+
 pub mod business;
 pub mod sports;
 pub mod webgraph;
+
+/// Resolve a relation the generator itself declared a few lines up.
+pub(crate) fn lookup(catalog: &Catalog, name: &str) -> Result<RelId, WorkloadError> {
+    catalog
+        .schema()
+        .rel_id(name)
+        .ok_or_else(|| WorkloadError::Catalog(CatalogError::UnknownRelation(name.to_string())))
+}

@@ -10,7 +10,9 @@
 //! Chain queries join the three ("attendance of every game of the team
 //! named T"), which the GChQ algorithm prices in PTIME.
 
-use qbdp_catalog::{Catalog, CatalogBuilder, CatalogError, Column, Instance, Tuple, Value};
+use super::lookup;
+use crate::error::WorkloadError;
+use qbdp_catalog::{Catalog, CatalogBuilder, Column, Instance, Tuple, Value};
 use qbdp_core::price_points::PriceList;
 use qbdp_core::Price;
 use qbdp_determinacy::selection::SelectionView;
@@ -54,7 +56,7 @@ impl Default for SportsConfig {
 }
 
 /// Generate the market.
-pub fn generate(rng: &mut impl Rng, config: SportsConfig) -> Result<SportsMarket, CatalogError> {
+pub fn generate(rng: &mut impl Rng, config: SportsConfig) -> Result<SportsMarket, WorkloadError> {
     let team_names: Vec<String> = (0..config.teams).map(|i| format!("team{i}")).collect();
     let name_col = Column::texts(team_names.iter().map(String::as_str));
     let team_id_col = Column::int_range(100, 100 + config.teams as i64);
@@ -87,9 +89,9 @@ pub fn generate(rng: &mut impl Rng, config: SportsConfig) -> Result<SportsMarket
         .build()?;
 
     let mut instance = catalog.empty_instance();
-    let team = catalog.schema().rel_id("Team").unwrap();
-    let stats = catalog.schema().rel_id("Stats").unwrap();
-    let game = catalog.schema().rel_id("Game").unwrap();
+    let team = lookup(&catalog, "Team")?;
+    let stats = lookup(&catalog, "Stats")?;
+    let game = lookup(&catalog, "Game")?;
     for (i, name) in team_names.iter().enumerate() {
         let id = 100 + i as i64;
         instance.insert(
@@ -131,7 +133,7 @@ pub fn generate(rng: &mut impl Rng, config: SportsConfig) -> Result<SportsMarket
             config.game_api_price.saturating_add(Price::dollars(1)),
         ),
     ] {
-        let attr = catalog.schema().resolve_attr(attr_name).unwrap();
+        let attr = catalog.schema().resolve_attr(attr_name)?;
         for v in catalog.column(attr).iter() {
             prices.set(SelectionView::new(attr, v.clone()), price);
         }

@@ -11,7 +11,9 @@
 //! is — up to flipping `Backlinks`' columns — the **cycle query C₂**
 //! (Theorem 3.15), making this the realistic home of the cycle experiments.
 
-use qbdp_catalog::{Catalog, CatalogBuilder, CatalogError, Column, Instance, Tuple, Value};
+use super::lookup;
+use crate::error::WorkloadError;
+use qbdp_catalog::{Catalog, CatalogBuilder, Column, Instance, Tuple, Value};
 use qbdp_core::price_points::PriceList;
 use qbdp_core::Price;
 use qbdp_determinacy::selection::SelectionView;
@@ -62,7 +64,7 @@ impl Default for WebGraphConfig {
 pub fn generate(
     rng: &mut impl Rng,
     config: WebGraphConfig,
-) -> Result<WebGraphMarket, CatalogError> {
+) -> Result<WebGraphMarket, WorkloadError> {
     let domains: Vec<String> = (0..config.domains).map(|i| format!("site{i}")).collect();
     let col = Column::texts(domains.iter().map(String::as_str));
     let catalog = CatalogBuilder::new()
@@ -72,9 +74,9 @@ pub fn generate(
         .build()?;
 
     let mut instance = catalog.empty_instance();
-    let links = catalog.schema().rel_id("Links").unwrap();
-    let backlinks = catalog.schema().rel_id("Backlinks").unwrap();
-    let ads = catalog.schema().rel_id("Ads").unwrap();
+    let links = lookup(&catalog, "Links")?;
+    let backlinks = lookup(&catalog, "Backlinks")?;
+    let ads = lookup(&catalog, "Ads")?;
     let zipf = crate::zipf::Zipf::new(config.domains, config.theta);
     for _ in 0..config.links {
         let s = zipf.sample(rng);
@@ -100,7 +102,7 @@ pub fn generate(
         ("Backlinks.Src", config.backlink_price),
         ("Ads.Domain", config.ads_price),
     ] {
-        let attr = catalog.schema().resolve_attr(attr_name).unwrap();
+        let attr = catalog.schema().resolve_attr(attr_name)?;
         for v in catalog.column(attr).iter() {
             prices.set(SelectionView::new(attr, v.clone()), price);
         }

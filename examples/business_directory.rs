@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m = generate(&mut rng, config)?;
     let market = Market::open(m.catalog.clone(), m.instance.clone(), m.prices.clone())?;
 
-    let business = m.catalog.schema().rel_id("Business").unwrap();
+    let business = m
+        .catalog
+        .schema()
+        .rel_id("Business")
+        .expect("declared relation");
     println!(
         "directory: {} businesses across {} states x {} counties\n",
         m.instance.relation(business).len(),
@@ -68,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // with an `in` predicate (Step 1 of the GChQ algorithm shrinks the
     // problem to those counties), and the Min-Cut picks whichever mix of
     // state/county/name views is cheapest.
-    let county_attr = m.catalog.schema().resolve_attr("Business.County").unwrap();
+    let county_attr = m.catalog.schema().resolve_attr("Business.County")?;
     let s3_counties: Vec<String> = m
         .catalog
         .column(county_attr)
@@ -117,8 +121,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // selection must not exceed the full *county* cover of the whole
     // column. Demonstrate a deliberately broken list being rejected.
     let mut broken = m.prices.clone();
-    let state_attr = m.catalog.schema().resolve_attr("Business.State").unwrap();
-    let name_attr = m.catalog.schema().resolve_attr("Business.Name").unwrap();
+    let state_attr = m.catalog.schema().resolve_attr("Business.State")?;
+    let name_attr = m.catalog.schema().resolve_attr("Business.Name")?;
     // Names are 50¢ each; with 150 names the full Name cover is $75.
     // Price one state at $99,999 — more than revealing everything by name.
     broken.set(

@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("C", vec![tuple![0, 2]]),
         ("R3", vec![tuple![0, 1, 2], tuple![1, 1, 1]]),
     ] {
-        let rid = catalog.schema().rel_id(rel).unwrap();
+        let rid = catalog.schema().rel_id(rel).expect("declared relation");
         d.insert_all(rid, tuples)?;
     }
     let prices = PriceList::uniform(&catalog, Price::dollars(1));

@@ -69,8 +69,8 @@ fn part1_example_2_18() -> Result<(), Box<dyn std::error::Error>> {
 
     let d1 = catalog.empty_instance();
     let mut d2 = catalog.empty_instance();
-    d2.insert(schema.rel_id("R").unwrap(), tuple![0])?;
-    d2.insert(schema.rel_id("S").unwrap(), tuple![0, 1])?;
+    d2.insert(schema.rel_id("R").expect("declared relation"), tuple![0])?;
+    d2.insert(schema.rel_id("S").expect("declared relation"), tuple![0, 1])?;
 
     let cfg = SupportConfig::default();
     println!("S1 = {{(V, $1), (Q, $10), (ID, $100)}} with V(x,y) = R(x), S(x,y):");
@@ -108,9 +108,9 @@ fn part2_monotone_fullcq() -> Result<(), Box<dyn std::error::Error>> {
     let prices = PriceList::uniform(&catalog, Price::dollars(1));
     let mut pricer = Pricer::new(catalog.clone(), catalog.empty_instance(), prices)?;
     let q = parse_rule(catalog.schema(), "Q(x, y) :- R(x), S(x, y), T(y)")?;
-    let r = catalog.schema().rel_id("R").unwrap();
-    let s = catalog.schema().rel_id("S").unwrap();
-    let t = catalog.schema().rel_id("T").unwrap();
+    let r = catalog.schema().rel_id("R").expect("declared relation");
+    let s = catalog.schema().rel_id("S").expect("declared relation");
+    let t = catalog.schema().rel_id("T").expect("declared relation");
 
     let batches = vec![
         vec![(r, tuple![0])],

@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let m = generate(&mut rng, config)?;
     let market = Market::open(m.catalog.clone(), m.instance.clone(), m.prices.clone())?;
-    let links = m.catalog.schema().rel_id("Links").unwrap();
+    let links = m
+        .catalog
+        .schema()
+        .rel_id("Links")
+        .expect("declared relation");
     println!(
         "crawl: {} domains, {} links; outlink lists {} / backlink lists {} per domain\n",
         config.domains,

@@ -24,6 +24,8 @@
 //! including §2.7 price-trajectory monotonicity verdicts for `--probe`
 //! queries.
 
+#![forbid(unsafe_code)]
+
 use qbdp::cli;
 use qbdp::prelude::{DurableMarket, FsyncPolicy, Market, MarketPolicy};
 use std::process::ExitCode;

@@ -50,6 +50,9 @@
 //!   snapshots, and crash recovery;
 //! * [`workload`] — generators and realistic scenarios for benchmarks.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cli;
 
 pub use qbdp_catalog as catalog;
