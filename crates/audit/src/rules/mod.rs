@@ -76,7 +76,7 @@ impl Config {
         Config {
             taint_words: s(&["price", "prices", "revenue", "cents", "proceeds"]),
             blessed_fn_prefixes: s(&["checked_", "saturating_", "wrapping_"]),
-            guarded_locks: s(&["wal", "cache-shard"]),
+            guarded_locks: s(&["wal", "cache-shard", "vfs-state", "health"]),
             pricing_entries: s(&[
                 "price_rule",
                 "price_rule_within",

@@ -8,7 +8,7 @@
 //! allocations across runs; batch-pricing workers keep one arena each and
 //! amortize allocation across an entire job stream.
 //!
-//! The arena is [`Ticker`](crate::meter::Ticker)-aware: runs are metered
+//! The arena is [`Ticker`]-aware: runs are metered
 //! exactly like [`crate::dinic_metered`], charging each BFS phase and each
 //! augmenting path, and interruption reports the partial flow value.
 

@@ -47,11 +47,13 @@
 use crate::error::MarketError;
 use crate::ledger::Ledger;
 use crate::market::{Market, MarketPolicy, MarketQuote, Purchase};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use qbdp_catalog::{Tuple, Value};
 use qbdp_core::Price;
-use qbdp_store::{FsyncPolicy, MarketEvent, Snapshot, StoreError, Wal};
+use qbdp_store::scrub::ScrubReport;
+use qbdp_store::{FsyncPolicy, MarketEvent, RealFs, RetryPolicy, Snapshot, StoreError, Vfs, Wal};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Snapshot filename inside a durable market directory.
@@ -68,10 +70,30 @@ pub enum ReplayStep<'a> {
     Applied(&'a MarketEvent),
 }
 
+/// Whether the durable market is accepting mutations. See
+/// [`DurableMarket::health`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MarketHealth {
+    /// Mutations and reads both served.
+    Healthy,
+    /// The durability layer can no longer acknowledge writes (disk
+    /// full, or an fsync failure poisoned the log). Quotes keep serving
+    /// from the last consistent state; mutations return
+    /// [`MarketError::Degraded`]. Reopening the market after the fault
+    /// clears recovers cleanly.
+    ReadOnly {
+        /// The store-layer diagnosis that triggered the degradation.
+        reason: String,
+    },
+}
+
 /// A market with a write-ahead log and snapshots under a directory.
 pub struct DurableMarket {
     market: Market,
     wal: Mutex<Wal>,
+    vfs: Arc<dyn Vfs>,
+    retry: RetryPolicy,
+    health: RwLock<MarketHealth>,
     dir: PathBuf,
 }
 
@@ -159,10 +181,23 @@ impl DurableMarket {
         qdp: &str,
         fsync: FsyncPolicy,
     ) -> Result<DurableMarket, MarketError> {
+        Self::create_with(Arc::new(RealFs), dir, qdp, fsync, RetryPolicy::default())
+    }
+
+    /// [`DurableMarket::create`] on an explicit [`Vfs`] with an explicit
+    /// transient-fault [`RetryPolicy`] — the chaos harness's entry
+    /// point, and the seam a future replicated store plugs into.
+    pub fn create_with(
+        vfs: Arc<dyn Vfs>,
+        dir: impl AsRef<Path>,
+        qdp: &str,
+        fsync: FsyncPolicy,
+        retry: RetryPolicy,
+    ) -> Result<DurableMarket, MarketError> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir).map_err(StoreError::from)?;
+        vfs.create_dir_all(&dir).map_err(StoreError::from)?;
         let snapshot_path = dir.join(SNAPSHOT_FILE);
-        if snapshot_path.exists() {
+        if vfs.exists(&snapshot_path) {
             return Err(MarketError::Store(StoreError::AlreadyInitialized));
         }
         // Validate the seed (consistency check included) before touching
@@ -177,20 +212,23 @@ impl DurableMarket {
         // seeded market. Deleting (rather than truncating) also lets
         // create() succeed over a corrupt leftover log.
         let wal_path = dir.join(WAL_FILE);
-        match std::fs::remove_file(&wal_path) {
+        match vfs.remove_file(&wal_path) {
             Ok(()) => {}
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(MarketError::Store(e.into())),
         }
-        let wal = Wal::open(&wal_path, fsync)?;
+        let wal = Wal::open_with(Arc::clone(&vfs), &wal_path, fsync, retry)?;
         let mut snapshot = Snapshot::new(0);
         snapshot.push_section("market", market.to_qdp());
         snapshot.push_section("ledger", Ledger::new().to_snapshot_text());
         snapshot.push_section("policy", policy_text(&market.policy()));
-        snapshot.write(&snapshot_path)?;
+        snapshot.write_with(vfs.as_ref(), &snapshot_path, &retry)?;
         Ok(DurableMarket {
             market,
             wal: Mutex::new(wal),
+            vfs,
+            retry,
+            health: RwLock::new(MarketHealth::Healthy),
             dir,
         })
     }
@@ -201,6 +239,19 @@ impl DurableMarket {
         Self::open_with_observer(dir, fsync, |_, _| {})
     }
 
+    /// [`DurableMarket::open`] on an explicit [`Vfs`] with an explicit
+    /// retry policy. Recovery always reopens Healthy: whatever poisoned
+    /// the previous handle, the reopened log starts from a repaired,
+    /// verified prefix.
+    pub fn open_on(
+        vfs: Arc<dyn Vfs>,
+        dir: impl AsRef<Path>,
+        fsync: FsyncPolicy,
+        retry: RetryPolicy,
+    ) -> Result<DurableMarket, MarketError> {
+        Self::open_with_observer_on(vfs, dir, fsync, retry, |_, _| {})
+    }
+
     /// [`DurableMarket::open`] with a callback invoked once after the
     /// snapshot loads and once after each replayed event — the hook the
     /// CLI `replay` verb uses to record §2.7 price trajectories without
@@ -208,10 +259,27 @@ impl DurableMarket {
     pub fn open_with_observer(
         dir: impl AsRef<Path>,
         fsync: FsyncPolicy,
+        observer: impl FnMut(ReplayStep<'_>, &Market),
+    ) -> Result<DurableMarket, MarketError> {
+        Self::open_with_observer_on(
+            Arc::new(RealFs),
+            dir,
+            fsync,
+            RetryPolicy::default(),
+            observer,
+        )
+    }
+
+    /// [`DurableMarket::open_with_observer`] on an explicit [`Vfs`].
+    pub fn open_with_observer_on(
+        vfs: Arc<dyn Vfs>,
+        dir: impl AsRef<Path>,
+        fsync: FsyncPolicy,
+        retry: RetryPolicy,
         mut observer: impl FnMut(ReplayStep<'_>, &Market),
     ) -> Result<DurableMarket, MarketError> {
         let dir = dir.as_ref().to_path_buf();
-        let mut snapshot = Snapshot::load(dir.join(SNAPSHOT_FILE))?;
+        let mut snapshot = Snapshot::load_with(vfs.as_ref(), dir.join(SNAPSHOT_FILE))?;
         let qdp = snapshot
             .section("market")
             .ok_or_else(|| StoreError::CorruptSnapshot("missing `market` section".into()))?;
@@ -225,7 +293,7 @@ impl DurableMarket {
         if let Some(text) = snapshot.section("policy") {
             market.set_policy(parse_policy(text)?);
         }
-        let wal = Wal::open(dir.join(WAL_FILE), fsync)?;
+        let wal = Wal::open_with(Arc::clone(&vfs), dir.join(WAL_FILE), fsync, retry)?;
         // Compaction crash window: a crash between `wal.reset()` and the
         // final snapshot rewrite in `compact()` leaves the snapshot
         // claiming a position past the now-empty log. The *state* is
@@ -240,7 +308,7 @@ impl DurableMarket {
         // frames appended after the snapshot's record boundary.
         if snapshot.wal_pos > wal.position() {
             snapshot.wal_pos = wal.position();
-            snapshot.write(dir.join(SNAPSHOT_FILE))?;
+            snapshot.write_with(vfs.as_ref(), dir.join(SNAPSHOT_FILE), &retry)?;
         }
         observer(ReplayStep::SnapshotLoaded, &market);
         for record in wal.replay_from(snapshot.wal_pos)? {
@@ -251,6 +319,9 @@ impl DurableMarket {
         Ok(DurableMarket {
             market,
             wal: Mutex::new(wal),
+            vfs,
+            retry,
+            health: RwLock::new(MarketHealth::Healthy),
             dir,
         })
     }
@@ -262,14 +333,78 @@ impl DurableMarket {
         seed_qdp: Option<&str>,
         fsync: FsyncPolicy,
     ) -> Result<DurableMarket, MarketError> {
+        Self::open_or_create_with(
+            Arc::new(RealFs),
+            dir,
+            seed_qdp,
+            fsync,
+            RetryPolicy::default(),
+        )
+    }
+
+    /// [`DurableMarket::open_or_create`] on an explicit [`Vfs`].
+    pub fn open_or_create_with(
+        vfs: Arc<dyn Vfs>,
+        dir: impl AsRef<Path>,
+        seed_qdp: Option<&str>,
+        fsync: FsyncPolicy,
+        retry: RetryPolicy,
+    ) -> Result<DurableMarket, MarketError> {
         let dir = dir.as_ref();
-        if dir.join(SNAPSHOT_FILE).exists() {
-            Self::open(dir, fsync)
+        if vfs.exists(&dir.join(SNAPSHOT_FILE)) {
+            Self::open_on(vfs, dir, fsync, retry)
         } else if let Some(qdp) = seed_qdp {
-            Self::create(dir, qdp, fsync)
+            Self::create_with(vfs, dir, qdp, fsync, retry)
         } else {
             Err(MarketError::Store(StoreError::SnapshotMissing))
         }
+    }
+
+    /// Whether the market is accepting mutations or has degraded to
+    /// read-only serving. Degradation is one-way for a given handle —
+    /// recovery (reopening the directory) is the repair path.
+    // audit: holds-lock(health)
+    pub fn health(&self) -> MarketHealth {
+        self.health.read().clone()
+    }
+
+    /// Refuse mutations once degraded. Checked *before* the WAL mutex
+    /// is taken so a degraded market never queues writers behind it.
+    // audit: holds-lock(health)
+    fn ensure_writable(&self) -> Result<(), MarketError> {
+        match &*self.health.read() {
+            MarketHealth::Healthy => Ok(()),
+            MarketHealth::ReadOnly { reason } => Err(MarketError::Degraded(reason.clone())),
+        }
+    }
+
+    /// Classify a store failure: faults that void the durability
+    /// contract ([`StoreError::degrades_to_read_only`]) flip the market
+    /// to read-only serving; everything else (transient exhaustion,
+    /// validation-adjacent corruption) passes through typed, leaving
+    /// the market healthy.
+    // audit: holds-lock(health)
+    fn degrade_on(&self, e: StoreError) -> MarketError {
+        if e.degrades_to_read_only() {
+            let mut health = self.health.write();
+            if *health == MarketHealth::Healthy {
+                *health = MarketHealth::ReadOnly {
+                    reason: e.to_string(),
+                };
+            }
+        }
+        MarketError::Store(e)
+    }
+
+    /// Walk the snapshot and WAL verifying every checksum, reporting
+    /// damage before it is load-bearing. Read-only and background-free:
+    /// safe against a live market between syncs.
+    pub fn scrub(&self) -> ScrubReport {
+        qbdp_store::scrub(
+            self.vfs.as_ref(),
+            &self.dir.join(SNAPSHOT_FILE),
+            &self.dir.join(WAL_FILE),
+        )
     }
 
     /// The wrapped in-memory market, for read-side access (quotes,
@@ -300,6 +435,7 @@ impl DurableMarket {
         relation: &str,
         tuples: impl IntoIterator<Item = Tuple>,
     ) -> Result<usize, MarketError> {
+        self.ensure_writable()?;
         let mut wal = self.wal.lock();
         let mut added = 0usize;
         for tuple in tuples {
@@ -307,7 +443,7 @@ impl DurableMarket {
                 relation: relation.to_string(),
                 values: tuple.iter().map(Value::render_literal).collect(),
             };
-            wal.append(&event)?;
+            wal.append(&event).map_err(|e| self.degrade_on(e))?;
             added += self.market.insert(relation, [tuple])?;
         }
         Ok(added)
@@ -316,11 +452,13 @@ impl DurableMarket {
     /// Durable seller-side price revision (`R.X=a` selector syntax).
     // audit: holds-lock(wal)
     pub fn set_price(&self, view: &str, price: Price) -> Result<(), MarketError> {
+        self.ensure_writable()?;
         let mut wal = self.wal.lock();
         wal.append(&MarketEvent::SetPrice {
             view: view.to_string(),
             cents: price.as_cents(),
-        })?;
+        })
+        .map_err(|e| self.degrade_on(e))?;
         self.market.set_price(view, price)
     }
 
@@ -339,10 +477,12 @@ impl DurableMarket {
     // audit: holds-lock(wal)
     pub fn purchase_str(&self, query: &str) -> Result<Purchase, MarketError> {
         const RETRIES: usize = 8;
+        self.ensure_writable()?;
         // audit: bounded(fixed retry cap; each round does one pricing call)
         for _ in 0..RETRIES {
             let epoch = self.market.cache_epoch();
             let (quote, answer) = self.market.evaluate_purchase(query)?;
+            self.ensure_writable()?;
             let mut wal = self.wal.lock();
             if self.market.cache_epoch() != epoch {
                 // A mutation slipped in between pricing and the append;
@@ -359,7 +499,8 @@ impl DurableMarket {
                 price_cents: quote.price.as_cents(),
                 answer_tuples: answer.len() as u64,
                 views: quote.views.len() as u64,
-            })?;
+            })
+            .map_err(|e| self.degrade_on(e))?;
             let transaction_id = self.market.apply_recorded_sale(
                 quote.query.clone(),
                 quote.price,
@@ -378,8 +519,10 @@ impl DurableMarket {
     /// Durable policy change.
     // audit: holds-lock(wal)
     pub fn set_policy(&self, policy: MarketPolicy) -> Result<(), MarketError> {
+        self.ensure_writable()?;
         let mut wal = self.wal.lock();
-        wal.append(&policy_event(&policy))?;
+        wal.append(&policy_event(&policy))
+            .map_err(|e| self.degrade_on(e))?;
         self.market.set_policy(policy);
         Ok(())
     }
@@ -397,7 +540,7 @@ impl DurableMarket {
     /// Force the log to stable storage regardless of the fsync policy.
     // audit: holds-lock(wal)
     pub fn sync(&self) -> Result<(), MarketError> {
-        Ok(self.wal.lock().sync()?)
+        self.wal.lock().sync().map_err(|e| self.degrade_on(e))
     }
 
     /// Write a fresh snapshot covering the whole log, then truncate the
@@ -413,21 +556,35 @@ impl DurableMarket {
     /// an offset the recorded position would skip.
     ///
     /// Returns the log position the snapshot covers (bytes compacted).
+    ///
+    /// Failure typing: a transient fault that outlives its retries while
+    /// building the temp snapshot (create/write/fsync of `.tmp`)
+    /// surfaces as the typed [`StoreError::Transient`] and leaves the
+    /// market **healthy** — nothing past the temp file was touched, the
+    /// previous snapshot still covers the full log, and the caller may
+    /// simply compact again later. Only contract-voiding faults
+    /// (`ENOSPC`, fsync-poison) degrade the market to read-only.
     // audit: holds-lock(wal)
     pub fn compact(&self) -> Result<u64, MarketError> {
+        self.ensure_writable()?;
         let mut wal = self.wal.lock();
         let covered = wal.position();
-        wal.append(&MarketEvent::SnapshotMark { wal_pos: covered })?;
-        wal.sync()?;
+        wal.append(&MarketEvent::SnapshotMark { wal_pos: covered })
+            .map_err(|e| self.degrade_on(e))?;
+        wal.sync().map_err(|e| self.degrade_on(e))?;
         let mut snapshot = Snapshot::new(wal.position());
         snapshot.push_section("market", self.market.to_qdp());
         snapshot.push_section("ledger", self.market.with_ledger(Ledger::to_snapshot_text));
         snapshot.push_section("policy", policy_text(&self.market.policy()));
         let path = self.dir.join(SNAPSHOT_FILE);
-        snapshot.write(&path)?;
-        wal.reset()?;
+        snapshot
+            .write_with(self.vfs.as_ref(), &path, &self.retry)
+            .map_err(|e| self.degrade_on(e))?;
+        wal.reset().map_err(|e| self.degrade_on(e))?;
         snapshot.wal_pos = 0;
-        snapshot.write(&path)?;
+        snapshot
+            .write_with(self.vfs.as_ref(), &path, &self.retry)
+            .map_err(|e| self.degrade_on(e))?;
         Ok(covered)
     }
 }
@@ -708,6 +865,172 @@ price T.Y=b3 100
         let back = DurableMarket::open(&dir, FsyncPolicy::Never).unwrap();
         assert_eq!(back.market().to_qdp(), live_qdp);
         assert_eq!(back.market().revenue(), live_revenue);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn fault_setup(
+        tag: &str,
+        script: Vec<qbdp_store::ScriptedFault>,
+    ) -> (PathBuf, qbdp_store::FaultFs, DurableMarket) {
+        let dir = temp_dir(tag);
+        let fs = qbdp_store::FaultFs::new(qbdp_store::FaultPlan {
+            script,
+            seeded: None,
+        });
+        let retry = RetryPolicy {
+            attempts: 3,
+            base_delay_micros: 1,
+            max_delay_micros: 2,
+            jitter_seed: 7,
+        };
+        let dm =
+            DurableMarket::create_with(Arc::new(fs.clone()), &dir, QDP, FsyncPolicy::Always, retry)
+                .unwrap();
+        (dir, fs, dm)
+    }
+
+    #[test]
+    fn enospc_degrades_to_read_only_and_reopen_recovers() {
+        use qbdp_store::{FaultKind, FaultOp, ScriptedFault};
+        let (dir, fs, dm) = fault_setup(
+            "enospc",
+            vec![ScriptedFault {
+                op: FaultOp::Write,
+                path_contains: "market.wal".into(),
+                skip: 1,
+                kind: FaultKind::Enospc { keep: 3 },
+            }],
+        );
+        dm.purchase_str("Q(x) :- R(x)").unwrap();
+        let revenue = dm.market().revenue();
+        let quote_before = dm.quote_str("Q(x, y) :- R(x), S(x, y)").unwrap();
+        // The scripted ENOSPC hits this append: mutation refused, market
+        // flips to read-only.
+        let err = dm.set_price("T.Y=b2", Price::cents(250)).unwrap_err();
+        assert!(matches!(err, MarketError::Store(ref e) if e.degrades_to_read_only()));
+        assert!(matches!(dm.health(), MarketHealth::ReadOnly { .. }));
+        // Quotes keep serving the last consistent state; further
+        // mutations are refused with the typed Degraded error.
+        let quote_after = dm.quote_str("Q(x, y) :- R(x), S(x, y)").unwrap();
+        assert_eq!(quote_before.price, quote_after.price);
+        assert!(quote_after.lower_bound <= quote_after.price);
+        assert!(matches!(
+            dm.purchase_str("Q(x) :- R(x)"),
+            Err(MarketError::Degraded(_))
+        ));
+        assert!(matches!(dm.compact(), Err(MarketError::Degraded(_))));
+        assert_eq!(dm.market().revenue(), revenue, "no phantom sale recorded");
+        // Reopening (fault cleared) recovers the acknowledged state and
+        // a healthy market.
+        drop(dm);
+        let back =
+            DurableMarket::open_on(Arc::new(fs), &dir, FsyncPolicy::Never, RetryPolicy::none())
+                .unwrap();
+        assert_eq!(back.health(), MarketHealth::Healthy);
+        assert_eq!(back.market().revenue(), revenue);
+        back.set_price("T.Y=b2", Price::cents(250)).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsync_poison_degrades_and_loses_at_most_the_unacked_tail() {
+        use qbdp_store::{FaultKind, FaultOp, ScriptedFault};
+        // skip=2: the genesis create fsyncs once (snapshot tmp) on a
+        // different file; target the WAL path so only its fsyncs count.
+        let (dir, fs, dm) = fault_setup(
+            "fsyncpoison",
+            vec![ScriptedFault {
+                op: FaultOp::Fsync,
+                path_contains: "market.wal".into(),
+                skip: 1,
+                kind: FaultKind::FsyncFail,
+            }],
+        );
+        dm.purchase_str("Q(x) :- R(x)").unwrap();
+        let revenue = dm.market().revenue();
+        let err = dm.purchase_str("Q(x) :- R(x)").unwrap_err();
+        assert!(
+            matches!(err, MarketError::Store(StoreError::Poisoned { .. })),
+            "{err:?}"
+        );
+        assert!(matches!(dm.health(), MarketHealth::ReadOnly { .. }));
+        assert!(dm.quote_str("Q(x) :- R(x)").is_ok());
+        drop(dm);
+        let back =
+            DurableMarket::open_on(Arc::new(fs), &dir, FsyncPolicy::Never, RetryPolicy::none())
+                .unwrap();
+        // The acked purchase survives; the refused one may or may not
+        // have reached disk (fsyncgate uncertainty) but never partially.
+        let doubled = revenue.checked_add(revenue);
+        assert!(
+            back.market().revenue() == revenue || Some(back.market().revenue()) == doubled,
+            "revenue {:?} vs acked {revenue:?}",
+            back.market().revenue()
+        );
+        assert_eq!(back.health(), MarketHealth::Healthy);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_transient_fsync_is_typed_and_non_degrading() {
+        use qbdp_store::{FaultKind, FaultOp, ScriptedFault};
+        let dir = temp_dir("compact_transient");
+        let fs = qbdp_store::FaultFs::new(qbdp_store::FaultPlan {
+            script: Vec::new(),
+            seeded: None,
+        });
+        // Zero retries: a single transient immediately exhausts the
+        // budget and must surface as the typed Transient error.
+        let dm = DurableMarket::create_with(
+            Arc::new(fs.clone()),
+            &dir,
+            QDP,
+            FsyncPolicy::Never,
+            RetryPolicy::none(),
+        )
+        .unwrap();
+        dm.purchase_str("Q(x) :- R(x)").unwrap();
+        fs.set_plan(qbdp_store::FaultPlan {
+            script: vec![ScriptedFault {
+                op: FaultOp::Fsync,
+                path_contains: "snapshot.tmp".into(),
+                skip: 0,
+                kind: FaultKind::Eintr,
+            }],
+            seeded: None,
+        });
+        let err = dm.compact().unwrap_err();
+        match &err {
+            MarketError::Store(StoreError::Transient { op, path, .. }) => {
+                assert_eq!(*op, "snapshot-tmp");
+                assert!(path.contains(".tmp"), "{path}");
+            }
+            other => panic!("expected typed Transient, got {other:?}"),
+        }
+        // Non-degrading: the market stays healthy and the retried
+        // compaction succeeds.
+        assert_eq!(dm.health(), MarketHealth::Healthy);
+        dm.compact().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scrub_reports_clean_then_detects_rot() {
+        let dir = temp_dir("scrub");
+        let dm = DurableMarket::create(&dir, QDP, FsyncPolicy::Always).unwrap();
+        dm.purchase_str("Q(x) :- R(x)").unwrap();
+        let report = dm.scrub();
+        assert!(report.is_clean(), "{report}");
+        assert!(report.wal_records >= 1);
+        // Rot one byte in the log body behind the market's back.
+        let wal_path = dir.join(WAL_FILE);
+        let mut bytes = std::fs::read(&wal_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&wal_path, &bytes).unwrap();
+        let report = dm.scrub();
+        assert!(!report.is_clean());
+        assert_eq!(report.findings[0].file, "wal");
         std::fs::remove_dir_all(&dir).ok();
     }
 

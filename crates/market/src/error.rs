@@ -40,6 +40,14 @@ pub enum MarketError {
     /// mutations: every quote was invalidated before it could be logged.
     /// Nothing was recorded; retry when the update stream quiets down.
     Contended,
+    /// The market has degraded to read-only serving: the durability
+    /// layer can no longer acknowledge mutations (disk full, or an fsync
+    /// failure poisoned the log), so accepting this one could lose it.
+    /// Quotes keep serving from the last consistent state — they are
+    /// still sound arbitrage-free prices — and reopening the market
+    /// after the fault clears recovers cleanly. The string carries the
+    /// originating store-layer diagnosis.
+    Degraded(String),
 }
 
 impl fmt::Display for MarketError {
@@ -79,6 +87,13 @@ impl fmt::Display for MarketError {
                 write!(
                     f,
                     "purchase repeatedly invalidated by concurrent updates; retry later"
+                )
+            }
+            MarketError::Degraded(reason) => {
+                write!(
+                    f,
+                    "market is read-only (durability degraded: {reason}); \
+                     quotes keep serving, mutations are refused"
                 )
             }
         }

@@ -22,7 +22,7 @@
 //!
 //! Concurrency: quoting is read-only and proceeds under a shared lock;
 //! insertions take the write lock. Exact quotes are cached in a sharded,
-//! epoch-validated cache ([`cache`], 16 `RwLock` shards outside the state
+//! epoch-validated cache (`cache`, 16 `RwLock` shards outside the state
 //! lock) so a quote raced by a concurrent update is never served stale,
 //! and [`market::Market::quote_batch`] prices many queries at once on a
 //! scoped worker pool ([`market::MarketPolicy::batch_workers`]). The
@@ -38,13 +38,15 @@
 
 pub mod api;
 mod cache;
+pub mod chaos;
 pub mod durable;
 pub mod error;
 pub mod ledger;
 pub mod market;
 
 pub use api::MarketOps;
-pub use durable::{DurableMarket, ReplayStep};
+pub use chaos::{ChaosConfig, ChaosReport, FaultMix};
+pub use durable::{DurableMarket, MarketHealth, ReplayStep};
 pub use error::MarketError;
 pub use ledger::{Ledger, Transaction};
 pub use market::{Market, MarketPolicy, MarketQuote, Purchase};

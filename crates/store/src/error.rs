@@ -1,13 +1,50 @@
-//! Store-layer errors.
+//! Store-layer errors and the failure-domain taxonomy.
+//!
+//! Every error the durability layer can surface is classified into one
+//! of two [`FaultClass`]es the caller can act on mechanically:
+//!
+//! * **Transient** — the operation itself failed but left no damage
+//!   behind (`EINTR`, `EAGAIN`, a timeout). Retrying is safe; the store
+//!   layer already retried with bounded jittered backoff before
+//!   surfacing [`StoreError::Transient`], so a caller seeing it should
+//!   report upstream rather than spin.
+//! * **Fatal** — the store cannot promise the usual durability contract
+//!   any more (`ENOSPC`, a failed fsync, corruption). Some fatal errors
+//!   additionally demand the market stop accepting mutations
+//!   ([`StoreError::degrades_to_read_only`]): serving reads from the
+//!   last consistent state is still sound, but appending after them
+//!   could bury garbage or acknowledge writes that will not survive.
 
 use std::fmt;
 use std::io;
 
+/// The two failure domains a [`StoreError`] falls into. See the module
+/// docs for the operational meaning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Safe to retry; no state was damaged.
+    Transient,
+    /// The durability contract is at risk; do not blindly retry.
+    Fatal,
+}
+
 /// Errors surfaced by the durability layer.
 #[derive(Debug)]
 pub enum StoreError {
-    /// An underlying filesystem operation failed.
+    /// An underlying filesystem operation failed with a non-transient
+    /// error (`ENOSPC`, `EIO`, permissions…).
     Io(io::Error),
+    /// A transient fault (`EINTR`/`EAGAIN`/timeout) persisted through
+    /// the bounded retry-with-backoff policy. Nothing was damaged; the
+    /// operation simply never completed.
+    Transient {
+        /// The logical operation that kept failing (e.g. `wal-append`).
+        op: &'static str,
+        /// The file involved.
+        path: String,
+        /// The last underlying error.
+        source: io::Error,
+    },
     /// A log record is present in full but fails its integrity checks
     /// (CRC mismatch or undecodable payload). Unlike a torn tail — which
     /// is the expected residue of a crash and is silently truncated — a
@@ -28,18 +65,58 @@ pub enum StoreError {
     /// The directory already holds a durable market and cannot be
     /// re-initialized over it.
     AlreadyInitialized,
-    /// An earlier append failed partway through its frame and the
-    /// partial bytes could not be removed; the handle refuses further
-    /// appends, because writing after the garbage would bury it mid-log
-    /// as a complete-but-invalid frame that recovery must refuse.
-    /// Reopen the log to repair (open truncates the torn tail).
-    Poisoned,
+    /// The log handle refuses further appends. Either a failed append
+    /// left partial frame bytes that could not be truncated away
+    /// (appending after them would bury a complete-but-invalid frame
+    /// mid-log), or an fsync failed — after which, per fsyncgate
+    /// semantics, the kernel may have dropped the dirty pages and a
+    /// later "successful" fsync would not make the earlier write
+    /// durable. The offset and path identify the poisoned tail for
+    /// triage; reopen the log to repair.
+    Poisoned {
+        /// The poisoned log file.
+        path: String,
+        /// Byte offset of the last known-clean record boundary.
+        offset: u64,
+        /// What poisoned the handle (unrepaired partial append, failed
+        /// fsync…).
+        reason: String,
+    },
+}
+
+impl StoreError {
+    /// Which failure domain this error falls into.
+    pub fn class(&self) -> FaultClass {
+        match self {
+            StoreError::Transient { .. } => FaultClass::Transient,
+            _ => FaultClass::Fatal,
+        }
+    }
+
+    /// Whether the market holding the failed store should stop accepting
+    /// mutations and degrade to read-only serving: `true` for a poisoned
+    /// log (unrepaired partial append or failed fsync) and for `ENOSPC`.
+    /// Reads from the in-memory state remain sound either way; what is
+    /// no longer sound is *acknowledging* new writes.
+    pub fn degrades_to_read_only(&self) -> bool {
+        match self {
+            StoreError::Poisoned { .. } => true,
+            StoreError::Io(e) => e.kind() == io::ErrorKind::StorageFull,
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Transient { op, path, source } => {
+                write!(
+                    f,
+                    "transient fault persisted through retries during {op} on {path}: {source}"
+                )
+            }
             StoreError::CorruptRecord { offset, reason } => {
                 write!(f, "corrupt WAL record at byte {offset}: {reason}")
             }
@@ -53,10 +130,15 @@ impl fmt::Display for StoreError {
             StoreError::AlreadyInitialized => {
                 write!(f, "directory already holds a durable market")
             }
-            StoreError::Poisoned => {
+            StoreError::Poisoned {
+                path,
+                offset,
+                reason,
+            } => {
                 write!(
                     f,
-                    "log handle poisoned by an unrepaired partial append; reopen the log"
+                    "log poisoned at byte {offset} of {path}: {reason}; \
+                     appends are refused — reopen the log to repair"
                 )
             }
         }
@@ -67,6 +149,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Io(e) => Some(e),
+            StoreError::Transient { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -75,5 +158,49 @@ impl std::error::Error for StoreError {
 impl From<io::Error> for StoreError {
     fn from(e: io::Error) -> Self {
         StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_and_degradation() {
+        let transient = StoreError::Transient {
+            op: "wal-append",
+            path: "x.wal".into(),
+            source: io::Error::from(io::ErrorKind::Interrupted),
+        };
+        assert_eq!(transient.class(), FaultClass::Transient);
+        assert!(!transient.degrades_to_read_only());
+
+        let enospc = StoreError::Io(io::Error::from(io::ErrorKind::StorageFull));
+        assert_eq!(enospc.class(), FaultClass::Fatal);
+        assert!(enospc.degrades_to_read_only());
+
+        let poisoned = StoreError::Poisoned {
+            path: "x.wal".into(),
+            offset: 42,
+            reason: "fsync failed".into(),
+        };
+        assert_eq!(poisoned.class(), FaultClass::Fatal);
+        assert!(poisoned.degrades_to_read_only());
+
+        let corrupt = StoreError::CorruptSnapshot("checksum".into());
+        assert_eq!(corrupt.class(), FaultClass::Fatal);
+        assert!(!corrupt.degrades_to_read_only());
+    }
+
+    #[test]
+    fn poison_message_names_offset_and_path() {
+        let poisoned = StoreError::Poisoned {
+            path: "/data/market.wal".into(),
+            offset: 1234,
+            reason: "unrepaired partial append".into(),
+        };
+        let msg = poisoned.to_string();
+        assert!(msg.contains("byte 1234"), "{msg}");
+        assert!(msg.contains("/data/market.wal"), "{msg}");
     }
 }

@@ -26,17 +26,32 @@
 //! * [`snapshot`] — atomic (temp file + rename) checksummed snapshots
 //!   recording the log position they cover;
 //! * [`event`] — the typed event vocabulary and its wire encoding;
-//! * [`error`] — [`StoreError`], including the load-bearing distinction
-//!   between a *torn tail* (expected crash residue, truncated silently)
-//!   and a *corrupt record* (damage, refused loudly).
+//! * [`error`] — [`StoreError`] and the [`FaultClass`] taxonomy: the
+//!   load-bearing distinctions between a *torn tail* (expected crash
+//!   residue, truncated silently), a *corrupt record* (damage, refused
+//!   loudly), a *transient* fault (retried, then surfaced typed), and a
+//!   *poisoned* log (fsyncgate; appends refused, reads still sound);
+//! * [`vfs`] — the filesystem seam: [`RealFs`] for production and
+//!   [`FaultFs`], a deterministic fault injector (scripted + seeded
+//!   EINTR/ENOSPC/fsync-failure/torn-write faults, durability-aware
+//!   crash simulation) that the chaos harness drives;
+//! * [`scrub()`] — a background-free integrity pass verifying every
+//!   snapshot and WAL checksum before the bytes are load-bearing.
 
 pub mod crc;
 pub mod error;
 pub mod event;
+pub mod scrub;
 pub mod snapshot;
+pub mod vfs;
 pub mod wal;
 
-pub use error::StoreError;
+pub use error::{FaultClass, StoreError};
 pub use event::MarketEvent;
+pub use scrub::{scrub, ScrubFinding, ScrubReport};
 pub use snapshot::Snapshot;
+pub use vfs::{
+    FaultFs, FaultKind, FaultOp, FaultPlan, RealFs, RetryPolicy, ScriptedFault, SeededFaults, Vfs,
+    VfsFile,
+};
 pub use wal::{FsyncPolicy, LogRecord, Wal};

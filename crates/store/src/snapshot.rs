@@ -29,8 +29,7 @@
 
 use crate::crc::crc32;
 use crate::error::StoreError;
-use std::fs::{self, File};
-use std::io::Write;
+use crate::vfs::{RealFs, RetryPolicy, Vfs};
 use std::path::Path;
 
 const MAGIC: &str = "qbdp-snapshot v1";
@@ -161,22 +160,39 @@ impl Snapshot {
     }
 
     /// Write atomically to `path`: temp file in the same directory,
-    /// fsync, rename, directory fsync.
+    /// fsync, rename, directory fsync. Uses the real filesystem with
+    /// the default retry policy; see [`Snapshot::write_with`].
     pub fn write(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        self.write_with(&RealFs, path, &RetryPolicy::default())
+    }
+
+    /// Write atomically to `path` on `vfs`. Each step retries transient
+    /// faults per `retry`; the whole temp-file build (create + write +
+    /// fsync) retries as one unit — `create_file` truncates, so a retry
+    /// restarts from a clean slate. A transient fault that persists
+    /// through the retries surfaces as the typed
+    /// [`StoreError::Transient`], never as a corruption error: nothing
+    /// past the temp file was touched, so the previous snapshot is
+    /// intact and the caller may simply try compacting again later.
+    pub fn write_with(
+        &self,
+        vfs: &dyn Vfs,
+        path: impl AsRef<Path>,
+        retry: &RetryPolicy,
+    ) -> Result<(), StoreError> {
         let path = path.as_ref();
         let tmp = path.with_extension("tmp");
-        {
-            let mut f = File::create(&tmp)?;
-            f.write_all(&self.to_bytes())?;
-            f.sync_all()?;
-        }
-        fs::rename(&tmp, path)?;
+        let bytes = self.to_bytes();
+        retry.run("snapshot-tmp", &tmp, || {
+            let mut f = vfs.create_file(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()
+        })?;
+        retry.run("snapshot-rename", path, || vfs.rename_file(&tmp, path))?;
         if let Some(dir) = path.parent() {
             // Persist the rename itself; on platforms where directories
             // cannot be opened this is best-effort.
-            if let Ok(d) = File::open(dir) {
-                let _ = d.sync_all();
-            }
+            let _ = vfs.sync_dir(dir);
         }
         Ok(())
     }
@@ -184,7 +200,12 @@ impl Snapshot {
     /// Load and verify a snapshot from `path`. A missing file is
     /// [`StoreError::SnapshotMissing`], distinct from a damaged one.
     pub fn load(path: impl AsRef<Path>) -> Result<Snapshot, StoreError> {
-        let bytes = match fs::read(path) {
+        Self::load_with(&RealFs, path)
+    }
+
+    /// Load and verify a snapshot from `path` on `vfs`.
+    pub fn load_with(vfs: &dyn Vfs, path: impl AsRef<Path>) -> Result<Snapshot, StoreError> {
+        let bytes = match vfs.read_file(path.as_ref()) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 return Err(StoreError::SnapshotMissing)

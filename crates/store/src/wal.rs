@@ -30,6 +30,21 @@
 //!   and silently dropping the record (and everything after it) would
 //!   resurrect a state the market never durably confirmed.
 //!
+//! # Failure domains
+//!
+//! Appends run on a [`Vfs`] and classify faults per the taxonomy in
+//! [`crate::error`]: transient faults (`EINTR`/`EAGAIN`) retry the
+//! whole frame with jittered backoff after discarding partial bytes; a
+//! partial fatal write (`ENOSPC`) truncates back to the last record
+//! boundary (bounded retries on the truncate itself) so the garbage
+//! can never be buried mid-log; and a **failed fsync poisons the
+//! handle** — per fsyncgate semantics the kernel may already have
+//! dropped the dirty pages, so continuing to append would let later
+//! "synced" events leapfrog an earlier acknowledged-but-lost one.
+//! Poisoning guarantees the at-most-one uncertain event is always the
+//! *last* one in the log, which is what keeps recovery
+//! prefix-consistent.
+//!
 //! # Fsync policy
 //!
 //! [`FsyncPolicy`] trades durability for append latency: `Always` fsyncs
@@ -41,9 +56,9 @@
 use crate::crc::crc32;
 use crate::error::StoreError;
 use crate::event::MarketEvent;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use crate::vfs::{is_transient_kind, RealFs, RetryPolicy, Vfs, VfsFile};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// How often the log fsyncs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,26 +89,38 @@ pub struct LogRecord {
 /// allocated: no market event comes within orders of magnitude of it.
 const MAX_RECORD: u32 = 1 << 24;
 
-const HEADER: usize = 8;
+pub(crate) const HEADER: usize = 8;
 
 /// The append handle over one log file. Opening scans and repairs the
 /// torn tail; see the module docs for the exact semantics.
-#[derive(Debug)]
 pub struct Wal {
-    file: File,
+    vfs: Arc<dyn Vfs>,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     position: u64,
     policy: FsyncPolicy,
+    retry: RetryPolicy,
     unsynced: u64,
-    /// Set when a failed append left partial frame bytes that could not
-    /// be truncated away; all further appends are refused.
-    poisoned: bool,
+    /// Why appends are refused, when they are: the clean offset plus
+    /// the poisoning cause. See [`StoreError::Poisoned`].
+    poisoned: Option<String>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("position", &self.position)
+            .field("policy", &self.policy)
+            .field("poisoned", &self.poisoned)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Scan `bytes`, returning the decoded records plus the clean length
 /// (the offset the log should be truncated to). A complete-but-invalid
 /// frame is a hard error; an incomplete one ends the scan.
-fn scan(bytes: &[u8]) -> Result<(Vec<LogRecord>, u64), StoreError> {
+pub(crate) fn scan(bytes: &[u8]) -> Result<(Vec<LogRecord>, u64), StoreError> {
     let mut records = Vec::new();
     let mut pos = 0usize;
     while pos < bytes.len() {
@@ -142,33 +169,42 @@ fn scan(bytes: &[u8]) -> Result<(Vec<LogRecord>, u64), StoreError> {
 }
 
 impl Wal {
-    /// Open (or create) the log at `path`, truncating a torn tail.
-    /// Returns the handle positioned at the end of the last clean record.
+    /// Open (or create) the log at `path` on the real filesystem with
+    /// the default retry policy. See [`Wal::open_with`].
     pub fn open(path: impl AsRef<Path>, policy: FsyncPolicy) -> Result<Wal, StoreError> {
+        Self::open_with(Arc::new(RealFs), path, policy, RetryPolicy::default())
+    }
+
+    /// Open (or create) the log at `path` on `vfs`, truncating a torn
+    /// tail. Returns the handle positioned at the end of the last clean
+    /// record. Transient faults during the open are retried per
+    /// `retry`.
+    pub fn open_with(
+        vfs: Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+        policy: FsyncPolicy,
+        retry: RetryPolicy,
+    ) -> Result<Wal, StoreError> {
         let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)?;
+        let mut file = retry.run("wal-open", &path, || vfs.open_rw(&path))?;
+        let bytes = retry.run("wal-scan", &path, || vfs.read_file(&path))?;
         let (_, clean_len) = scan(&bytes)?;
         if clean_len < bytes.len() as u64 {
-            file.set_len(clean_len)?;
-            file.sync_all()?;
+            retry.run("wal-repair", &path, || file.set_len(clean_len))?;
+            retry.run("wal-repair-sync", &path, || file.sync_all())?;
         }
-        // `read_to_end`/`set_len` leave the cursor elsewhere; appends
-        // must start exactly at the clean end or they'd punch a hole.
-        file.seek(SeekFrom::Start(clean_len))?;
+        // Appends must start exactly at the clean end or they'd punch a
+        // hole.
+        retry.run("wal-seek", &path, || file.seek_to(clean_len))?;
         Ok(Wal {
+            vfs,
             file,
             path,
             position: clean_len,
             policy,
+            retry,
             unsynced: 0,
-            poisoned: false,
+            poisoned: None,
         })
     }
 
@@ -183,19 +219,34 @@ impl Wal {
         self.policy
     }
 
+    fn poison_error(&self, reason: &str) -> StoreError {
+        StoreError::Poisoned {
+            path: self.path.display().to_string(),
+            offset: self.position,
+            reason: reason.to_string(),
+        }
+    }
+
+    fn poisoned_error(&self) -> Option<StoreError> {
+        self.poisoned.as_deref().map(|r| self.poison_error(r))
+    }
+
     /// Append one event; returns the log position *after* it. The write
     /// is flushed to the OS unconditionally and fsynced per the policy,
     /// so once `append` returns the event survives a process crash, and
     /// survives power loss per [`FsyncPolicy`].
     ///
-    /// A failed write (e.g. `ENOSPC`) truncates back to the last record
-    /// boundary so the partial frame cannot be buried by a later
-    /// successful append; if even that truncation fails the handle is
-    /// poisoned and refuses further appends with
-    /// [`StoreError::Poisoned`].
+    /// Failure handling follows the module-level failure domains: a
+    /// transient write fault discards the partial bytes and retries the
+    /// whole frame (bounded, jittered backoff); a fatal write fault
+    /// (e.g. `ENOSPC`) truncates back to the last record boundary so
+    /// the partial frame cannot be buried by a later successful append;
+    /// and if even that truncation fails — or the policy-mandated fsync
+    /// does — the handle is poisoned and refuses further appends with
+    /// [`StoreError::Poisoned`], naming the offset and path.
     pub fn append(&mut self, event: &MarketEvent) -> Result<u64, StoreError> {
-        if self.poisoned {
-            return Err(StoreError::Poisoned);
+        if let Some(e) = self.poisoned_error() {
+            return Err(e);
         }
         let payload = event.encode();
         // scan() relies on an all-zero header meaning "filesystem
@@ -209,9 +260,31 @@ impl Wal {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
-        if let Err(e) = self.file.write_all(&frame) {
-            self.discard_partial_append();
-            return Err(e.into());
+        let attempts = self.retry.attempts.max(1);
+        let mut attempt = 0u32;
+        // audit: bounded(attempt counter reaches the fixed retry cap)
+        loop {
+            attempt += 1;
+            match self.file.write_all(&frame) {
+                Ok(()) => break,
+                Err(e) => {
+                    // Whether or not we retry, the partial bytes must go
+                    // first — a retried frame must start at the boundary.
+                    self.discard_partial_append()?;
+                    if is_transient_kind(e.kind()) {
+                        if attempt < attempts {
+                            std::thread::sleep(self.retry.delay_for(attempt));
+                            continue;
+                        }
+                        return Err(StoreError::Transient {
+                            op: "wal-append",
+                            path: self.path.display().to_string(),
+                            source: e,
+                        });
+                    }
+                    return Err(e.into());
+                }
+            }
         }
         self.position += frame.len() as u64;
         self.unsynced += 1;
@@ -229,22 +302,73 @@ impl Wal {
 
     /// Drop whatever a failed `write_all` left past the last record
     /// boundary (the OS cursor has advanced over partial frame bytes)
-    /// and restore the cursor. If the file cannot be repaired, poison
+    /// and restore the cursor, retrying the truncate itself a bounded
+    /// number of times (an `ENOSPC` write often coincides with flaky
+    /// metadata operations). If the file cannot be repaired, poison
     /// the handle: appending after the garbage would turn a recoverable
     /// torn tail into a complete-but-invalid frame mid-log, which
-    /// [`Wal::open`] rightly refuses as corruption.
-    fn discard_partial_append(&mut self) {
-        let repaired = self.file.set_len(self.position).is_ok()
-            && self.file.seek(SeekFrom::Start(self.position)).is_ok();
-        self.poisoned = !repaired;
+    /// [`Wal::open`] rightly refuses as corruption. The resulting
+    /// [`StoreError::Poisoned`] names the byte offset and file path so
+    /// a chaos-run failure can be triaged from the message alone.
+    fn discard_partial_append(&mut self) -> Result<(), StoreError> {
+        let attempts = self.retry.attempts.max(1);
+        let mut attempt = 0u32;
+        // audit: bounded(attempt counter reaches the fixed retry cap)
+        let repaired = loop {
+            attempt += 1;
+            let ok = self.file.set_len(self.position).is_ok()
+                && self.file.seek_to(self.position).is_ok();
+            if ok {
+                break true;
+            }
+            if attempt >= attempts {
+                break false;
+            }
+            std::thread::sleep(self.retry.delay_for(attempt));
+        };
+        if repaired {
+            Ok(())
+        } else {
+            let reason = "unrepaired partial append (truncate to record boundary failed)";
+            self.poisoned = Some(reason.to_string());
+            Err(self.poison_error(reason))
+        }
     }
 
     /// Force everything appended so far to stable storage.
+    ///
+    /// A failed fsync **poisons the handle** (fsyncgate semantics): the
+    /// kernel may have dropped the dirty pages, so the most recent
+    /// append can no longer be assumed durable, and a later successful
+    /// fsync would not bring it back. Refusing further appends keeps
+    /// the at-most-one uncertain event at the very end of the log,
+    /// which recovery handles as an ordinary (possibly torn) tail.
+    /// Transient fsync faults (`EINTR`) are retried before poisoning.
     pub fn sync(&mut self) -> Result<(), StoreError> {
+        if let Some(e) = self.poisoned_error() {
+            return Err(e);
+        }
         self.file.flush()?;
-        self.file.sync_data()?;
-        self.unsynced = 0;
-        Ok(())
+        let attempts = self.retry.attempts.max(1);
+        let mut attempt = 0u32;
+        // audit: bounded(attempt counter reaches the fixed retry cap)
+        loop {
+            attempt += 1;
+            match self.file.sync_data() {
+                Ok(()) => {
+                    self.unsynced = 0;
+                    return Ok(());
+                }
+                Err(e) if is_transient_kind(e.kind()) && attempt < attempts => {
+                    std::thread::sleep(self.retry.delay_for(attempt));
+                }
+                Err(e) => {
+                    let reason = format!("fsync failed: {e}");
+                    self.poisoned = Some(reason.clone());
+                    return Err(self.poison_error(&reason));
+                }
+            }
+        }
     }
 
     /// Decode every record from byte offset `from` (which must be a
@@ -253,10 +377,10 @@ impl Wal {
     /// compaction crash the snapshot may legitimately cover more log
     /// than survived truncation.
     pub fn replay_from(&self, from: u64) -> Result<Vec<LogRecord>, StoreError> {
-        let mut bytes = Vec::new();
-        File::open(&self.path)?
-            .take(self.position)
-            .read_to_end(&mut bytes)?;
+        let mut bytes = self
+            .retry
+            .run("wal-replay", &self.path, || self.vfs.read_file(&self.path))?;
+        bytes.truncate(self.position as usize);
         if from >= bytes.len() as u64 {
             return Ok(Vec::new());
         }
@@ -277,15 +401,57 @@ impl Wal {
     }
 
     /// Drop every record (compaction: the snapshot now covers them) and
-    /// fsync the truncation.
+    /// fsync the truncation. On success the handle is clean again: an
+    /// empty file has no partial frame left to bury, and the truncation
+    /// was durably confirmed. A handle poisoned by a *failed fsync*
+    /// stays poisoned unless this reset's own fsync succeeds — which,
+    /// under fsyncgate semantics, a real kernel will not grant on the
+    /// same file description.
     pub fn reset(&mut self) -> Result<(), StoreError> {
-        self.file.set_len(0)?;
-        self.file.seek(SeekFrom::Start(0))?;
-        self.file.sync_all()?;
+        // Before the truncation lands the file is untouched, so a
+        // failure here is an ordinary (non-poisoning) error.
+        self.retry
+            .run("wal-reset", &self.path, || self.file.set_len(0))?;
+        // From here the file IS truncated: if the cursor reposition or
+        // the fsync cannot be completed, the handle's bookkeeping no
+        // longer matches the file, and limping on would append frames
+        // at an offset `position` does not describe — poison instead.
+        type FileStep = fn(&mut Box<dyn VfsFile>) -> std::io::Result<()>;
+        let attempts = self.retry.attempts.max(1);
+        let finish = |file: &mut Box<dyn VfsFile>,
+                      retry: &RetryPolicy,
+                      op: FileStep|
+         -> Result<(), String> {
+            let mut attempt = 0u32;
+            // audit: bounded(attempt counter reaches the fixed retry cap)
+            loop {
+                attempt += 1;
+                match op(file) {
+                    Ok(()) => return Ok(()),
+                    Err(e) if is_transient_kind(e.kind()) && attempt < attempts => {
+                        std::thread::sleep(retry.delay_for(attempt));
+                    }
+                    Err(e) => return Err(e.to_string()),
+                }
+            }
+        };
+        let steps: [(FileStep, &str); 2] = [
+            (
+                |f| f.seek_to(0).map(|_| ()),
+                "cursor reposition after log truncation",
+            ),
+            (|f| f.sync_all(), "fsync of log truncation"),
+        ];
+        for (op, what) in steps {
+            if let Err(e) = finish(&mut self.file, &self.retry, op) {
+                let reason = format!("{what} failed: {e}");
+                self.poisoned = Some(reason.clone());
+                return Err(self.poison_error(&reason));
+            }
+        }
         self.position = 0;
         self.unsynced = 0;
-        // An empty file has no partial frame left to bury.
-        self.poisoned = false;
+        self.poisoned = None;
         Ok(())
     }
 }
@@ -293,6 +459,7 @@ impl Wal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{FaultFs, FaultKind, FaultOp, FaultPlan, ScriptedFault};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn temp_path(tag: &str) -> PathBuf {
@@ -302,6 +469,15 @@ mod tests {
             std::process::id(),
             N.fetch_add(1, Ordering::Relaxed)
         ))
+    }
+
+    fn fast_retry() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            base_delay_micros: 1,
+            max_delay_micros: 2,
+            jitter_seed: 9,
+        }
     }
 
     fn sample_events() -> Vec<MarketEvent> {
@@ -435,8 +611,8 @@ mod tests {
         // Simulate the aftermath of a failed write_all: partial frame
         // bytes on disk with the cursor advanced past them.
         wal.file.write_all(&[0x11, 0x22, 0x33]).unwrap();
-        wal.discard_partial_append();
-        assert!(!wal.poisoned);
+        wal.discard_partial_append().unwrap();
+        assert!(wal.poisoned.is_none());
         // The next append must land at the record boundary, leaving a
         // log that reopens cleanly — not a CorruptRecord mid-log.
         wal.append(&events[1]).unwrap();
@@ -454,11 +630,20 @@ mod tests {
         let path = temp_path("poison");
         let mut wal = Wal::open(&path, FsyncPolicy::Never).unwrap();
         wal.append(&sample_events()[0]).unwrap();
-        wal.poisoned = true;
-        assert!(matches!(
-            wal.append(&sample_events()[1]),
-            Err(StoreError::Poisoned)
-        ));
+        wal.poisoned = Some("test poison".into());
+        let err = wal.append(&sample_events()[1]);
+        match &err {
+            Err(StoreError::Poisoned {
+                path: p, offset, ..
+            }) => {
+                assert!(p.contains("qbdp_wal_poison"), "{p}");
+                assert_eq!(*offset, wal.position());
+            }
+            other => panic!("expected Poisoned, got {other:?}"),
+        }
+        // The message alone carries enough for triage.
+        let msg = err.unwrap_err().to_string();
+        assert!(msg.contains("byte") && msg.contains(".wal"), "{msg}");
         // reset() truncates everything, so there is no garbage left to
         // bury and the handle is usable again.
         wal.reset().unwrap();
@@ -474,6 +659,123 @@ mod tests {
         wal.append(&sample_events()[0]).unwrap();
         assert!(wal.replay_from(wal.position()).unwrap().is_empty());
         assert!(wal.replay_from(wal.position() + 999).unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn transient_write_faults_are_retried_away() {
+        let path = temp_path("transient");
+        let fs = FaultFs::new(FaultPlan {
+            script: vec![
+                ScriptedFault {
+                    op: FaultOp::Write,
+                    path_contains: "transient".into(),
+                    skip: 0,
+                    kind: FaultKind::Eintr,
+                },
+                ScriptedFault {
+                    op: FaultOp::Write,
+                    path_contains: "transient".into(),
+                    skip: 0,
+                    kind: FaultKind::Eagain,
+                },
+            ],
+            seeded: None,
+        });
+        let mut wal = Wal::open_with(
+            Arc::new(fs.clone()),
+            &path,
+            FsyncPolicy::Always,
+            fast_retry(),
+        )
+        .unwrap();
+        // Both scripted transients hit this one append; it still lands.
+        wal.append(&sample_events()[0]).unwrap();
+        assert_eq!(wal.replay().unwrap().len(), 1);
+        assert_eq!(fs.injected_count(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn enospc_partial_write_is_repaired_and_typed() {
+        let path = temp_path("enospc");
+        let fs = FaultFs::new(FaultPlan {
+            script: vec![ScriptedFault {
+                op: FaultOp::Write,
+                path_contains: "enospc".into(),
+                skip: 1,
+                kind: FaultKind::Enospc { keep: 5 },
+            }],
+            seeded: None,
+        });
+        let mut wal = Wal::open_with(
+            Arc::new(fs.clone()),
+            &path,
+            FsyncPolicy::Never,
+            fast_retry(),
+        )
+        .unwrap();
+        let end1 = wal.append(&sample_events()[0]).unwrap();
+        let err = wal.append(&sample_events()[1]).unwrap_err();
+        assert!(
+            matches!(&err, StoreError::Io(e) if e.kind() == std::io::ErrorKind::StorageFull),
+            "{err:?}"
+        );
+        assert!(err.degrades_to_read_only());
+        // Repair succeeded: position unchanged, partial bytes gone, and
+        // the handle is NOT poisoned (the log itself is intact).
+        assert_eq!(wal.position(), end1);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), end1);
+        wal.append(&sample_events()[2]).unwrap();
+        assert_eq!(wal.replay().unwrap().len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_fsync_poisons_with_offset_and_path() {
+        let path = temp_path("fsyncgate");
+        let fs = FaultFs::new(FaultPlan {
+            script: vec![ScriptedFault {
+                op: FaultOp::Fsync,
+                path_contains: "fsyncgate".into(),
+                skip: 1,
+                kind: FaultKind::FsyncFail,
+            }],
+            seeded: None,
+        });
+        let mut wal = Wal::open_with(
+            Arc::new(fs.clone()),
+            &path,
+            FsyncPolicy::Always,
+            fast_retry(),
+        )
+        .unwrap();
+        let end1 = wal.append(&sample_events()[0]).unwrap();
+        let err = wal.append(&sample_events()[1]).unwrap_err();
+        match &err {
+            StoreError::Poisoned {
+                path: p,
+                offset,
+                reason,
+            } => {
+                assert!(p.contains("fsyncgate"), "{p}");
+                assert_eq!(*offset, end1 + (wal.position() - end1));
+                assert!(reason.contains("fsync"), "{reason}");
+            }
+            other => panic!("expected Poisoned, got {other:?}"),
+        }
+        assert!(err.degrades_to_read_only());
+        // fsyncgate: every further append is refused.
+        assert!(matches!(
+            wal.append(&sample_events()[2]),
+            Err(StoreError::Poisoned { .. })
+        ));
+        // Recovery after reopen yields at most the acked prefix plus
+        // the one uncertain tail event.
+        drop(wal);
+        let wal = Wal::open_with(Arc::new(fs), &path, FsyncPolicy::Never, fast_retry()).unwrap();
+        let n = wal.replay().unwrap().len();
+        assert!(n == 1 || n == 2, "prefix of attempted history, got {n}");
         std::fs::remove_file(&path).ok();
     }
 }

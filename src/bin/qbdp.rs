@@ -9,6 +9,8 @@
 //! qbdp serve-dir <dir> buy "Q(x) :- R(x)"           # recover + mutate
 //! qbdp snapshot <dir>                               # compact the log
 //! qbdp replay <dir> --probe "Q(x) :- R(x)"          # recovery report
+//! qbdp scrub <dir>                                  # integrity check
+//! qbdp chaos --schedules 100 [market.qdp]           # fault injection
 //! ```
 //!
 //! `--deadline-ms N` bounds every pricing call by a wall-clock deadline;
@@ -38,6 +40,9 @@ fn usage() -> ExitCode {
          \x20                           <command> [args…]\n\
          \x20      qbdp snapshot <dir>\n\
          \x20      qbdp replay <dir> [--probe <rule>]…\n\
+         \x20      qbdp scrub <dir>\n\
+         \x20      qbdp chaos [--seed N] [--schedules N] [--ops N]\n\
+         \x20                 [--faults all|transient,enospc,fsync,torn] [market.qdp]\n\
          commands: quote | price [--batch <file> [--threads N]] | explain | buy |\n\
          \x20         classify | insert | setprice | catalog | ledger | save |\n\
          \x20         compact | sync | repl"
@@ -79,6 +84,10 @@ fn main() -> ExitCode {
     let mut seed_path: Option<String> = None;
     let mut fsync = FsyncPolicy::Always;
     let mut probes: Vec<String> = Vec::new();
+    let mut chaos_seed = 0u64;
+    let mut chaos_schedules = 25u64;
+    let mut chaos_ops = 40u32;
+    let mut chaos_faults = String::from("all");
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -112,6 +121,34 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => chaos_seed = n,
+                None => {
+                    eprintln!("--seed expects an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--schedules" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => chaos_schedules = n,
+                None => {
+                    eprintln!("--schedules expects an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--ops" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => chaos_ops = n,
+                None => {
+                    eprintln!("--ops expects an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--faults" => match args.next() {
+                Some(list) => chaos_faults = list,
+                None => {
+                    eprintln!("--faults expects `all` or a comma list");
+                    return ExitCode::from(2);
+                }
+            },
             _ => positional.push(arg),
         }
     }
@@ -132,6 +169,35 @@ fn main() -> ExitCode {
                 return usage();
             };
             let out = cli::replay_dir(dir, &probes);
+            println!("{out}");
+            if out.starts_with("error:") {
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Some("scrub") => {
+            let Some(dir) = positional.get(1) else {
+                return usage();
+            };
+            let out = cli::scrub_dir(dir);
+            println!("{out}");
+            if out.contains("DAMAGE") {
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Some("chaos") => {
+            let qdp = match positional.get(1) {
+                Some(path) => match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => include_str!("../../data/figure1.qdp").to_string(),
+            };
+            let out = cli::chaos_cmd(&qdp, chaos_seed, chaos_schedules, chaos_ops, &chaos_faults);
             println!("{out}");
             if out.starts_with("error:") {
                 return ExitCode::FAILURE;

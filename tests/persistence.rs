@@ -241,6 +241,191 @@ fn figure1_kill_and_recover_is_prefix_consistent() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Satellite coverage: recovery equivalence under **every** `FaultFs`
+/// fault class. For each class the schedule is the same: one purchase is
+/// acknowledged clean, the fault is armed on the WAL, a second purchase
+/// runs into it, the disk "crashes", and the reopened market must equal
+/// the acknowledged state. The one sanctioned exception is a poisoning
+/// fsync, whose single in-flight purchase may legitimately surface after
+/// recovery (the at-most-one uncertain tail event) — purchases never
+/// change data or prices, so even then the `.qdp` text must match.
+fn fault_class_recovery(tag: &str, qdp: &str, clean_buy: &str, armed_buy: &str) {
+    use qbdp::market::MarketHealth;
+    use qbdp::store::{FaultFs, FaultKind, FaultOp, FaultPlan, RetryPolicy, ScriptedFault};
+    use std::sync::Arc;
+
+    // `to_qdp` line order tracks map insertion history, which differs
+    // between a market parsed from the scenario text and one re-parsed
+    // from its snapshot; sort so the comparison is of state, not order.
+    let sorted_fp = |m: &Market| {
+        let text = m.to_qdp();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.sort_unstable();
+        (
+            lines.join("\n"),
+            m.revenue().as_cents(),
+            m.with_ledger(Ledger::to_snapshot_text),
+        )
+    };
+
+    let cases: [(&str, FaultOp, FaultKind, bool); 5] = [
+        // (name, faulted op, kind, survivable-by-retry)
+        ("eintr", FaultOp::Write, FaultKind::Eintr, true),
+        ("eagain", FaultOp::Write, FaultKind::Eagain, true),
+        (
+            "enospc",
+            FaultOp::Write,
+            FaultKind::Enospc { keep: 3 },
+            false,
+        ),
+        ("fsync-fail", FaultOp::Fsync, FaultKind::FsyncFail, false),
+        (
+            "torn-write",
+            FaultOp::Write,
+            FaultKind::TornWrite { keep: 4 },
+            false,
+        ),
+    ];
+    for (case, (name, op, kind, retried_away)) in cases.into_iter().enumerate() {
+        let dir = temp_dir(&format!("{tag}_{name}"));
+        let fs = FaultFs::new(FaultPlan::none());
+        let retry = RetryPolicy {
+            attempts: 3,
+            base_delay_micros: 1,
+            max_delay_micros: 5,
+            jitter_seed: 7,
+        };
+        let dm =
+            DurableMarket::create_with(Arc::new(fs.clone()), &dir, qdp, FsyncPolicy::Always, retry)
+                .unwrap();
+        dm.purchase_str(clean_buy).unwrap();
+        let acked = sorted_fp(dm.market());
+        let armed_cents = dm.quote_str(armed_buy).unwrap().price.as_cents();
+
+        let is_fsync_poison = matches!(kind, FaultKind::FsyncFail);
+        fs.set_plan(FaultPlan {
+            script: vec![ScriptedFault {
+                op,
+                path_contains: "market.wal".into(),
+                skip: 0,
+                kind,
+            }],
+            seeded: None,
+        });
+        let verdict = dm.purchase_str(armed_buy);
+        assert!(fs.injected_count() > 0, "{tag}/{name}: fault never fired");
+        let acked = if retried_away {
+            verdict.unwrap_or_else(|e| {
+                panic!("{tag}/{name}: transient fault must be retried away: {e}")
+            });
+            assert_eq!(dm.health(), MarketHealth::Healthy, "{tag}/{name}");
+            sorted_fp(dm.market())
+        } else {
+            assert!(verdict.is_err(), "{tag}/{name}: faulted purchase must fail");
+            assert!(
+                matches!(dm.health(), MarketHealth::ReadOnly { .. }),
+                "{tag}/{name}: durable damage must degrade the market"
+            );
+            // Quotes keep serving sound intervals from the frozen state.
+            let q = dm.quote_str(clean_buy).unwrap();
+            assert!(q.lower_bound <= q.price, "{tag}/{name}: degraded quote");
+            acked
+        };
+        drop(dm);
+
+        fs.clear_plan();
+        fs.simulate_crash(0x5eed + case as u64).unwrap();
+        let back =
+            DurableMarket::open_on(Arc::new(fs), &dir, FsyncPolicy::Never, RetryPolicy::none())
+                .unwrap_or_else(|e| panic!("{tag}/{name}: recovery failed: {e}"));
+        assert_eq!(back.health(), MarketHealth::Healthy, "{tag}/{name}");
+        let got = sorted_fp(back.market());
+        assert_eq!(got.0, acked.0, "{tag}/{name}: recovered data+prices");
+        if got.1 == acked.1 {
+            assert_eq!(got.2, acked.2, "{tag}/{name}: recovered ledger");
+        } else {
+            // Only a poisoning fsync leaves an uncertain tail, and it is
+            // exactly the one in-flight purchase.
+            assert!(
+                is_fsync_poison,
+                "{tag}/{name}: only fsync poison may surface a tail"
+            );
+            assert_eq!(
+                Some(got.1),
+                acked.1.checked_add(armed_cents),
+                "{tag}/{name}: tail must be the in-flight purchase"
+            );
+        }
+        // The reopened market is fully writable again.
+        assert!(back.quote_str(clean_buy).is_ok(), "{tag}/{name}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn sports_recovers_under_every_fault_class() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let m = sports::generate(
+        &mut rng,
+        sports::SportsConfig {
+            teams: 6,
+            games: 12,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let market = Market::open(m.catalog, m.instance, m.prices).unwrap();
+    fault_class_recovery(
+        "sports",
+        &market.to_qdp(),
+        "Q(tid, g, a) :- Team('team2', tid), Game(g, tid, a)",
+        "Q(g, t, a) :- Game(g, t, a)",
+    );
+}
+
+#[test]
+fn webgraph_recovers_under_every_fault_class() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let m = webgraph::generate(
+        &mut rng,
+        webgraph::WebGraphConfig {
+            domains: 5,
+            links: 12,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let market = Market::open(m.catalog, m.instance, m.prices).unwrap();
+    fault_class_recovery(
+        "webgraph",
+        &market.to_qdp(),
+        "Q(x, y) :- Links(x, y)",
+        "M(x, y) :- Links(x, y), Backlinks(x, y)",
+    );
+}
+
+#[test]
+fn business_recovers_under_every_fault_class() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let m = business::generate(
+        &mut rng,
+        business::BusinessConfig {
+            states: 6,
+            counties_per_state: 4,
+            businesses: 80,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let market = Market::open(m.catalog, m.instance, m.prices).unwrap();
+    fault_class_recovery(
+        "business",
+        &market.to_qdp(),
+        "Q(n, c) :- Business(n, 'S1', c)",
+        "Q(n, c) :- Business(n, 'S1', c), Restaurant(n)",
+    );
+}
+
 /// A history whose replayed revenue would cross the representable range
 /// is refused with a typed error — the books never wrap or saturate.
 #[test]
