@@ -97,6 +97,11 @@ impl Config {
             lock_annotation_paths: s(&["crates/market/src/", "crates/store/src/"]),
             metered_paths: s(&[
                 "crates/core/src/exact/",
+                // The incremental engine: the price-vector diff and the
+                // residual warm-start loops it drives must stay metered
+                // or provably bounded, or a storm of revisions turns a
+                // "warm" reprice into unmetered work.
+                "crates/core/src/plan_cache.rs",
                 "crates/determinacy/src/",
                 "crates/flow/src/",
             ]),

@@ -124,20 +124,39 @@ fn greedy_solution(
             return (Price::INFINITE, Vec::new(), false);
         }
         // Element covering the most constraints, weight as tiebreak.
-        let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        // Counts live in an element-indexed vector and the scan below
+        // keeps the first (lowest-id) element on a tied score, so the
+        // greedy pick — and through it the quoted view set on a price
+        // tie — is deterministic across runs and market instances (a
+        // hash map here let the RandomState seed choose the witness).
+        let mut counts: Vec<usize> = vec![0; weights.len()];
         // audit: bounded(constraint scan is pre-charged by this round's charge(1 + unhit.len()))
         for c in &unhit {
             // audit: bounded(element lists are fixed at build time, one scan per charged round)
             for &e in *c {
-                *counts.entry(e).or_insert(0) += 1;
+                counts[e as usize] += 1;
             }
         }
-        let Some((&e, _)) = counts.iter().max_by(|(a, ca), (b, cb)| {
+        let mut pick: Option<u32> = None;
+        // audit: bounded(one scan of the element-count vector, pre-charged above)
+        for (i, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
             // score = count / weight; compare count * w_other.
-            let wa = weights[**a as usize].as_cents().max(1) as u128;
-            let wb = weights[**b as usize].as_cents().max(1) as u128;
-            ((**ca as u128) * wb).cmp(&((**cb as u128) * wa))
-        }) else {
+            let better = match pick {
+                None => true,
+                Some(p) => {
+                    let wi = weights[i].as_cents().max(1) as u128;
+                    let wp = weights[p as usize].as_cents().max(1) as u128;
+                    (count as u128) * wp > (counts[p as usize] as u128) * wi
+                }
+            };
+            if better {
+                pick = Some(i as u32);
+            }
+        }
+        let Some(e) = pick else {
             // An element-free constraint is unhittable: no finite cover.
             return (Price::INFINITE, Vec::new(), false);
         };

@@ -47,26 +47,49 @@ impl DinicArena {
         ticker: &impl Ticker,
     ) -> Result<MaxFlowResult, Interrupted> {
         assert_ne!(s, t, "source and sink must differ");
-        let n = g.num_nodes();
-        let phase_cost = (n + g.num_edges()) as u64;
         // Recycle the spare residual buffer if one is available.
         let mut residual = std::mem::take(&mut self.spare);
         residual.clear();
         residual.extend_from_slice(&g.cap);
+        let mut value: u64 = 0;
+        match self.phases(g, s, t, &mut residual, &mut value, ticker) {
+            Ok(()) => Ok(MaxFlowResult { value, residual }),
+            Err(()) => {
+                self.spare = residual;
+                Err(Interrupted {
+                    partial_value: value,
+                })
+            }
+        }
+    }
+
+    /// The Dinic phase loop over an **existing** feasible flow: BFS level
+    /// graph + DFS blocking flow until no augmenting path remains. Starting
+    /// from the all-zero flow this is a cold solve; starting from a
+    /// repaired [`crate::residual::ResidualState`] it resumes augmentation
+    /// (a feasible flow with no augmenting path is a maximum flow, so
+    /// resumption is exact). `Err(())` means the ticker refused; `value`
+    /// then holds the partial (still feasible) flow value.
+    pub(crate) fn phases(
+        &mut self,
+        g: &FlowGraph,
+        s: NodeId,
+        t: NodeId,
+        residual: &mut [u64],
+        value: &mut u64,
+        ticker: &impl Ticker,
+    ) -> Result<(), ()> {
+        let n = g.num_nodes();
+        let phase_cost = (n + g.num_edges()) as u64;
         self.level.clear();
         self.level.resize(n, u32::MAX);
         self.it.clear();
         self.it.resize(n, 0);
         self.queue.clear();
         self.queue.reserve(n);
-        let mut value: u64 = 0;
-
         loop {
             if !ticker.tick(phase_cost) {
-                self.spare = residual;
-                return Err(Interrupted {
-                    partial_value: value,
-                });
+                return Err(());
             }
             // BFS: build level graph on residual edges.
             self.level.fill(u32::MAX);
@@ -94,20 +117,17 @@ impl DinicArena {
             // DFS blocking flow with edge iterators.
             self.it.fill(0);
             loop {
-                let pushed = dfs(g, &mut residual, &self.level, &mut self.it, s, t, u64::MAX);
+                let pushed = dfs(g, residual, &self.level, &mut self.it, s, t, u64::MAX);
                 if pushed == 0 {
                     break;
                 }
-                value = value.saturating_add(pushed);
+                *value = value.saturating_add(pushed);
                 if !ticker.tick(8) {
-                    self.spare = residual;
-                    return Err(Interrupted {
-                        partial_value: value,
-                    });
+                    return Err(());
                 }
             }
         }
-        Ok(MaxFlowResult { value, residual })
+        Ok(())
     }
 
     /// Reclaim the residual allocation of a finished result so the next

@@ -90,6 +90,57 @@ impl FlowGraph {
         debug_assert!(e.is_multiple_of(2), "edge ids are even (forward edges)");
         (self.to[e ^ 1] as usize, self.to[e] as usize, self.cap[e])
     }
+
+    /// Replace the capacity of forward edge `e`, returning the old
+    /// capacity. Any [`MaxFlowResult`] computed before the change no
+    /// longer describes a flow of this graph; a
+    /// [`crate::residual::ResidualState`] can be *repaired* instead via
+    /// [`crate::DinicArena::warm_start`].
+    pub fn set_capacity(&mut self, e: EdgeId, capacity: u64) -> u64 {
+        debug_assert!(e.is_multiple_of(2), "edge ids are even (forward edges)");
+        std::mem::replace(&mut self.cap[e], capacity)
+    }
+}
+
+/// Nodes reachable from `s` along positive-residual edges — the source
+/// side of the *canonical* minimum cut. For **any** maximum flow this set
+/// is the same (it is the minimal source side), which is what makes
+/// warm-started and cold-started solves agree edge-for-edge on the cut.
+pub(crate) fn residual_source_side(g: &FlowGraph, residual: &[u64], s: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; g.num_nodes()];
+    let mut stack = vec![s];
+    seen[s] = true;
+    // audit: bounded(residual DFS visits each node once; cut extraction runs once per priced flow)
+    while let Some(v) = stack.pop() {
+        // audit: bounded(adjacency scan within the single residual DFS)
+        for &e in &g.adj[v] {
+            let e = e as usize;
+            if residual[e] > 0 {
+                let w = g.to[e] as usize;
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// Saturated forward edges crossing from the canonical source side to the
+/// sink side, in ascending edge-id order (deterministic).
+pub(crate) fn residual_min_cut(g: &FlowGraph, residual: &[u64], s: NodeId) -> Vec<EdgeId> {
+    let side = residual_source_side(g, residual, s);
+    let mut cut = Vec::new();
+    // audit: bounded(one pass over the edge list, once per priced flow)
+    for e in (0..g.to.len()).step_by(2) {
+        let from = g.to[e ^ 1] as usize;
+        let to = g.to[e] as usize;
+        if side[from] && !side[to] {
+            cut.push(e);
+        }
+    }
+    cut
 }
 
 /// The outcome of a max-flow computation: flow value plus the residual
@@ -112,41 +163,14 @@ impl MaxFlowResult {
     /// Nodes reachable from `s` in the residual network (the source side of
     /// the canonical minimum cut).
     pub fn source_side(&self, g: &FlowGraph, s: NodeId) -> Vec<bool> {
-        let mut seen = vec![false; g.num_nodes()];
-        let mut stack = vec![s];
-        seen[s] = true;
-        // audit: bounded(residual DFS visits each node once; cut extraction runs once per priced flow)
-        while let Some(v) = stack.pop() {
-            // audit: bounded(adjacency scan within the single residual DFS)
-            for &e in &g.adj[v] {
-                let e = e as usize;
-                if self.residual[e] > 0 {
-                    let w = g.to[e] as usize;
-                    if !seen[w] {
-                        seen[w] = true;
-                        stack.push(w);
-                    }
-                }
-            }
-        }
-        seen
+        residual_source_side(g, &self.residual, s)
     }
 
     /// The edges of the canonical minimum cut: saturated forward edges from
     /// the source side to the sink side. Their capacities sum to `value`
     /// whenever a finite cut exists.
     pub fn min_cut_edges(&self, g: &FlowGraph, s: NodeId) -> Vec<EdgeId> {
-        let side = self.source_side(g, s);
-        let mut cut = Vec::new();
-        // audit: bounded(one pass over the edge list, once per priced flow)
-        for e in (0..g.to.len()).step_by(2) {
-            let from = g.to[e ^ 1] as usize;
-            let to = g.to[e] as usize;
-            if side[from] && !side[to] {
-                cut.push(e);
-            }
-        }
-        cut
+        residual_min_cut(g, &self.residual, s)
     }
 }
 

@@ -25,16 +25,23 @@
 //!   the cut) when interrupted,
 //! * [`arena::DinicArena`] — a reusable, `Ticker`-aware solver arena that
 //!   amortizes the scratch-buffer allocations across many runs; batch
-//!   pricing keeps one arena per worker thread.
+//!   pricing keeps one arena per worker thread,
+//! * [`residual::ResidualState`] + [`arena::DinicArena::warm_start`] —
+//!   incremental re-solving: persist the final flow of a solve and repair
+//!   it after edge-capacity changes instead of recomputing from zero, with
+//!   a metered fallback to a cold solve when the repair exceeds its fuel
+//!   fraction.
 
 pub mod arena;
 pub mod dinic;
 pub mod edmonds_karp;
 pub mod graph;
 pub mod meter;
+pub mod residual;
 
 pub use arena::DinicArena;
 pub use dinic::{dinic, dinic_metered};
 pub use edmonds_karp::{edmonds_karp, edmonds_karp_metered};
 pub use graph::{EdgeId, FlowGraph, MaxFlowResult, NodeId, INF};
 pub use meter::{Interrupted, Ticker, Unmetered};
+pub use residual::{warm_fuel_phases, ResidualState, WarmOutcome};

@@ -1,4 +1,4 @@
-//! The sharded, epoch-validated quote cache.
+//! The sharded, column-epoch-validated quote cache.
 //!
 //! Quoting is idempotent between data/price updates, and markets see the
 //! same queries repeatedly, so the common case should be a hash lookup.
@@ -9,23 +9,45 @@
 //!
 //! # Coherence protocol
 //!
-//! Staleness is ruled out by epoch tagging rather than by lock ordering:
+//! Staleness is ruled out by epoch tagging rather than by lock ordering —
+//! but the epochs are **per column** (per [`AttrRef`]), not global, so an
+//! update invalidates only the quotes it can actually change:
 //!
-//! * The current **epoch** is an `AtomicU64` bumped by every writer
-//!   (data insert, price revision) *while it still holds the market's
-//!   state write lock*.
-//! * A reader loads the epoch *under the state read lock* — so the value
-//!   it sees is the epoch of exactly the data snapshot it prices
-//!   against — and tags its insert with it.
-//! * [`ShardedQuoteCache::insert`] discards the entry if the epoch has
-//!   moved on; [`ShardedQuoteCache::get`] serves an entry only if its tag
-//!   equals the current epoch.
+//! * Every column of the catalog owns an `AtomicU64` **epoch**. A writer
+//!   (data insert, price revision) bumps the epochs of exactly the
+//!   columns it touches, *while it still holds the market's state write
+//!   lock* ([`ShardedQuoteCache::invalidate_columns`]).
+//! * A quote's **footprint** is the set of columns its price is derived
+//!   from (every attribute of every relation the query mentions — see
+//!   `qbdp_core::query_footprint`). Its **stamp** is the sum of its
+//!   footprint's column epochs.
+//! * A reader computes the stamp *under the state read lock* — so the
+//!   value it sees names exactly the data snapshot it prices against —
+//!   and tags its insert with it. [`ShardedQuoteCache::get`] recomputes
+//!   the stamp from the entry's stored footprint and serves the entry
+//!   only if it matches; [`ShardedQuoteCache::insert`] re-checks the
+//!   stamp under the shard write lock and discards the entry if any of
+//!   its columns has moved on.
 //!
-//! Any interleaving therefore serves only quotes computed against the
-//! live snapshot: an entry tagged `e` can only be served while the epoch
-//! still *is* `e`, i.e. before any update invalidated it.
-//! [`ShardedQuoteCache::invalidate`] additionally clears the shards
-//! (bump-then-clear, so no dead entry survives) to keep memory bounded.
+//! Soundness of the sum: epochs only grow, so an unchanged sum means
+//! every term is unchanged — no footprint column was bumped since the
+//! quote was computed. (Sums use wrapping arithmetic; aliasing would
+//! need 2⁶⁴ bumps.) Any interleaving therefore serves only quotes
+//! computed against the live snapshot. The payoff over a global epoch is
+//! that entries whose footprint is **disjoint** from an update stay
+//! servable: repricing `R.X=a` does not evict cached quotes over `S`.
+//!
+//! [`ShardedQuoteCache::invalidate_columns`] additionally sweeps the
+//! shards, removing entries whose footprint intersects the touched
+//! columns (bump-then-sweep: a racing insert tagged with the old stamp
+//! either lands before the sweep and is removed, or after and is
+//! discarded by its own stamp re-check), so no dead entry lingers and
+//! memory stays bounded by the live entries.
+//!
+//! A separate **generation** counter is bumped once per mutation and
+//! exposed as [`ShardedQuoteCache::epoch`]: the durable market's
+//! purchase path revalidates quotes against it ("did *anything* change
+//! between pricing and logging?"), and recovery rewinds it to 0.
 //!
 //! # Shard count
 //!
@@ -39,7 +61,7 @@
 use crate::market::MarketQuote;
 use parking_lot::RwLock;
 use qbdp_catalog::fxhash::FxHasher;
-use qbdp_catalog::FxHashMap;
+use qbdp_catalog::{AttrRef, FxHashMap};
 use std::hash::Hasher;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -48,22 +70,36 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub(crate) const SHARDS: usize = 16;
 
 struct Entry {
-    /// Epoch the quote was computed under; served only while current.
-    epoch: u64,
+    /// Sum of the footprint's column epochs when the quote was computed;
+    /// served only while every one of them is unchanged.
+    stamp: u64,
+    /// The columns the quote's price is derived from.
+    footprint: Vec<AttrRef>,
     quote: MarketQuote,
 }
 
 /// A fixed array of lock-sharded maps from rendered (canonical) query
-/// text to epoch-tagged quotes. See the module docs for the protocol.
+/// text to stamp-tagged quotes, validated against per-column epochs.
+/// See the module docs for the protocol.
 pub(crate) struct ShardedQuoteCache {
-    epoch: AtomicU64,
+    /// Bumped once per mutation; the durable revalidation token.
+    generation: AtomicU64,
+    /// One epoch per catalog column, fixed at construction (the schema
+    /// never changes after a market opens).
+    columns: FxHashMap<AttrRef, AtomicU64>,
     shards: [RwLock<FxHashMap<String, Entry>>; SHARDS],
 }
 
 impl ShardedQuoteCache {
-    pub(crate) fn new() -> Self {
+    /// Build a cache over the given catalog columns (every [`AttrRef`]
+    /// of the schema).
+    pub(crate) fn new(columns: impl IntoIterator<Item = AttrRef>) -> Self {
         ShardedQuoteCache {
-            epoch: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            columns: columns
+                .into_iter()
+                .map(|a| (a, AtomicU64::new(0)))
+                .collect(),
             shards: std::array::from_fn(|_| RwLock::new(FxHashMap::default())),
         }
     }
@@ -74,48 +110,83 @@ impl ShardedQuoteCache {
         &self.shards[(h.finish() as usize) & (SHARDS - 1)]
     }
 
-    /// The current epoch. Load it under the market's state **read lock**
-    /// to pair it with the data snapshot being priced.
-    pub(crate) fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::SeqCst)
+    /// The stamp of a footprint: the (wrapping) sum of its column
+    /// epochs. Compute it under the market's state **read lock** to pair
+    /// it with the data snapshot being priced.
+    // audit: bounded(footprint is one column list, fixed per query)
+    pub(crate) fn stamp(&self, footprint: &[AttrRef]) -> u64 {
+        footprint
+            .iter()
+            .map(|a| self.columns.get(a).map_or(0, |e| e.load(Ordering::SeqCst)))
+            .fold(0u64, u64::wrapping_add)
     }
 
-    /// Look up a quote; only entries tagged with the current epoch are
-    /// served.
+    /// The mutation generation. Bumped once per data/price update; the
+    /// durable purchase path uses it to detect *any* intervening change.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Look up a quote; served only if none of the entry's footprint
+    /// columns has been bumped since it was computed. Call under the
+    /// market's state read lock so the comparison is against the live
+    /// snapshot.
     // audit: holds-lock(cache-shard)
     pub(crate) fn get(&self, key: &str) -> Option<MarketQuote> {
         let shard = self.shard(key).read();
         let entry = shard.get(key)?;
-        if entry.epoch == self.epoch.load(Ordering::SeqCst) {
+        if entry.stamp == self.stamp(&entry.footprint) {
             Some(entry.quote.clone())
         } else {
             None
         }
     }
 
-    /// Insert a quote computed under `epoch`; silently discarded if an
-    /// update has bumped the epoch since (caching it would serve a stale
-    /// price until the *next* update).
+    /// Insert a quote computed under `stamp` over `footprint`; silently
+    /// discarded if any footprint column has been bumped since (caching
+    /// it would serve a stale price until the *next* touching update).
     // audit: holds-lock(cache-shard)
-    pub(crate) fn insert(&self, key: String, quote: MarketQuote, epoch: u64) {
+    pub(crate) fn insert(
+        &self,
+        key: String,
+        quote: MarketQuote,
+        footprint: Vec<AttrRef>,
+        stamp: u64,
+    ) {
         let mut shard = self.shard(&key).write();
         // Re-check under the shard lock: an invalidation that has already
-        // cleared this shard must not see the entry reappear.
-        if self.epoch.load(Ordering::SeqCst) == epoch {
-            shard.insert(key, Entry { epoch, quote });
+        // swept this shard must not see the entry reappear.
+        if self.stamp(&footprint) == stamp {
+            shard.insert(
+                key,
+                Entry {
+                    stamp,
+                    footprint,
+                    quote,
+                },
+            );
         }
     }
 
-    /// Invalidate everything. Call while holding the market's state
-    /// **write lock** so the bump is ordered with the data mutation.
-    /// Bump-then-clear: a racing insert tagged with the old epoch either
-    /// lands before the clear (and is removed) or after (and is discarded
-    /// by its own epoch re-check), so no dead entry lingers.
+    /// Invalidate every cached quote whose footprint intersects `attrs`.
+    /// Call while holding the market's state **write lock** so the bumps
+    /// are ordered with the data mutation. Bump-then-sweep: a racing
+    /// insert tagged with the old stamp either lands before the sweep
+    /// (and is removed) or after (and is discarded by its own stamp
+    /// re-check), so no dead entry lingers. Entries disjoint from
+    /// `attrs` keep their stamps valid and stay servable.
     // audit: holds-lock(cache-shard)
-    pub(crate) fn invalidate(&self) {
-        self.epoch.fetch_add(1, Ordering::SeqCst);
+    pub(crate) fn invalidate_columns(&self, attrs: &[AttrRef]) {
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        for a in attrs {
+            if let Some(e) = self.columns.get(a) {
+                e.fetch_add(1, Ordering::SeqCst);
+            }
+        }
         for shard in &self.shards {
-            shard.write().clear();
+            shard
+                .write()
+                .retain(|_, e| !e.footprint.iter().any(|f| attrs.contains(f)));
         }
     }
 
@@ -125,14 +196,18 @@ impl ShardedQuoteCache {
         self.shards.iter().map(|s| s.read().len()).sum()
     }
 
-    /// Clear the shards and rewind the epoch to 0. Recovery uses this
-    /// after replay: the replayed inserts bumped the epoch many times,
-    /// but a recovered market starts with an empty cache and should tag
-    /// fresh quotes from epoch 0 like a newly opened one (pre-crash
-    /// cache entries died with the process; none can survive to here).
+    /// Clear the shards and rewind every epoch to 0. Recovery uses this
+    /// after replay: the replayed mutations bumped the epochs many
+    /// times, but a recovered market starts with an empty cache and
+    /// should tag fresh quotes from zeroed epochs like a newly opened
+    /// one (pre-crash cache entries died with the process; none can
+    /// survive to here).
     // audit: holds-lock(cache-shard)
     pub(crate) fn reset(&self) {
-        self.epoch.store(0, Ordering::SeqCst);
+        self.generation.store(0, Ordering::SeqCst);
+        for e in self.columns.values() {
+            e.store(0, Ordering::SeqCst);
+        }
         for shard in &self.shards {
             shard.write().clear();
         }
@@ -142,6 +217,7 @@ impl ShardedQuoteCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qbdp_catalog::RelId;
     use qbdp_core::dichotomy::QueryClass;
     use qbdp_core::{Price, PricingMethod, QuoteQuality};
 
@@ -158,33 +234,95 @@ mod tests {
         }
     }
 
+    /// Two relations, two columns each: R.{0,1} and S.{0,1}.
+    fn attrs() -> Vec<AttrRef> {
+        vec![
+            AttrRef::new(RelId(0), 0),
+            AttrRef::new(RelId(0), 1),
+            AttrRef::new(RelId(1), 0),
+            AttrRef::new(RelId(1), 1),
+        ]
+    }
+
+    fn cache() -> ShardedQuoteCache {
+        ShardedQuoteCache::new(attrs())
+    }
+
     #[test]
-    fn serves_only_current_epoch() {
-        let cache = ShardedQuoteCache::new();
-        let e = cache.epoch();
-        cache.insert("q1".into(), quote(Price::dollars(1)), e);
+    fn serves_only_current_stamp() {
+        let cache = cache();
+        let fp = vec![AttrRef::new(RelId(0), 0)];
+        let s = cache.stamp(&fp);
+        cache.insert("q1".into(), quote(Price::dollars(1)), fp.clone(), s);
         assert_eq!(cache.get("q1").unwrap().price, Price::dollars(1));
-        cache.invalidate();
-        assert!(cache.get("q1").is_none(), "stale epoch must not serve");
-        assert_eq!(cache.len(), 0, "invalidate clears shards");
+        cache.invalidate_columns(&fp);
+        assert!(cache.get("q1").is_none(), "stale stamp must not serve");
+        assert_eq!(cache.len(), 0, "the sweep removed the touched entry");
+    }
+
+    #[test]
+    fn disjoint_entries_survive_invalidation() {
+        let cache = cache();
+        let over_r = vec![AttrRef::new(RelId(0), 0), AttrRef::new(RelId(0), 1)];
+        let over_s = vec![AttrRef::new(RelId(1), 0), AttrRef::new(RelId(1), 1)];
+        let sr = cache.stamp(&over_r);
+        let ss = cache.stamp(&over_s);
+        cache.insert("qr".into(), quote(Price::dollars(1)), over_r, sr);
+        cache.insert("qs".into(), quote(Price::dollars(2)), over_s, ss);
+        // Touching an R column kills the R quote but leaves the S quote
+        // servable — the whole point of column-scoped epochs.
+        cache.invalidate_columns(&[AttrRef::new(RelId(0), 1)]);
+        assert!(cache.get("qr").is_none());
+        assert_eq!(cache.get("qs").unwrap().price, Price::dollars(2));
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]
     fn stale_insert_is_discarded() {
-        let cache = ShardedQuoteCache::new();
-        let e = cache.epoch();
-        cache.invalidate();
-        cache.insert("q1".into(), quote(Price::dollars(1)), e);
+        let cache = cache();
+        let fp = vec![AttrRef::new(RelId(0), 0)];
+        let s = cache.stamp(&fp);
+        cache.invalidate_columns(&fp);
+        cache.insert("q1".into(), quote(Price::dollars(1)), fp, s);
         assert!(cache.get("q1").is_none());
         assert_eq!(cache.len(), 0);
     }
 
     #[test]
+    fn generation_counts_every_mutation() {
+        let cache = cache();
+        assert_eq!(cache.epoch(), 0);
+        cache.invalidate_columns(&[AttrRef::new(RelId(0), 0)]);
+        cache.invalidate_columns(&[AttrRef::new(RelId(1), 0)]);
+        assert_eq!(cache.epoch(), 2, "one bump per mutation, any column");
+        cache.reset();
+        assert_eq!(cache.epoch(), 0, "recovery rewinds to a cold cache");
+    }
+
+    #[test]
+    fn reset_rewinds_column_epochs_too() {
+        let cache = cache();
+        let fp = vec![AttrRef::new(RelId(0), 0)];
+        cache.invalidate_columns(&fp);
+        let bumped = cache.stamp(&fp);
+        assert_ne!(bumped, 0);
+        cache.reset();
+        assert_eq!(cache.stamp(&fp), 0, "stamps restart from zero");
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
     fn keys_spread_over_shards() {
-        let cache = ShardedQuoteCache::new();
-        let e = cache.epoch();
+        let cache = cache();
+        let fp = vec![AttrRef::new(RelId(0), 0)];
+        let s = cache.stamp(&fp);
         for i in 0..256u64 {
-            cache.insert(format!("Q{i}(x) :- R(x)"), quote(Price::cents(i)), e);
+            cache.insert(
+                format!("Q{i}(x) :- R(x)"),
+                quote(Price::cents(i)),
+                fp.clone(),
+                s,
+            );
         }
         assert_eq!(cache.len(), 256);
         let occupied = cache.shards.iter().filter(|s| !s.read().is_empty()).count();

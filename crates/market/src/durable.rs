@@ -158,6 +158,11 @@ fn parse_policy(text: &str) -> Result<MarketPolicy, StoreError> {
         sell_degraded,
         max_in_flight,
         batch_workers,
+        // In-process serving knob, deliberately not persisted: a
+        // recovered market prices cold until the operator re-enables
+        // the incremental engine (its plan cache died with the process
+        // anyway, so there is nothing warm to preserve).
+        incremental: false,
     })
 }
 
@@ -632,6 +637,8 @@ fn apply_event(market: &Market, event: &MarketEvent, offset: u64) -> Result<(), 
                 sell_degraded: *sell_degraded,
                 max_in_flight: *max_in_flight as usize,
                 batch_workers: *batch_workers as usize,
+                // Not carried by the event; see `parse_policy`.
+                incremental: false,
             });
         }
         MarketEvent::SnapshotMark { .. } => {}

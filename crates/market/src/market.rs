@@ -13,11 +13,13 @@
 use crate::cache::ShardedQuoteCache;
 use crate::error::MarketError;
 use crate::ledger::Ledger;
-use parking_lot::RwLock;
-use qbdp_catalog::{Catalog, Instance, QdpFile, RelId, Tuple};
+use parking_lot::{Mutex, RwLock};
+use qbdp_catalog::{AttrRef, Catalog, Instance, QdpFile, RelId, Tuple};
 use qbdp_core::dichotomy::QueryClass;
 use qbdp_core::price_points::PriceList;
-use qbdp_core::{Budget, Price, Pricer, PricingMethod, QuoteQuality};
+use qbdp_core::{
+    query_footprint, Budget, PlanCache, PlanStats, Price, Pricer, PricingMethod, QuoteQuality,
+};
 use qbdp_determinacy::selection::SelectionView;
 use qbdp_query::ast::{ConjunctiveQuery, Ucq};
 use qbdp_query::bundle::Bundle;
@@ -44,6 +46,15 @@ pub struct MarketPolicy {
     /// Worker threads used by [`Market::quote_batch`]; `0` means one per
     /// available core.
     pub batch_workers: usize,
+    /// Serve serial quotes through the incremental pricing engine (the
+    /// shape-keyed [`PlanCache`]): a repeated query shape under a changed
+    /// price vector is repriced by a residual warm start instead of a
+    /// cold solve, with bit-identical results. Only unlimited-budget
+    /// quotes go through the plan cache (a fuel or deadline policy prices
+    /// cold, so degraded `[lower, upper]` intervals are unaffected by
+    /// this flag). An in-process serving knob: it is not persisted by the
+    /// durable market, and recovery resets it to `false`.
+    pub incremental: bool,
 }
 
 impl Default for MarketPolicy {
@@ -54,6 +65,7 @@ impl Default for MarketPolicy {
             sell_degraded: false,
             max_in_flight: usize::MAX,
             batch_workers: 0,
+            incremental: false,
         }
     }
 }
@@ -122,10 +134,18 @@ pub struct Market {
     state: RwLock<State>,
     /// Quote cache keyed by the *rendered* query (canonical form). Lives
     /// outside the state lock — lookups and fills take only a per-shard
-    /// lock — and is kept coherent with the data via epoch tagging (see
-    /// [`crate::cache`]). Only `Exact`-quality quotes are cached — a
-    /// degraded quote is an artifact of one budget run, not of the data.
+    /// lock — and is kept coherent with the data via per-column epoch
+    /// tagging (see [`crate::cache`]). Only `Exact`-quality quotes are
+    /// cached — a degraded quote is an artifact of one budget run, not
+    /// of the data.
     cache: ShardedQuoteCache,
+    /// The incremental pricing engine: shape-keyed normalized plans plus
+    /// solved flow networks, repriced by residual warm starts
+    /// ([`MarketPolicy::incremental`]). Guarded by its own mutex, locked
+    /// *after* the state lock (never the other way around); pricing
+    /// through it happens while the caller holds the state read lock, so
+    /// the plans it patches always describe the live catalog/instance.
+    plan: Mutex<PlanCache>,
     in_flight: AtomicUsize,
 }
 
@@ -179,13 +199,15 @@ impl Market {
                 .collect();
             return Err(MarketError::InconsistentPrices(rendered.join("; ")));
         }
+        let columns = pricer.catalog().schema().all_attrs();
         Ok(Market {
             state: RwLock::new(State {
                 pricer,
                 ledger: Ledger::new(),
                 policy: MarketPolicy::default(),
             }),
-            cache: ShardedQuoteCache::new(),
+            cache: ShardedQuoteCache::new(columns),
+            plan: Mutex::new(PlanCache::new()),
             in_flight: AtomicUsize::new(0),
         })
     }
@@ -255,15 +277,17 @@ impl Market {
         if let Some(hit) = self.cache.get(&key) {
             return Ok(hit);
         }
-        // Load the epoch *under the read lock*: it names exactly the data
-        // snapshot this quote is derived from, and the cache will discard
-        // the insert if an update lands in between (caching it then would
-        // serve stale prices until the *next* update).
-        let epoch = self.cache.epoch();
-        let quote = Self::quote_inner(&state, &q)?;
+        // Compute the footprint stamp *under the read lock*: it names
+        // exactly the data snapshot this quote is derived from, and the
+        // cache will discard the insert if an update touching one of the
+        // footprint's columns lands in between (caching it then would
+        // serve stale prices until the *next* touching update).
+        let footprint = query_footprint(state.pricer.catalog(), &q);
+        let stamp = self.cache.stamp(&footprint);
+        let quote = self.quote_inner(&state, &q)?;
         drop(state);
         if quote.quality.is_exact() {
-            self.cache.insert(key, quote.clone(), epoch);
+            self.cache.insert(key, quote.clone(), footprint, stamp);
         }
         Ok(quote)
     }
@@ -297,16 +321,25 @@ impl Market {
         let schema = state.pricer.catalog().schema();
         let mut slots: Vec<Option<Result<MarketQuote, MarketError>>> = Vec::new();
         slots.resize_with(queries.len(), || None);
-        // Parse every query and serve what the cache already has.
-        let epoch = self.cache.epoch();
-        let mut misses: Vec<(usize, String, ConjunctiveQuery)> = Vec::new();
+        // Parse every query and serve what the cache already has. Each
+        // slot carries its *own* footprint stamp, computed at its own
+        // lookup under the state read lock — one whole-batch stamp would
+        // be wrong at both granularities (different queries have
+        // different footprints, and a single load taken before the loop
+        // could tag a late slot with an epoch older than the lookup that
+        // missed for it).
+        let mut misses: Vec<(usize, String, ConjunctiveQuery, Vec<AttrRef>, u64)> = Vec::new();
         for (i, text) in queries.iter().enumerate() {
             match parse_rule(schema, text) {
                 Ok(q) => {
                     let key = pretty::render(&q, schema);
                     match self.cache.get(&key) {
                         Some(hit) => slots[i] = Some(Ok(hit)),
-                        None => misses.push((i, key, q)),
+                        None => {
+                            let footprint = query_footprint(state.pricer.catalog(), &q);
+                            let stamp = self.cache.stamp(&footprint);
+                            misses.push((i, key, q, footprint, stamp));
+                        }
                     }
                 }
                 Err(e) => slots[i] = Some(Err(e.into())),
@@ -322,12 +355,12 @@ impl Market {
             };
             let bundles: Vec<Bundle> = misses
                 .iter()
-                .map(|(_, _, q)| Bundle::single(Ucq::single(q.clone())))
+                .map(|(_, _, q, _, _)| Bundle::single(Ucq::single(q.clone())))
                 .collect();
             let priced = state
                 .pricer
                 .price_batch_with_workers(&bundles, &budget, workers);
-            for ((i, key, q), result) in misses.into_iter().zip(priced) {
+            for ((i, key, q, footprint, stamp), result) in misses.into_iter().zip(priced) {
                 let finished = result
                     .map_err(|e| match e {
                         // The pool contains per-job panics as
@@ -339,7 +372,7 @@ impl Market {
                     .and_then(|quote| Self::finish_quote(&state, &q, quote));
                 if let Ok(mq) = &finished {
                     if mq.quality.is_exact() {
-                        self.cache.insert(key, mq.clone(), epoch);
+                        self.cache.insert(key, mq.clone(), footprint, stamp);
                     }
                 }
                 slots[i] = Some(finished);
@@ -362,12 +395,27 @@ impl Market {
     pub fn quote(&self, q: &ConjunctiveQuery) -> Result<MarketQuote, MarketError> {
         let state = self.state.read();
         let _slot = self.admit(state.policy.max_in_flight)?;
-        Self::quote_inner(&state, q)
+        self.quote_inner(&state, q)
     }
 
-    fn quote_inner(state: &State, q: &ConjunctiveQuery) -> Result<MarketQuote, MarketError> {
-        let budget = state.policy.budget();
-        let quote = contain_panic(|| state.pricer.price_cq_within(q, &budget))?;
+    /// Price one query under the current policy. The incremental path
+    /// (plan cache + warm start) serves only unlimited-budget quotes:
+    /// under a fuel or deadline policy every quote is priced cold, so
+    /// degraded `[lower, upper]` intervals come from exactly the same
+    /// computation whether `incremental` is set or not.
+    // audit: holds-lock(plan)
+    fn quote_inner(&self, state: &State, q: &ConjunctiveQuery) -> Result<MarketQuote, MarketError> {
+        let policy = state.policy;
+        let quote = if policy.incremental && policy.fuel.is_none() && policy.deadline.is_none() {
+            let mut plan = self.plan.lock();
+            // A panic mid-reprice is contained: `PlanCache::quote` takes
+            // the entry out of the map before mutating it, so the
+            // poisonable state unwinds away with the panic.
+            contain_panic(|| state.pricer.price_cq_with_plan(q, &mut plan))?
+        } else {
+            let budget = policy.budget();
+            contain_panic(|| state.pricer.price_cq_within(q, &budget))?
+        };
         Self::finish_quote(state, q, quote)
     }
 
@@ -409,7 +457,7 @@ impl Market {
         let mut state = self.state.write();
         let _slot = self.admit(state.policy.max_in_flight)?;
         let q = parse_rule(state.pricer.catalog().schema(), query)?;
-        let quote = Self::quote_inner(&state, &q)?;
+        let quote = self.quote_inner(&state, &q)?;
         let mut answer: Vec<Tuple> = qbdp_query::eval::eval_cq(&q, state.pricer.instance())?
             .into_iter()
             .collect();
@@ -447,8 +495,17 @@ impl Market {
             .insert(rel, tuples)
             .map_err(|e| MarketError::Update(e.to_string()))?;
         // Invalidate while still holding the write lock, so the epoch
-        // bump is ordered with the data mutation (see `crate::cache`).
-        self.cache.invalidate();
+        // bumps are ordered with the data mutation (see `crate::cache`).
+        // Scope: every column of the inserted relation — a quote's
+        // footprint contains all columns of every relation it mentions,
+        // so this reaches exactly the quotes that could see the new
+        // tuples; quotes over disjoint relations stay cached. Plans are
+        // evicted rather than patched: new tuples change the flow
+        // network's topology, not just its capacities.
+        let arity = state.pricer.catalog().schema().relation(rel).arity();
+        let touched: Vec<AttrRef> = (0..arity).map(|i| AttrRef::new(rel, i as u32)).collect();
+        self.cache.invalidate_columns(&touched);
+        self.plan.lock().invalidate_rels(&[rel]);
         state.ledger.record_update(relation.to_string(), added);
         Ok(added)
     }
@@ -459,17 +516,31 @@ impl Market {
         self.cache.len()
     }
 
-    /// The quote cache's current epoch: 0 for a fresh (or freshly
-    /// recovered) market, bumped by every data/price mutation. Exposed
-    /// so durability tests can assert a recovered market starts from
-    /// epoch 0 rather than inheriting replay bumps.
+    /// The quote cache's current mutation generation: 0 for a fresh (or
+    /// freshly recovered) market, bumped by every data/price mutation.
+    /// Exposed so the durable purchase path can revalidate a quote
+    /// against *any* intervening change, and so durability tests can
+    /// assert a recovered market starts from 0 rather than inheriting
+    /// replay bumps.
     pub fn cache_epoch(&self) -> u64 {
         self.cache.epoch()
     }
 
-    /// Clear the cache and rewind its epoch to 0 (recovery epilogue).
+    /// Counters from the incremental pricing engine: plan-cache hits,
+    /// misses, warm reprices, flow fallbacks, and evictions. All zero
+    /// unless [`MarketPolicy::incremental`] is set.
+    // audit: holds-lock(plan)
+    pub fn plan_stats(&self) -> PlanStats {
+        self.plan.lock().stats()
+    }
+
+    /// Clear the quote and plan caches and rewind every epoch to 0
+    /// (recovery epilogue). Plans are rebuilt lazily from the recovered
+    /// catalog/instance on the first incremental quote of each shape.
+    // audit: holds-lock(plan)
     pub(crate) fn reset_cache(&self) {
         self.cache.reset();
+        self.plan.lock().clear();
     }
 
     /// Quote and evaluate a purchase without recording it — the durable
@@ -483,7 +554,7 @@ impl Market {
         let state = self.state.read();
         let _slot = self.admit(state.policy.max_in_flight)?;
         let q = parse_rule(state.pricer.catalog().schema(), query)?;
-        let quote = Self::quote_inner(&state, &q)?;
+        let quote = self.quote_inner(&state, &q)?;
         let mut answer: Vec<Tuple> = qbdp_query::eval::eval_cq(&q, state.pricer.instance())?
             .into_iter()
             .collect();
@@ -590,7 +661,12 @@ impl Market {
         )
         .map_err(MarketError::Pricing)?;
         state.pricer = pricer;
-        self.cache.invalidate();
+        // Only quotes whose footprint contains the revised column can
+        // change; everything disjoint stays cached. The plan cache needs
+        // no eviction here — it diffs its stored price vector against
+        // the live one on every lookup and warm-starts (or rebuilds)
+        // itself when they differ.
+        self.cache.invalidate_columns(&[aref]);
         Ok(())
     }
 

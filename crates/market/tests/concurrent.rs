@@ -232,6 +232,123 @@ fn eight_thread_batch_purchase_insert_mix() {
     assert_eq!(market.sales(), 20);
 }
 
+/// Price-update storm: `writers` seller threads revise prices while the
+/// remaining threads (8 total) hammer quotes. Revisions hit only the
+/// single-attribute relations `R.X` and `T.Y`, where *any* price is
+/// arbitrage-consistent (no bundle of other views covers a selection on
+/// the sole column of a relation), so every `set_price` must succeed.
+///
+/// Checks, under column-scoped invalidation:
+///
+/// * every quote during the storm succeeds (invalidation never wedges a
+///   shard or poisons an entry);
+/// * once the writers stop, the cache serves exactly the prices of the
+///   final price list for every query — `set_price(R.X=…)` must have
+///   invalidated every cached quote whose footprint touches `R.X`, and
+///   must *not* be allowed to hide behind quotes over disjoint columns;
+/// * with `incremental` set, the warm-started quotes additionally match,
+///   field for field, a cold market reopened from the same snapshot.
+fn price_update_storm(writers: usize, incremental: bool) {
+    let market = Market::open_qdp(QDP).unwrap();
+    // Some data so join prices exercise the real min-cut, not empty nets.
+    for i in 0..6i64 {
+        market.insert("R", [Tuple::new([Value::Int(i)])]).unwrap();
+        market.insert("S", [tuple![i, (i + 1) % 6]]).unwrap();
+        market
+            .insert("T", [Tuple::new([Value::Int((i + 1) % 6)])])
+            .unwrap();
+    }
+    if incremental {
+        let mut policy = market.policy();
+        policy.incremental = true;
+        market.set_policy(policy);
+    }
+    let quoters = 8 - writers;
+
+    thread::scope(|scope| {
+        for w in 0..writers {
+            let market = &market;
+            scope.spawn(move |_| {
+                for round in 0..15u64 {
+                    // Single-attribute relations: always consistent.
+                    let v = (w as u64 + round) % 6;
+                    let cents = 50 + (w as u64 * 37 + round * 19) % 350;
+                    market
+                        .set_price(&format!("R.X={v}"), Price::cents(cents))
+                        .unwrap();
+                    market
+                        .set_price(&format!("T.Y={v}"), Price::cents(cents + 25))
+                        .unwrap();
+                }
+            });
+        }
+        for t in 0..quoters {
+            let market = &market;
+            scope.spawn(move |_| {
+                for i in 0..30 {
+                    let query = MIX_QUERIES[(t + i) % MIX_QUERIES.len()];
+                    let quote = market.quote_str(query).unwrap();
+                    assert!(quote.price.is_finite(), "storm quote went infinite");
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    // Writers are done: the cache must now serve the final price list.
+    for query in MIX_QUERIES {
+        let cached = market.quote_str(query).unwrap().price;
+        assert_eq!(
+            cached,
+            fresh_price(&market, query),
+            "stale cached quote for `{query}` after price storm"
+        );
+    }
+
+    if incremental {
+        // A cold market rebuilt from the same snapshot must agree on every
+        // field of every quote — the warm-start path is not allowed to
+        // drift in receipts, method, class, quality, or bounds either.
+        let cold = Market::open_qdp(&market.to_qdp()).unwrap();
+        for query in MIX_QUERIES {
+            let warm = market.quote_str(query).unwrap();
+            let reference = cold.quote_str(query).unwrap();
+            assert_eq!(warm.price, reference.price, "price drift for `{query}`");
+            assert_eq!(warm.lower_bound, reference.lower_bound);
+            assert_eq!(warm.receipt, reference.receipt);
+            assert_eq!(warm.views, reference.views);
+            assert_eq!(warm.method, reference.method);
+            assert_eq!(warm.class, reference.class);
+            assert_eq!(warm.quality, reference.quality);
+            assert_eq!(warm.query, reference.query);
+        }
+    }
+}
+
+/// 90/10 quote/setprice mix (7 quoters, 1 price writer).
+#[test]
+fn update_storm_90_10() {
+    price_update_storm(1, false);
+}
+
+/// 50/50 quote/setprice mix (4 quoters, 4 price writers).
+#[test]
+fn update_storm_50_50() {
+    price_update_storm(4, false);
+}
+
+/// 90/10 mix through the incremental (warm-start) pricing path.
+#[test]
+fn update_storm_90_10_incremental() {
+    price_update_storm(1, true);
+}
+
+/// 50/50 mix through the incremental (warm-start) pricing path.
+#[test]
+fn update_storm_50_50_incremental() {
+    price_update_storm(4, true);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

@@ -106,6 +106,9 @@ fn help_text() -> String {
      \x20 price --batch <file> [--threads N]\n\
      \x20                   price one rule per line in parallel (N workers;\n\
      \x20                   0 or omitted = one per core)\n\
+     \x20 price --incremental <rule>\n\
+     \x20                   price through the plan cache: repeated query\n\
+     \x20                   shapes reprice by residual warm start\n\
      \x20 explain <rule>    quote with a full narrative\n\
      \x20 save <path>       write the market back to a .qdp file\n\
      \x20 buy <rule>        purchase: price + answer + ledger entry\n\
@@ -150,8 +153,28 @@ fn quote<M: MarketOps>(market: &M, rule: &str) -> String {
 
 /// `price <rule>` is an alias for `quote`; `price --batch <file>
 /// [--threads N]` prices one rule per line of `file` on the market's
-/// parallel batch path (`--threads 0` or omitted = one worker per core).
+/// parallel batch path (`--threads 0` or omitted = one worker per core);
+/// `price --incremental <rule>` enables the incremental pricing engine
+/// on the market's policy and quotes through the shape-keyed plan cache,
+/// reporting its hit/warm-reprice counters alongside the quote.
 fn price_cmd<M: MarketOps>(market: &M, rest: &str) -> String {
+    if let Some(rule) = rest.strip_prefix("--incremental") {
+        let mut policy = market.base().policy();
+        if !policy.incremental {
+            policy.incremental = true;
+            if let Err(e) = market.set_policy(policy) {
+                return render_err(e);
+            }
+        }
+        let mut out = quote(market, rule.trim_start());
+        let s = market.base().plan_stats();
+        let _ = write!(
+            out,
+            "\nplan  : {} hit(s), {} miss(es), {} warm reprice(s), {} eviction(s)",
+            s.hits, s.misses, s.warm_reprices, s.evictions
+        );
+        return out;
+    }
     if !rest.starts_with("--batch") {
         return quote(market, rest);
     }
