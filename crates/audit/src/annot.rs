@@ -8,6 +8,8 @@
 //! //                               (or this line, if trailing)
 //! // audit: holds-lock(wal)        this fn acquires/holds the named lock
 //! // audit: lock-free              this fn must not take any lock
+//! // audit: wait-free              this fn is a telemetry hot-path record
+//! //                               point: no lock acquisition reachable
 //! // audit: pricing-entry          this fn is a pricing-engine entry point
 //! // audit: bounded(reason)        the next loop is trivially bounded
 //! ```
@@ -32,6 +34,9 @@ pub enum Annot {
     HoldsLock(String),
     /// `lock-free` — the next fn must not acquire any lock.
     LockFree,
+    /// `wait-free` — the next fn is a telemetry record point (R6): no
+    /// lock acquisition may be reachable from it, even transitively.
+    WaitFree,
     /// `pricing-entry` — the next fn is a pricing-engine entry point.
     PricingEntry,
     /// `bounded(reason)` — the next loop is exempt from R4.
@@ -69,6 +74,9 @@ pub fn parse(comment_text: &str) -> Result<Option<Annot>, AnnotError> {
     if body == "lock-free" {
         return Ok(Some(Annot::LockFree));
     }
+    if body == "wait-free" {
+        return Ok(Some(Annot::WaitFree));
+    }
     if body == "pricing-entry" {
         return Ok(Some(Annot::PricingEntry));
     }
@@ -104,7 +112,7 @@ pub fn parse(comment_text: &str) -> Result<Option<Annot>, AnnotError> {
     }
     Err(err(format!(
         "unknown audit annotation `{body}` (expected allow(..), \
-         holds-lock(..), lock-free, pricing-entry, or bounded(..))"
+         holds-lock(..), lock-free, wait-free, pricing-entry, or bounded(..))"
     )))
 }
 
@@ -164,6 +172,7 @@ mod tests {
             Ok(Some(Annot::HoldsLock("wal".into())))
         );
         assert_eq!(parse(" audit: lock-free"), Ok(Some(Annot::LockFree)));
+        assert_eq!(parse(" audit: wait-free"), Ok(Some(Annot::WaitFree)));
         assert_eq!(
             parse(" audit: pricing-entry"),
             Ok(Some(Annot::PricingEntry))

@@ -9,7 +9,7 @@
 //! must degrade instead of abort. This crate enforces those invariants
 //! offline, with no rustc plugin and no external dependencies: a
 //! hand-rolled lexer ([`lexer`]), a structural scanner ([`model`]), and
-//! five rule engines ([`rules`]):
+//! six rule engines ([`rules`]):
 //!
 //! * **R1** — no unchecked `+`/`-`/`*` on money-tainted operands.
 //! * **R2** — no `unwrap`/`expect`/`panic!` in non-test code.
@@ -18,6 +18,8 @@
 //! * **R4** — every loop in the exact/determinacy/flow hot paths is
 //!   fuel-metered or explicitly `bounded(..)`.
 //! * **R5** — `unsafe` requires an adjacent `// SAFETY:` comment.
+//! * **R6** — the telemetry record path (`qbdp-obs` `record*`) is
+//!   annotated `wait-free` and reaches no lock acquisition.
 //!
 //! Run it with `cargo run -p qbdp-audit -- --deny-all`; the CI
 //! `analysis` job gates on it. Approximations and their soundness

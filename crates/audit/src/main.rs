@@ -37,8 +37,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--rule" => {
                 let r = it.next().ok_or("--rule requires an id (e.g. R2)")?;
-                if !matches!(r.as_str(), "R0" | "R1" | "R2" | "R3" | "R4" | "R5") {
-                    return Err(format!("unknown rule id `{r}` (expected R0..R5)"));
+                if !matches!(r.as_str(), "R0" | "R1" | "R2" | "R3" | "R4" | "R5" | "R6") {
+                    return Err(format!("unknown rule id `{r}` (expected R0..R6)"));
                 }
                 args.rules.push(r);
             }
@@ -78,7 +78,7 @@ fn main() -> ExitCode {
         println!("{d}");
     }
     if diags.is_empty() {
-        println!("qbdp-audit: clean ({} rules enforced)", 5);
+        println!("qbdp-audit: clean ({} rules enforced)", 6);
         ExitCode::SUCCESS
     } else {
         println!("qbdp-audit: {} finding(s)", diags.len());

@@ -65,6 +65,11 @@ impl FnItem {
         self.annots.iter().any(|a| matches!(a, Annot::LockFree))
     }
 
+    /// Whether the fn is annotated `wait-free`.
+    pub fn is_wait_free(&self) -> bool {
+        self.annots.iter().any(|a| matches!(a, Annot::WaitFree))
+    }
+
     /// Whether the fn is annotated `pricing-entry`.
     pub fn is_pricing_entry(&self) -> bool {
         self.annots.iter().any(|a| matches!(a, Annot::PricingEntry))

@@ -14,6 +14,7 @@ pub mod r2_panic;
 pub mod r3_locks;
 pub mod r4_fuel;
 pub mod r5_safety;
+pub mod r6_obs;
 
 /// One finding, printed as `file:line: RULE: message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,7 +23,7 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line.
     pub line: u32,
-    /// Rule id (`R1`…`R5`, or `R0` for a malformed annotation).
+    /// Rule id (`R1`…`R6`, or `R0` for a malformed annotation).
     pub rule: &'static str,
     /// Human-readable finding.
     pub message: String,
@@ -59,6 +60,11 @@ pub struct Config {
     pub metered_paths: Vec<String>,
     /// R4: method/fn names that charge a budget.
     pub meter_calls: Vec<String>,
+    /// R6: path prefixes holding telemetry hot-path code, where every
+    /// fn matching a wait-free prefix must be annotated `wait-free`.
+    pub wait_free_paths: Vec<String>,
+    /// R6: fn-name prefixes that mark a telemetry record point.
+    pub wait_free_prefixes: Vec<String>,
     /// R3: direct `qbdp-*` dependency edges, as short crate names
     /// (`market` → its dependencies). Name-level call resolution only
     /// targets definitions in the caller's dependency closure — a fn in
@@ -106,6 +112,8 @@ impl Config {
                 "crates/flow/src/",
             ]),
             meter_calls: s(&["charge", "tick"]),
+            wait_free_paths: s(&["crates/obs/src/"]),
+            wait_free_prefixes: s(&["record"]),
             crate_deps: {
                 let d = |name: &str, deps: &[&str]| {
                     (
@@ -115,14 +123,15 @@ impl Config {
                 };
                 vec![
                     d("catalog", &[]),
-                    d("flow", &[]),
-                    d("store", &[]),
+                    d("obs", &[]),
+                    d("flow", &["obs"]),
+                    d("store", &["obs"]),
                     d("query", &["catalog"]),
                     d("determinacy", &["catalog", "query"]),
-                    d("core", &["catalog", "query", "determinacy", "flow"]),
+                    d("core", &["catalog", "query", "determinacy", "flow", "obs"]),
                     d(
                         "market",
-                        &["catalog", "core", "determinacy", "query", "store"],
+                        &["catalog", "core", "determinacy", "obs", "query", "store"],
                     ),
                     d("workload", &["catalog", "core", "determinacy", "query"]),
                     d(
@@ -133,6 +142,7 @@ impl Config {
                             "determinacy",
                             "flow",
                             "market",
+                            "obs",
                             "query",
                             "store",
                             "workload",
@@ -146,6 +156,7 @@ impl Config {
                             "determinacy",
                             "flow",
                             "market",
+                            "obs",
                             "query",
                             "store",
                             "workload",
@@ -198,6 +209,7 @@ pub fn run_all(ws: &Workspace, config: &Config) -> Vec<Diagnostic> {
     }
     out.extend(r3_locks::check(ws, config));
     out.extend(r4_fuel::check(ws, config));
+    out.extend(r6_obs::check(ws, config));
     out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     out.dedup();
     out

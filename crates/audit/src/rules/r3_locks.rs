@@ -37,7 +37,8 @@ use std::collections::{HashMap, HashSet};
 /// Transitive dependency closure per crate (each crate includes itself).
 /// Crates absent from the configured edge table close over themselves
 /// only, so an unknown crate's names never resolve outside it.
-fn dep_closures(config: &Config) -> HashMap<String, HashSet<String>> {
+/// (Shared with R6, which runs the same dependency-honest call walk.)
+pub(crate) fn dep_closures(config: &Config) -> HashMap<String, HashSet<String>> {
     let direct: HashMap<&str, &Vec<String>> = config
         .crate_deps
         .iter()
@@ -60,7 +61,7 @@ fn dep_closures(config: &Config) -> HashMap<String, HashSet<String>> {
 }
 
 /// May a fn defined in `caller_crate` call into `callee_crate`?
-fn may_call(
+pub(crate) fn may_call(
     closures: &HashMap<String, HashSet<String>>,
     caller_crate: &str,
     callee_crate: &str,

@@ -1,0 +1,258 @@
+//! R6 — wait-freedom of the telemetry record path.
+//!
+//! The whole argument for leaving [`qbdp-obs`] enabled in production is
+//! that a `record*` call costs a few relaxed atomic ops and can never
+//! block: pricing threads funnel through these fns on *every* quote,
+//! so one mutex inside them would serialize the market behind the
+//! telemetry it is trying to observe. R6 machine-checks that argument:
+//!
+//! * In the configured wait-free paths (`crates/obs/src/`), every fn
+//!   whose name starts with a `record` prefix must carry the
+//!   `// audit: wait-free` annotation — the hot-path contract is
+//!   declared at the definition, not assumed from the name.
+//! * Every `wait-free` fn (annotated anywhere in the workspace) must
+//!   contain no lock acquisition (`.lock()`, zero-argument `.read()` /
+//!   `.write()`), and must not *reach* one through any call path the
+//!   name-level graph can resolve, honoring crate dependency direction
+//!   exactly as R3 does.
+//!
+//! The flight recorder's ring buffer deliberately uses a mutex — it is
+//! fed only on the rare capture of an already-slow or degraded quote,
+//! never from `record*` — so `flight::capture` is simply not annotated
+//! and R6 proves the hot path cannot wander into it.
+//!
+//! Suppression uses the standard grammar: `// audit: allow(R6: why)`.
+//!
+//! [`qbdp-obs`]: ../../../obs/src/lib.rs
+
+use crate::model::FnItem;
+use crate::rules::r3_locks::{dep_closures, may_call};
+use crate::rules::{Config, Diagnostic, Workspace};
+use crate::source::{crate_of, FileClass};
+use std::collections::HashSet;
+
+/// Run R6 over the workspace.
+pub fn check(ws: &Workspace, config: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        let in_wait_free_path = config
+            .wait_free_paths
+            .iter()
+            .any(|p| f.rel_path.starts_with(p));
+        for g in &f.fns {
+            if g.is_test {
+                continue;
+            }
+            let named_record = config
+                .wait_free_prefixes
+                .iter()
+                .any(|p| g.name.starts_with(p.as_str()));
+            // (a) record-path fns in obs must declare the contract.
+            if in_wait_free_path && named_record && !g.is_wait_free() && !f.allowed(g.line, "R6") {
+                out.push(Diagnostic {
+                    file: f.rel_path.clone(),
+                    line: g.line,
+                    rule: "R6",
+                    message: format!(
+                        "fn `{}` is on the telemetry record path but carries no \
+                         `// audit: wait-free` annotation",
+                        g.name
+                    ),
+                });
+            }
+            // (b) the contract itself: nothing lock-shaped reachable.
+            if g.is_wait_free() {
+                check_wait_free(ws, f, g, config, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// No lock acquisition in the fn, and none reachable from it. The walk
+/// mirrors R3's `lock-free` companion check but reports under R6 with
+/// record-path framing, since the stake is different: R3 guards against
+/// a lock held *across* pricing, R6 against the record path blocking at
+/// all.
+fn check_wait_free(
+    ws: &Workspace,
+    f: &crate::model::FileModel,
+    g: &FnItem,
+    config: &Config,
+    out: &mut Vec<Diagnostic>,
+) {
+    if let Some(a) = g.lock_acquires.first() {
+        if !f.allowed(a.line, "R6") {
+            out.push(Diagnostic {
+                file: f.rel_path.clone(),
+                line: a.line,
+                rule: "R6",
+                message: format!(
+                    "fn `{}` is annotated wait-free but acquires a lock (`.{}()`)",
+                    g.name, a.method
+                ),
+            });
+        }
+        return;
+    }
+    let closures = dep_closures(config);
+    let origin = crate_of(&f.rel_path).to_string();
+    let mut visited: HashSet<(String, String)> = HashSet::new();
+    let mut queue: Vec<(String, String, Vec<String>, u32)> = g
+        .calls
+        .iter()
+        .filter(|c| !f.allowed(c.line, "R6"))
+        .map(|c| (c.name.clone(), origin.clone(), vec![g.name.clone()], c.line))
+        .collect();
+    while let Some((name, ctx, path, first_line)) = queue.pop() {
+        if !visited.insert((ctx.clone(), name.clone())) {
+            continue;
+        }
+        let Some(defs) = ws.fn_index.get(&name) else {
+            continue;
+        };
+        for &(fi, gi) in defs {
+            let callee = &ws.files[fi].fns[gi];
+            let callee_crate = crate_of(&ws.files[fi].rel_path);
+            if callee.is_test
+                || ws.files[fi].class != FileClass::Library
+                || !may_call(&closures, &ctx, callee_crate)
+            {
+                continue;
+            }
+            if let Some(a) = callee.lock_acquires.first() {
+                let mut full = path.clone();
+                full.push(name.clone());
+                out.push(Diagnostic {
+                    file: f.rel_path.clone(),
+                    line: first_line,
+                    rule: "R6",
+                    message: format!(
+                        "fn `{}` is annotated wait-free but reaches a lock \
+                         acquisition (`.{}()` in `{}`): {}",
+                        g.name,
+                        a.method,
+                        name,
+                        full.join(" -> ")
+                    ),
+                });
+                continue;
+            }
+            if path.len() > 24 {
+                continue; // same depth bound as R3: deeper paths are noise
+            }
+            let mut next_path = path.clone();
+            next_path.push(name.clone());
+            for c in &callee.calls {
+                queue.push((
+                    c.name.clone(),
+                    callee_crate.to_string(),
+                    next_path.clone(),
+                    first_line,
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+
+    fn diags(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let ws = Workspace::new(
+            files
+                .iter()
+                .map(|(p, s)| FileModel::build(p, crate::source::classify(p), s))
+                .collect(),
+        );
+        check(&ws, &Config::workspace_defaults())
+    }
+
+    #[test]
+    fn unannotated_record_fn_in_obs_is_flagged() {
+        let d = diags(&[(
+            "crates/obs/src/metrics.rs",
+            "fn record_thing(c: Ctr) { global().counter(c).add(1); }",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("no `// audit: wait-free`"));
+    }
+
+    #[test]
+    fn record_names_outside_obs_are_not_conscripted() {
+        let d = diags(&[(
+            "crates/market/src/durable.rs",
+            "fn record_sale(&self) { let wal = self.wal.lock(); }",
+        )]);
+        assert!(
+            d.iter().all(|x| x.rule != "R6"),
+            "R6 is scoped to the obs crate: {d:?}"
+        );
+    }
+
+    #[test]
+    fn direct_acquisition_in_wait_free_fn_is_flagged() {
+        let d = diags(&[(
+            "crates/obs/src/metrics.rs",
+            "// audit: wait-free\nfn record(c: Ctr) { let g = self.inner.lock(); }",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("acquires a lock"));
+    }
+
+    #[test]
+    fn transitive_reach_is_flagged_with_path() {
+        let d = diags(&[(
+            "crates/obs/src/metrics.rs",
+            "// audit: wait-free\nfn record(c: Ctr) { helper(); }\n\
+             fn helper() { deeper(); }\nfn deeper() { ring.lock(); }",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(
+            d[0].message.contains("record -> helper -> deeper"),
+            "{}",
+            d[0].message
+        );
+    }
+
+    #[test]
+    fn resolution_respects_dependency_direction() {
+        // obs depends on nothing, so a call from a wait-free obs fn
+        // must not resolve into a market fn that happens to share the
+        // name — the market definition is unreachable from obs.
+        let d = diags(&[
+            (
+                "crates/obs/src/metrics.rs",
+                "// audit: wait-free\nfn record(c: Ctr) { bump(); }",
+            ),
+            (
+                "crates/market/src/cache.rs",
+                "fn bump(&self) { self.shard.write(); }",
+            ),
+        ]);
+        assert!(d.is_empty(), "obs cannot call into qbdp-market: {d:?}");
+    }
+
+    #[test]
+    fn clean_record_path_passes() {
+        let d = diags(&[(
+            "crates/obs/src/metrics.rs",
+            "// audit: wait-free\n\
+             fn record(c: Ctr) { if !enabled() { return; } global().counter(c).add(1); }\n\
+             fn enabled() -> bool { ENABLED.load(Ordering::Relaxed) }",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_suppresses() {
+        let d = diags(&[(
+            "crates/obs/src/flight.rs",
+            "// audit: allow(R6: capture is off the record path)\n\
+             fn record_flight(&self) { ring.lock(); }",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

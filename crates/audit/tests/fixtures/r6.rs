@@ -1,0 +1,28 @@
+//! R6 fixture: every way the telemetry record path can stop being
+//! wait-free. Audited under the virtual path
+//! `crates/obs/src/fixture_r6.rs` so the record-prefix scope applies.
+
+// A record point that skipped the annotation: the contract must be
+// declared at the definition, not assumed from the name.
+pub fn record_unannotated(c: Ctr) { //~ R6
+    global().counter(c).add(1);
+}
+
+// Annotated, but takes the ring mutex directly on the hot path.
+// audit: wait-free
+pub fn record_direct(c: Ctr) {
+    let ring = RING.lock(); //~ R6
+    ring.push(c);
+}
+
+// Annotated and clean itself, but a helper it calls acquires a shard
+// lock — the walk reports the path record_transitive -> stash.
+// audit: wait-free
+pub fn record_transitive(c: Ctr) {
+    stash(c); //~ R6
+}
+
+fn stash(c: Ctr) {
+    let mut buf = BUF.write();
+    buf.push(c);
+}

@@ -62,3 +62,8 @@ fn r4_unmetered_hot_loop_fires() {
 fn r5_undocumented_unsafe_fires() {
     check_fixture("r5.rs", "crates/market/src/fixture_r5.rs");
 }
+
+#[test]
+fn r6_blocking_record_path_fires() {
+    check_fixture("r6.rs", "crates/obs/src/fixture_r6.rs");
+}

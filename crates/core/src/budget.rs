@@ -34,6 +34,9 @@ const LARGE_CHARGE: u64 = 256;
 
 struct Inner {
     fuel: AtomicU64,
+    /// The tank's starting level, kept so telemetry can report consumed
+    /// fuel (`initial - remaining`) without touching the charge path.
+    initial_fuel: u64,
     deadline: Option<Instant>,
     cancelled: AtomicBool,
     charged: AtomicU64,
@@ -77,6 +80,7 @@ impl Budget {
         Budget {
             inner: Arc::new(Inner {
                 fuel: AtomicU64::new(fuel),
+                initial_fuel: fuel,
                 deadline,
                 cancelled: AtomicBool::new(false),
                 charged: AtomicU64::new(0),
@@ -146,6 +150,7 @@ impl Budget {
             .map(|_| Budget {
                 inner: Arc::new(Inner {
                     fuel: AtomicU64::new(share),
+                    initial_fuel: share,
                     deadline: self.inner.deadline,
                     cancelled: AtomicBool::new(false),
                     charged: AtomicU64::new(0),
@@ -200,6 +205,20 @@ impl Budget {
             }
         }
         true
+    }
+
+    /// Fuel consumed so far: the tank's starting level minus what is
+    /// left. `0` for unlimited budgets (nothing is metered there).
+    /// Telemetry reads this to attach fuel costs to trace spans; it
+    /// never touches the charge path.
+    pub fn consumed_fuel(&self) -> u64 {
+        if self.inner.initial_fuel == UNLIMITED_FUEL {
+            0
+        } else {
+            self.inner
+                .initial_fuel
+                .saturating_sub(self.inner.fuel.load(Ordering::Relaxed))
+        }
     }
 
     /// Whether the budget is already exhausted (without consuming fuel).

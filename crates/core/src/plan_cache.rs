@@ -76,6 +76,37 @@ pub struct PlanStats {
     pub evictions: u64,
 }
 
+impl PlanStats {
+    // The per-instance tallies (asserted exactly by tests and printed by
+    // `qbdp price --incremental`) and the global registry are fed from
+    // one increment site each, so the two views can never diverge.
+
+    fn hit(&mut self) {
+        self.hits += 1;
+        qbdp_obs::record(qbdp_obs::Ctr::PlanCacheHits, 1);
+    }
+
+    fn miss(&mut self) {
+        self.misses += 1;
+        qbdp_obs::record(qbdp_obs::Ctr::PlanCacheMisses, 1);
+    }
+
+    fn warm_reprice(&mut self) {
+        self.warm_reprices += 1;
+        qbdp_obs::record(qbdp_obs::Ctr::PlanCacheWarmReprices, 1);
+    }
+
+    fn flow_fallback(&mut self) {
+        self.flow_fallbacks += 1;
+        qbdp_obs::record(qbdp_obs::Ctr::PlanCacheFlowFallbacks, 1);
+    }
+
+    fn evict(&mut self, n: u64) {
+        self.evictions += n;
+        qbdp_obs::record(qbdp_obs::Ctr::PlanCacheEvictions, n);
+    }
+}
+
 /// One Step 3 branch with its solved network kept warm.
 struct CachedBranch {
     /// Reduced-view → original-view mapping of the branch problem.
@@ -252,7 +283,7 @@ impl PlanCache {
         let before = self.map.len();
         self.map
             .retain(|_, e| !e.mentioned.iter().any(|r| rels.contains(r)));
-        self.stats.evictions += (before - self.map.len()) as u64;
+        self.stats.evict((before - self.map.len()) as u64);
     }
 
     /// Whether this query takes the cached chain-flow path. Everything
@@ -278,9 +309,12 @@ impl PlanCache {
         // Entries are taken out of the map for mutation; a build failure
         // simply leaves the shape uncached (exactly like a cold error).
         if let Some(mut entry) = self.map.remove(&key) {
+            let mut span = qbdp_obs::trace::span("plan_cache");
             let changed = entry.diff(pricer);
+            span.n(changed.len() as u64);
             if changed.is_empty() {
-                self.stats.hits += 1;
+                self.stats.hit();
+                span.detail("hit");
                 let quote = entry.quote.clone();
                 self.map.insert(key, entry);
                 return Ok(quote);
@@ -289,16 +323,21 @@ impl PlanCache {
                 old.is_finite() && new.is_finite() && !entry.transformed.contains(&view.attr)
             });
             if patchable {
+                span.detail("warm");
                 let quote = self.reprice(&mut entry, pricer, &changed)?;
-                self.stats.warm_reprices += 1;
+                self.stats.warm_reprice();
                 self.map.insert(key, entry);
                 return Ok(quote);
             }
-            self.stats.evictions += 1;
+            self.stats.evict(1);
+            span.detail("evict");
         } else {
-            self.stats.misses += 1;
+            self.stats.miss();
+            qbdp_obs::trace::event("plan_cache", "miss");
         }
+        let build_span = qbdp_obs::trace::span("plan_build");
         let (entry, quote) = self.build(pricer, q, class)?;
+        drop(build_span);
         self.map.insert(key, entry);
         Ok(quote)
     }
@@ -339,7 +378,7 @@ impl PlanCache {
                         PricingError::Internal("unmetered warm start interrupted".into())
                     })?;
                 if out.fell_back {
-                    self.stats.flow_fallbacks += 1;
+                    self.stats.flow_fallback();
                 }
             }
             // Base cost re-summed from the recorded cover views: equal to

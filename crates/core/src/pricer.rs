@@ -161,6 +161,26 @@ impl Outcome {
     }
 }
 
+/// Count a budget exhaustion against the engine that degraded; the
+/// registry's `qbdp_budget_exhausted_*` family breaks "degraded quote"
+/// down by which engine ran dry.
+fn note_exhaustion(ctr: qbdp_obs::Ctr, quality: QuoteQuality) {
+    if !quality.is_exact() {
+        qbdp_obs::record(ctr, 1);
+    }
+}
+
+/// Static label for a dichotomy class, for trace-span details.
+fn class_label(class: &QueryClass) -> &'static str {
+    match class {
+        QueryClass::Disconnected(_) => "disconnected",
+        QueryClass::GeneralizedChain => "gchq",
+        QueryClass::Cycle(_) => "cycle",
+        QueryClass::NpComplete(_) => "np_complete",
+        QueryClass::OutsideDichotomy => "outside_dichotomy",
+    }
+}
+
 /// Engine configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct PricerConfig {
@@ -322,7 +342,12 @@ impl Pricer {
         budget: &Budget,
     ) -> Result<Quote, PricingError> {
         crate::fault::maybe_panic();
-        let class = classify(q);
+        let class = {
+            let mut span = qbdp_obs::trace::span("classify");
+            let class = classify(q);
+            span.detail(class_label(&class));
+            class
+        };
         let o = self.dispatch_within(q, &class, budget)?;
         let mut views = o.views;
         views.sort();
@@ -410,30 +435,34 @@ impl Pricer {
                         PricingMethod::StructuralCover,
                     )
                 }
-                None => Outcome::from_result(
-                    crate::exact::certificates::certificate_price_bundle_within(
+                None => {
+                    let mut span = qbdp_obs::trace::span("hitting_set");
+                    span.detail("bundle_certs");
+                    let r = crate::exact::certificates::certificate_price_bundle_within(
                         &self.catalog,
                         &self.instance,
                         &self.prices,
                         cqs,
                         self.config.certificates,
                         budget,
-                    )?,
-                    PricingMethod::ExactCertificates,
-                ),
+                    )?;
+                    note_exhaustion(qbdp_obs::Ctr::BudgetExhaustedCerts, r.quality);
+                    Outcome::from_result(r, PricingMethod::ExactCertificates)
+                }
             }
         } else {
-            Outcome::from_result(
-                subset_price_within(
-                    &self.catalog,
-                    &self.instance,
-                    &self.prices,
-                    bundle,
-                    self.config.subset,
-                    budget,
-                )?,
-                PricingMethod::ExactSubset,
-            )
+            let mut span = qbdp_obs::trace::span("hitting_set");
+            span.detail("bundle_subset");
+            let r = subset_price_within(
+                &self.catalog,
+                &self.instance,
+                &self.prices,
+                bundle,
+                self.config.subset,
+                budget,
+            )?;
+            note_exhaustion(qbdp_obs::Ctr::BudgetExhaustedSubset, r.quality);
+            Outcome::from_result(r, PricingMethod::ExactSubset)
         };
         let class = bundle
             .queries()
@@ -455,6 +484,7 @@ impl Pricer {
     /// The budget-exhausted fallback: the structural relation cover, which
     /// determines any monotone query over the mentioned relations.
     fn structural_outcome(&self, q: &ConjunctiveQuery) -> Outcome {
+        qbdp_obs::trace::event("structural_fallback", "relation_cover");
         let (price, views) = structural_cover(&self.catalog, &self.prices, relevant_rels_cq(q));
         Outcome::from_result(
             ExactResult::degraded(price, views, Price::ZERO),
@@ -533,7 +563,10 @@ impl Pricer {
                     self.prices.clone(),
                     q.clone(),
                 );
+                let mut span = qbdp_obs::trace::span("hitting_set");
+                span.detail("cycle_certs");
                 let r = cycle_price_within(&problem, self.config.certificates, budget)?;
+                note_exhaustion(qbdp_obs::Ctr::BudgetExhaustedCerts, r.quality);
                 Ok(Outcome::from_result(r, PricingMethod::CycleCertificates))
             }
             QueryClass::NpComplete(_) | QueryClass::OutsideDichotomy => {
@@ -541,6 +574,8 @@ impl Pricer {
                     return self.price_boolean_within(q, budget);
                 }
                 if analysis::is_full(q) {
+                    let mut span = qbdp_obs::trace::span("hitting_set");
+                    span.detail("certs");
                     let r = certificate_price_within(
                         &self.catalog,
                         &self.instance,
@@ -549,8 +584,11 @@ impl Pricer {
                         self.config.certificates,
                         budget,
                     )?;
+                    note_exhaustion(qbdp_obs::Ctr::BudgetExhaustedCerts, r.quality);
                     return Ok(Outcome::from_result(r, PricingMethod::ExactCertificates));
                 }
+                let mut span = qbdp_obs::trace::span("hitting_set");
+                span.detail("subset");
                 let r = subset_price_within(
                     &self.catalog,
                     &self.instance,
@@ -559,6 +597,7 @@ impl Pricer {
                     self.config.subset,
                     budget,
                 )?;
+                note_exhaustion(qbdp_obs::Ctr::BudgetExhaustedSubset, r.quality);
                 Ok(Outcome::from_result(r, PricingMethod::ExactSubset))
             }
         }
@@ -632,9 +671,20 @@ impl Pricer {
             self.prices.clone(),
             ordered,
         );
+        let mut norm_span = qbdp_obs::trace::span("normalize");
         let problem = step1_predicates::apply(problem)?;
         let problem = step2_repeated::apply(problem)?;
         let (branches, branches_complete) = step3_hanging::branches_within(problem, budget)?;
+        norm_span.detail(if branches_complete {
+            "steps_1_3"
+        } else {
+            "step3_exhausted"
+        });
+        norm_span.n(branches.len() as u64);
+        drop(norm_span);
+        if !branches_complete {
+            qbdp_obs::record(qbdp_obs::Ctr::BudgetExhaustedStep3, 1);
+        }
         if branches.is_empty() && !branches_complete {
             return Ok(self.structural_outcome(q));
         }
@@ -648,12 +698,21 @@ impl Pricer {
         let mut branch_lb = Price::INFINITE;
         let mut all_done = true;
         for branch in branches {
-            match chain_price_within(
+            let mut flow_span = qbdp_obs::trace::span("flow_solve");
+            let fuel_before = budget.consumed_fuel();
+            let metered = chain_price_within(
                 &branch.problem,
                 self.config.tuple_mode,
                 self.config.flow_algo,
                 budget,
-            )? {
+            )?;
+            flow_span.fuel(budget.consumed_fuel().saturating_sub(fuel_before));
+            flow_span.detail(match &metered {
+                Metered::Done(_) => "done",
+                Metered::Exhausted { .. } => "exhausted",
+            });
+            drop(flow_span);
+            match metered {
                 Metered::Done(r) => {
                     let total = branch.base_cost.saturating_add(r.price);
                     branch_lb = branch_lb.min(total);

@@ -47,6 +47,10 @@ impl DinicArena {
         ticker: &impl Ticker,
     ) -> Result<MaxFlowResult, Interrupted> {
         assert_ne!(s, t, "source and sink must differ");
+        qbdp_obs::record(qbdp_obs::Ctr::FlowSolvesCold, 1);
+        if self.spare.capacity() > 0 {
+            qbdp_obs::record(qbdp_obs::Ctr::FlowArenaReuses, 1);
+        }
         // Recycle the spare residual buffer if one is available.
         let mut residual = std::mem::take(&mut self.spare);
         residual.clear();
@@ -56,6 +60,7 @@ impl DinicArena {
             Ok(()) => Ok(MaxFlowResult { value, residual }),
             Err(()) => {
                 self.spare = residual;
+                qbdp_obs::record(qbdp_obs::Ctr::BudgetExhaustedFlow, 1);
                 Err(Interrupted {
                     partial_value: value,
                 })
@@ -87,10 +92,14 @@ impl DinicArena {
         self.it.resize(n, 0);
         self.queue.clear();
         self.queue.reserve(n);
-        loop {
+        // Fuel accounting is accumulated locally and recorded once at
+        // exit: one atomic add per solve, not per phase.
+        let mut spent: u64 = 0;
+        let out = 'solve: loop {
             if !ticker.tick(phase_cost) {
-                return Err(());
+                break 'solve Err(());
             }
+            spent += phase_cost;
             // BFS: build level graph on residual edges.
             self.level.fill(u32::MAX);
             self.level[s] = 0;
@@ -112,7 +121,7 @@ impl DinicArena {
                 }
             }
             if self.level[t] == u32::MAX {
-                break;
+                break 'solve Ok(());
             }
             // DFS blocking flow with edge iterators.
             self.it.fill(0);
@@ -123,11 +132,13 @@ impl DinicArena {
                 }
                 *value = value.saturating_add(pushed);
                 if !ticker.tick(8) {
-                    return Err(());
+                    break 'solve Err(());
                 }
+                spent += 8;
             }
-        }
-        Ok(())
+        };
+        qbdp_obs::record(qbdp_obs::Ctr::FlowFuelSpent, spent);
+        out
     }
 
     /// Reclaim the residual allocation of a finished result so the next

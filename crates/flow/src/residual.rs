@@ -27,7 +27,7 @@
 //! solve reports bit-identical value **and** cut edges to a cold solve.
 //!
 //! The whole repair is metered against an internal fuel budget of
-//! [`WARM_FUEL_PHASES`]`(n)` BFS-phase equivalents — a fraction of the
+//! [`warm_fuel_phases`]`(n)` BFS-phase equivalents — a fraction of the
 //! `O(n)`-phase cold worst case. If the repair (or the resumed
 //! augmentation) exceeds it, the warm attempt is abandoned and a cold
 //! solve runs instead; either way the caller ends with a valid
@@ -155,12 +155,16 @@ impl DinicArena {
             outer: ticker,
         };
         match self.try_warm(g, s, t, state, &applied, &fueled) {
-            Ok(()) => Ok(WarmOutcome { fell_back: false }),
+            Ok(()) => {
+                qbdp_obs::record(qbdp_obs::Ctr::FlowSolvesWarm, 1);
+                Ok(WarmOutcome { fell_back: false })
+            }
             Err(()) => {
                 // The partially repaired residual is garbage now; a cold
                 // solve rebuilds from the updated capacities under the
                 // *outer* ticker only (the fuel fraction governed just
                 // the warm attempt).
+                qbdp_obs::record(qbdp_obs::Ctr::FlowWarmFallbacks, 1);
                 let cold = self.max_flow(g, s, t, ticker)?;
                 *state = ResidualState::from(cold);
                 Ok(WarmOutcome { fell_back: true })

@@ -39,6 +39,14 @@ pub trait MarketOps {
     fn durable(&self) -> Option<&DurableMarket> {
         None
     }
+
+    /// A Prometheus-text snapshot of the process-wide telemetry registry
+    /// (counters, gauges, and latency histograms). Metrics are recorded
+    /// only while [`MarketPolicy::telemetry`] is on; the snapshot itself
+    /// is always available (all-zero when telemetry never ran).
+    fn metrics_snapshot(&self) -> String {
+        qbdp_obs::export::prometheus(qbdp_obs::global())
+    }
 }
 
 impl MarketOps for Market {

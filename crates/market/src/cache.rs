@@ -133,6 +133,23 @@ impl ShardedQuoteCache {
     /// snapshot.
     // audit: holds-lock(cache-shard)
     pub(crate) fn get(&self, key: &str) -> Option<MarketQuote> {
+        let hit = self.get_inner(key);
+        // The registry is the single tally for cache effectiveness: a
+        // stamp-invalidated entry counts as a miss (it must be repriced),
+        // same as an absent one.
+        qbdp_obs::record(
+            if hit.is_some() {
+                qbdp_obs::Ctr::MarketCacheHits
+            } else {
+                qbdp_obs::Ctr::MarketCacheMisses
+            },
+            1,
+        );
+        hit
+    }
+
+    // audit: holds-lock(cache-shard)
+    fn get_inner(&self, key: &str) -> Option<MarketQuote> {
         let shard = self.shard(key).read();
         let entry = shard.get(key)?;
         if entry.stamp == self.stamp(&entry.footprint) {
@@ -177,6 +194,8 @@ impl ShardedQuoteCache {
     /// `attrs` keep their stamps valid and stay servable.
     // audit: holds-lock(cache-shard)
     pub(crate) fn invalidate_columns(&self, attrs: &[AttrRef]) {
+        qbdp_obs::record(qbdp_obs::Ctr::MarketInvalidations, 1);
+        qbdp_obs::record(qbdp_obs::Ctr::MarketColumnsInvalidated, attrs.len() as u64);
         self.generation.fetch_add(1, Ordering::SeqCst);
         for a in attrs {
             if let Some(e) = self.columns.get(a) {

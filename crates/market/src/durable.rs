@@ -158,11 +158,14 @@ fn parse_policy(text: &str) -> Result<MarketPolicy, StoreError> {
         sell_degraded,
         max_in_flight,
         batch_workers,
-        // In-process serving knob, deliberately not persisted: a
+        // In-process serving knobs, deliberately not persisted: a
         // recovered market prices cold until the operator re-enables
         // the incremental engine (its plan cache died with the process
-        // anyway, so there is nothing warm to preserve).
+        // anyway, so there is nothing warm to preserve), and telemetry
+        // is an operator decision about *this* process, not market
+        // state.
         incremental: false,
+        telemetry: false,
     })
 }
 
@@ -396,6 +399,8 @@ impl DurableMarket {
                 *health = MarketHealth::ReadOnly {
                     reason: e.to_string(),
                 };
+                qbdp_obs::record(qbdp_obs::Ctr::MarketHealthFlips, 1);
+                qbdp_obs::record_gauge(qbdp_obs::Gauge::HealthReadOnly, 1);
             }
         }
         MarketError::Store(e)
@@ -482,6 +487,7 @@ impl DurableMarket {
     // audit: holds-lock(wal)
     pub fn purchase_str(&self, query: &str) -> Result<Purchase, MarketError> {
         const RETRIES: usize = 8;
+        let sw = qbdp_obs::Stopwatch::start();
         self.ensure_writable()?;
         // audit: bounded(fixed retry cap; each round does one pricing call)
         for _ in 0..RETRIES {
@@ -494,6 +500,7 @@ impl DurableMarket {
                 // the quote may no longer match the market. Drop the
                 // lock and re-price against the new state.
                 drop(wal);
+                qbdp_obs::record(qbdp_obs::Ctr::MarketPurchaseRetries, 1);
                 continue;
             }
             if self.market.revenue().checked_add(quote.price).is_none() {
@@ -512,12 +519,22 @@ impl DurableMarket {
                 answer.len(),
                 quote.views.len(),
             )?;
+            qbdp_obs::record(qbdp_obs::Ctr::MarketPurchases, 1);
+            sw.stop(qbdp_obs::Hst::PurchaseLatencyUs);
             return Ok(Purchase {
                 transaction_id,
                 quote,
                 answer,
             });
         }
+        qbdp_obs::record(qbdp_obs::Ctr::MarketPurchaseContended, 1);
+        qbdp_obs::flight::capture(
+            qbdp_obs::flight::Why::Contended,
+            query,
+            sw.elapsed_us().unwrap_or(0),
+            format!("{RETRIES} revalidation retries exhausted"),
+            Vec::new(),
+        );
         Err(MarketError::Contended)
     }
 
@@ -571,6 +588,7 @@ impl DurableMarket {
     /// (`ENOSPC`, fsync-poison) degrade the market to read-only.
     // audit: holds-lock(wal)
     pub fn compact(&self) -> Result<u64, MarketError> {
+        let sw = qbdp_obs::Stopwatch::start();
         self.ensure_writable()?;
         let mut wal = self.wal.lock();
         let covered = wal.position();
@@ -590,6 +608,8 @@ impl DurableMarket {
         snapshot
             .write_with(self.vfs.as_ref(), &path, &self.retry)
             .map_err(|e| self.degrade_on(e))?;
+        qbdp_obs::record(qbdp_obs::Ctr::StoreCompactions, 1);
+        sw.stop(qbdp_obs::Hst::CompactionUs);
         Ok(covered)
     }
 }
@@ -639,6 +659,7 @@ fn apply_event(market: &Market, event: &MarketEvent, offset: u64) -> Result<(), 
                 batch_workers: *batch_workers as usize,
                 // Not carried by the event; see `parse_policy`.
                 incremental: false,
+                telemetry: false,
             });
         }
         MarketEvent::SnapshotMark { .. } => {}

@@ -55,6 +55,13 @@ pub struct MarketPolicy {
     /// this flag). An in-process serving knob: it is not persisted by the
     /// durable market, and recovery resets it to `false`.
     pub incremental: bool,
+    /// Turn on the process-wide telemetry pipeline (`qbdp-obs`): metric
+    /// recording, per-quote trace spans, and the degraded-quote flight
+    /// recorder. Off, every probe is a single relaxed atomic load. Like
+    /// [`MarketPolicy::incremental`] this is an in-process serving knob:
+    /// it is not persisted by the durable market, and recovery resets it
+    /// to `false`.
+    pub telemetry: bool,
 }
 
 impl Default for MarketPolicy {
@@ -66,6 +73,7 @@ impl Default for MarketPolicy {
             max_in_flight: usize::MAX,
             batch_workers: 0,
             incremental: false,
+            telemetry: false,
         }
     }
 }
@@ -157,7 +165,11 @@ struct InFlightGuard<'a> {
 
 impl Drop for InFlightGuard<'_> {
     fn drop(&mut self) {
-        self.in_flight.fetch_sub(self.slots, Ordering::Relaxed);
+        let prev = self.in_flight.fetch_sub(self.slots, Ordering::Relaxed);
+        qbdp_obs::record_gauge(
+            qbdp_obs::Gauge::InFlight,
+            prev.saturating_sub(self.slots) as u64,
+        );
     }
 }
 
@@ -170,6 +182,7 @@ fn contain_panic<T>(
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
         Ok(result) => Ok(result?),
         Err(payload) => {
+            qbdp_obs::record(qbdp_obs::Ctr::MarketPanicsContained, 1);
             let msg = payload
                 .downcast_ref::<&str>()
                 .map(|s| s.to_string())
@@ -177,6 +190,59 @@ fn contain_panic<T>(
                 .unwrap_or_else(|| "pricing engine panicked".to_string());
             Err(MarketError::Internal(msg))
         }
+    }
+}
+
+/// Telemetry epilogue for the serial serving paths: close the trace,
+/// record the latency histogram and outcome counters, and hand the span
+/// tree to the flight recorder when the quote went wrong (degraded,
+/// refused-degraded, panicked) or crossed the slow threshold. Free when
+/// telemetry is off: the stopwatch never read the clock and the trace
+/// was never begun.
+fn observe_served(
+    query: &str,
+    sw: qbdp_obs::Stopwatch,
+    hist: qbdp_obs::Hst,
+    served: qbdp_obs::Ctr,
+    quote: Option<&MarketQuote>,
+    err: Option<&MarketError>,
+) {
+    use qbdp_obs::flight::{self, Why};
+    let spans = qbdp_obs::trace::finish();
+    let Some(us) = sw.stop(hist) else { return };
+    match (quote, err) {
+        (Some(q), _) => {
+            qbdp_obs::record(served, 1);
+            if !q.quality.is_exact() {
+                qbdp_obs::record(qbdp_obs::Ctr::MarketQuotesDegraded, 1);
+                flight::capture(
+                    Why::Degraded,
+                    query,
+                    us,
+                    format!(
+                        "sold upper bound; true price in [{}, {}]",
+                        q.lower_bound, q.price
+                    ),
+                    spans,
+                );
+            } else if us >= flight::slow_threshold_us() {
+                flight::capture(Why::Slow, query, us, String::new(), spans);
+            }
+        }
+        (None, Some(MarketError::Internal(msg))) => {
+            flight::capture(Why::Panicked, query, us, msg.clone(), spans);
+        }
+        (None, Some(MarketError::DeadlineExceeded)) => {
+            qbdp_obs::record(qbdp_obs::Ctr::MarketQuotesDegraded, 1);
+            flight::capture(
+                Why::Degraded,
+                query,
+                us,
+                "refused: budget exhausted and sell_degraded is off".to_string(),
+                spans,
+            );
+        }
+        _ => {}
     }
 }
 
@@ -212,9 +278,12 @@ impl Market {
         })
     }
 
-    /// Replace the market's resource policy.
+    /// Replace the market's resource policy. The `telemetry` flag is
+    /// applied to the process-wide `qbdp-obs` switch here — the one
+    /// place serving policy and recording policy meet.
     // audit: holds-lock(state)
     pub fn set_policy(&self, policy: MarketPolicy) {
+        qbdp_obs::set_enabled(policy.telemetry);
         self.state.write().policy = policy;
     }
 
@@ -237,8 +306,10 @@ impl Market {
         let prev = self.in_flight.fetch_add(slots, Ordering::Relaxed);
         if prev.checked_add(slots).is_none_or(|total| total > max) {
             self.in_flight.fetch_sub(slots, Ordering::Relaxed);
+            qbdp_obs::record(qbdp_obs::Ctr::MarketAdmissionRejects, 1);
             return Err(MarketError::Overloaded);
         }
+        qbdp_obs::record_gauge(qbdp_obs::Gauge::InFlight, (prev + slots) as u64);
         Ok(InFlightGuard {
             in_flight: &self.in_flight,
             slots,
@@ -270,11 +341,36 @@ impl Market {
     /// next data update.
     // audit: holds-lock(state)
     pub fn quote_str(&self, query: &str) -> Result<MarketQuote, MarketError> {
+        let sw = qbdp_obs::Stopwatch::start();
+        if qbdp_obs::enabled() {
+            qbdp_obs::trace::begin();
+        }
+        let out = self.quote_str_inner(query);
+        observe_served(
+            query,
+            sw,
+            qbdp_obs::Hst::QuoteLatencyUs,
+            qbdp_obs::Ctr::MarketQuotes,
+            out.as_ref().ok(),
+            out.as_ref().err(),
+        );
+        out
+    }
+
+    /// The uninstrumented body of [`Market::quote_str`].
+    // audit: holds-lock(state)
+    fn quote_str_inner(&self, query: &str) -> Result<MarketQuote, MarketError> {
         let state = self.state.read();
         let _slot = self.admit(state.policy.max_in_flight)?;
         let q = parse_rule(state.pricer.catalog().schema(), query)?;
         let key = pretty::render(&q, state.pricer.catalog().schema());
-        if let Some(hit) = self.cache.get(&key) {
+        let hit = {
+            let mut span = qbdp_obs::trace::span("cache_lookup");
+            let hit = self.cache.get(&key);
+            span.detail(if hit.is_some() { "hit" } else { "miss" });
+            hit
+        };
+        if let Some(hit) = hit {
             return Ok(hit);
         }
         // Compute the footprint stamp *under the read lock*: it names
@@ -378,6 +474,14 @@ impl Market {
                 slots[i] = Some(finished);
             }
         }
+        if qbdp_obs::enabled() {
+            for q in slots.iter().flatten().flatten() {
+                qbdp_obs::record(qbdp_obs::Ctr::MarketQuotes, 1);
+                if !q.quality.is_exact() {
+                    qbdp_obs::record(qbdp_obs::Ctr::MarketQuotesDegraded, 1);
+                }
+            }
+        }
         slots
             .into_iter()
             .map(|s| {
@@ -454,6 +558,25 @@ impl Market {
     /// Purchase a query (datalog syntax): quote, evaluate, record, deliver.
     // audit: holds-lock(state)
     pub fn purchase_str(&self, query: &str) -> Result<Purchase, MarketError> {
+        let sw = qbdp_obs::Stopwatch::start();
+        if qbdp_obs::enabled() {
+            qbdp_obs::trace::begin();
+        }
+        let out = self.purchase_str_inner(query);
+        observe_served(
+            query,
+            sw,
+            qbdp_obs::Hst::PurchaseLatencyUs,
+            qbdp_obs::Ctr::MarketPurchases,
+            out.as_ref().ok().map(|p| &p.quote),
+            out.as_ref().err(),
+        );
+        out
+    }
+
+    /// The uninstrumented body of [`Market::purchase_str`].
+    // audit: holds-lock(state)
+    fn purchase_str_inner(&self, query: &str) -> Result<Purchase, MarketError> {
         let mut state = self.state.write();
         let _slot = self.admit(state.policy.max_in_flight)?;
         let q = parse_rule(state.pricer.catalog().schema(), query)?;

@@ -1,0 +1,193 @@
+//! Exporters: Prometheus text format and machine-readable JSON.
+//!
+//! Both walk the closed metric catalog in declaration order, so output
+//! is fully deterministic for a given registry state — the golden tests
+//! pin it byte-for-byte. Counters and histograms whose value is zero
+//! are still emitted: a scraper should see the whole catalog, not a
+//! shape that changes with traffic.
+
+use crate::metrics::{bucket_le, Ctr, Gauge, Hst, Registry, NBUCKETS};
+use std::fmt::Write as _;
+
+/// Render `reg` in Prometheus text exposition format (v0.0.4):
+/// `# HELP` / `# TYPE` headers, histograms as cumulative
+/// `_bucket{le="..."}` series plus `_sum` and `_count`.
+pub fn prometheus(reg: &Registry) -> String {
+    let mut out = String::new();
+    for &c in Ctr::ALL {
+        let _ = writeln!(out, "# HELP {} {}", c.name(), c.help());
+        let _ = writeln!(out, "# TYPE {} counter", c.name());
+        let _ = writeln!(out, "{} {}", c.name(), reg.counter(c).get());
+    }
+    for &g in Gauge::ALL {
+        let _ = writeln!(out, "# HELP {} {}", g.name(), g.help());
+        let _ = writeln!(out, "# TYPE {} gauge", g.name());
+        let _ = writeln!(out, "{} {}", g.name(), reg.gauge(g).get());
+    }
+    for &h in Hst::ALL {
+        let snap = reg.hist(h).snapshot();
+        let _ = writeln!(out, "# HELP {} {}", h.name(), h.help());
+        let _ = writeln!(out, "# TYPE {} histogram", h.name());
+        let mut cum = 0u64;
+        for (i, b) in snap.buckets.iter().enumerate() {
+            cum = cum.wrapping_add(*b);
+            match bucket_le(i) {
+                Some(le) => {
+                    let _ = writeln!(out, "{}_bucket{{le=\"{le}\"}} {cum}", h.name());
+                }
+                None => {
+                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {cum}", h.name());
+                }
+            }
+        }
+        let _ = writeln!(out, "{}_sum {}", h.name(), snap.sum);
+        let _ = writeln!(out, "{}_count {}", h.name(), snap.count);
+    }
+    out
+}
+
+/// Render `reg` as one JSON object:
+/// `{"counters":{...},"gauges":{...},"histograms":{name:{"count":..,
+/// "sum":..,"buckets":[[le_or_null, n], ...]}}}` with non-cumulative
+/// bucket tallies and `null` standing for `+Inf`.
+pub fn json(reg: &Registry) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, &c) in Ctr::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", c.name(), reg.counter(c).get());
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, &g) in Gauge::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", g.name(), reg.gauge(g).get());
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, &h) in Hst::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let snap = reg.hist(h).snapshot();
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+            h.name(),
+            snap.count,
+            snap.sum
+        );
+        for (j, b) in snap.buckets.iter().enumerate().take(NBUCKETS) {
+            if j > 0 {
+                out.push(',');
+            }
+            match bucket_le(j) {
+                Some(le) => {
+                    let _ = write!(out, "[{le},{b}]");
+                }
+                None => {
+                    let _ = write!(out, "[null,{b}]");
+                }
+            }
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Escape `s` as a JSON string literal (with the quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Ctr, Gauge, Hst, Registry};
+
+    /// A private registry with a known shape: golden tests never touch
+    /// the process-global one, so they are immune to sibling tests.
+    fn sample() -> Registry {
+        let reg = Registry::new();
+        reg.counter(Ctr::MarketQuotes).add(7);
+        reg.counter(Ctr::PlanCacheHits).add(2);
+        reg.gauge(Gauge::InFlight).set(3);
+        reg.hist(Hst::QuoteLatencyUs).observe(1);
+        reg.hist(Hst::QuoteLatencyUs).observe(2);
+        reg.hist(Hst::QuoteLatencyUs).observe(1000);
+        reg
+    }
+
+    #[test]
+    fn prometheus_golden() {
+        let text = prometheus(&sample());
+        // Counter block, exact.
+        assert!(text.contains(
+            "# HELP qbdp_market_quotes_total Quotes served (exact or degraded)\n\
+             # TYPE qbdp_market_quotes_total counter\n\
+             qbdp_market_quotes_total 7\n"
+        ));
+        assert!(text.contains("qbdp_plan_cache_hits_total 2\n"));
+        assert!(text.contains("qbdp_market_in_flight 3\n"));
+        // Histogram: cumulative buckets; 1 ≤ le=1, 2 ≤ le=2, 1000 ≤ le=1024.
+        assert!(text.contains("qbdp_market_quote_latency_us_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("qbdp_market_quote_latency_us_bucket{le=\"2\"} 2\n"));
+        assert!(text.contains("qbdp_market_quote_latency_us_bucket{le=\"512\"} 2\n"));
+        assert!(text.contains("qbdp_market_quote_latency_us_bucket{le=\"1024\"} 3\n"));
+        assert!(text.contains("qbdp_market_quote_latency_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("qbdp_market_quote_latency_us_sum 1003\n"));
+        assert!(text.contains("qbdp_market_quote_latency_us_count 3\n"));
+        // Untouched metrics still show up, zeroed.
+        assert!(text.contains("qbdp_store_wal_appends_total 0\n"));
+    }
+
+    #[test]
+    fn json_golden() {
+        let text = json(&sample());
+        assert!(text.starts_with("{\"counters\":{"));
+        assert!(text.ends_with("}}"));
+        assert!(text.contains("\"qbdp_market_quotes_total\":7"));
+        assert!(text.contains("\"qbdp_market_in_flight\":3"));
+        assert!(text.contains(
+            "\"qbdp_market_quote_latency_us\":{\"count\":3,\"sum\":1003,\"buckets\":[[1,1],[2,1],"
+        ));
+        // Non-cumulative: the le=1024 bucket holds exactly one value.
+        assert!(text.contains("[1024,1]"));
+        assert!(text.contains("[null,0]"));
+    }
+
+    #[test]
+    fn json_is_structurally_balanced() {
+        let text = json(&Registry::new());
+        let opens = text.chars().filter(|&c| c == '{').count();
+        let closes = text.chars().filter(|&c| c == '}').count();
+        assert_eq!(opens, closes);
+        let opens = text.chars().filter(|&c| c == '[').count();
+        let closes = text.chars().filter(|&c| c == ']').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

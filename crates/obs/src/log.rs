@@ -1,0 +1,111 @@
+//! A leveled stderr sink for harness and CLI progress chatter.
+//!
+//! The chaos harness, the repl, and the drivers used to `eprintln!`
+//! ad-hoc progress lines; under `--quiet` or when stdout carries JSON
+//! (`qbdp stats`, `price --trace`) that chatter is noise. Routing it
+//! through one sink gives every caller the same switch:
+//! [`set_level`]`(`[`Level::Quiet`]`)` silences progress without
+//! touching error reporting (errors print at [`Level::Error`], which
+//! `--quiet` keeps).
+//!
+//! Use the [`log_info!`](crate::log_info) / [`log_debug!`](crate::log_debug)
+//! macros — they skip formatting entirely when the level is filtered.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Verbosity levels, ordered: a message prints when its level is ≤ the
+/// sink's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Nothing at all (even errors are suppressed).
+    Quiet = 0,
+    /// Failures only — kept under `--quiet`-style flags by convention
+    /// (callers map `--quiet` to `Error`, not `Quiet`).
+    Error = 1,
+    /// Progress lines (the default).
+    Info = 2,
+    /// Extra diagnostics.
+    Debug = 3,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Set the sink's verbosity.
+pub fn set_level(l: Level) {
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// The sink's current verbosity.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Quiet,
+        1 => Level::Error,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Would a message at `l` print right now?
+#[inline]
+pub fn enabled(l: Level) -> bool {
+    l as u8 <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Print `args` to stderr if `l` passes the filter. Prefer the macros,
+/// which avoid formatting when filtered.
+pub fn emit(l: Level, args: std::fmt::Arguments<'_>) {
+    if enabled(l) {
+        eprintln!("{args}");
+    }
+}
+
+/// Log a progress line at [`Level::Info`].
+#[macro_export]
+macro_rules! log_info {
+    ($($t:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::emit($crate::log::Level::Info, format_args!($($t)*));
+        }
+    };
+}
+
+/// Log a diagnostic line at [`Level::Debug`].
+#[macro_export]
+macro_rules! log_debug {
+    ($($t:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::emit($crate::log::Level::Debug, format_args!($($t)*));
+        }
+    };
+}
+
+/// Log a failure line at [`Level::Error`].
+#[macro_export]
+macro_rules! log_error {
+    ($($t:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::emit($crate::log::Level::Error, format_args!($($t)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_filter_in_order() {
+        let _g = crate::test_guard();
+        set_level(Level::Info);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Error);
+        assert!(enabled(Level::Error));
+        assert!(!enabled(Level::Info));
+        set_level(Level::Quiet);
+        assert!(!enabled(Level::Error));
+        set_level(Level::Info);
+    }
+}

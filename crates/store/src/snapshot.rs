@@ -180,6 +180,7 @@ impl Snapshot {
         path: impl AsRef<Path>,
         retry: &RetryPolicy,
     ) -> Result<(), StoreError> {
+        let sw = qbdp_obs::Stopwatch::start();
         let path = path.as_ref();
         let tmp = path.with_extension("tmp");
         let bytes = self.to_bytes();
@@ -194,6 +195,8 @@ impl Snapshot {
             // cannot be opened this is best-effort.
             let _ = vfs.sync_dir(dir);
         }
+        qbdp_obs::record(qbdp_obs::Ctr::StoreSnapshots, 1);
+        sw.stop(qbdp_obs::Hst::SnapshotWriteUs);
         Ok(())
     }
 

@@ -245,6 +245,7 @@ impl Wal {
     /// does — the handle is poisoned and refuses further appends with
     /// [`StoreError::Poisoned`], naming the offset and path.
     pub fn append(&mut self, event: &MarketEvent) -> Result<u64, StoreError> {
+        let sw = qbdp_obs::Stopwatch::start();
         if let Some(e) = self.poisoned_error() {
             return Err(e);
         }
@@ -273,6 +274,7 @@ impl Wal {
                     self.discard_partial_append()?;
                     if is_transient_kind(e.kind()) {
                         if attempt < attempts {
+                            qbdp_obs::record(qbdp_obs::Ctr::StoreWalRetries, 1);
                             std::thread::sleep(self.retry.delay_for(attempt));
                             continue;
                         }
@@ -297,6 +299,8 @@ impl Wal {
             }
             FsyncPolicy::Never => {}
         }
+        qbdp_obs::record(qbdp_obs::Ctr::StoreWalAppends, 1);
+        sw.stop(qbdp_obs::Hst::WalAppendUs);
         Ok(self.position)
     }
 
@@ -345,6 +349,7 @@ impl Wal {
     /// which recovery handles as an ordinary (possibly torn) tail.
     /// Transient fsync faults (`EINTR`) are retried before poisoning.
     pub fn sync(&mut self) -> Result<(), StoreError> {
+        let sw = qbdp_obs::Stopwatch::start();
         if let Some(e) = self.poisoned_error() {
             return Err(e);
         }
@@ -357,9 +362,11 @@ impl Wal {
             match self.file.sync_data() {
                 Ok(()) => {
                     self.unsynced = 0;
+                    sw.stop(qbdp_obs::Hst::WalFsyncUs);
                     return Ok(());
                 }
                 Err(e) if is_transient_kind(e.kind()) && attempt < attempts => {
+                    qbdp_obs::record(qbdp_obs::Ctr::StoreWalRetries, 1);
                     std::thread::sleep(self.retry.delay_for(attempt));
                 }
                 Err(e) => {

@@ -68,7 +68,7 @@ fn run_scenario(tag: &str, qdp: &str) {
     assert!(acked > 0, "{tag}: nothing was ever acknowledged");
     assert!(injected > 0, "{tag}: the injector never fired");
     assert!(refused > 0, "{tag}: no operation ever hit a fault");
-    eprintln!(
+    qbdp_obs::log_info!(
         "{tag}: {n} schedule(s), {acked} acked, {injected} fault(s), \
          {refused} refused, {pending_tails} pending tail(s) recovered"
     );

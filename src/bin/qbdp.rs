@@ -34,8 +34,9 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: qbdp [--deadline-ms N] [--sell-degraded] <market.qdp> <command> [args…]\n\
+    qbdp_obs::log_error!(
+        "usage: qbdp [--deadline-ms N] [--sell-degraded] [--telemetry] [--quiet]\n\
+         \x20           <market.qdp> <command> [args…]\n\
          \x20      qbdp serve-dir <dir> [--from <market.qdp>] [--fsync always|every=N|never]\n\
          \x20                           <command> [args…]\n\
          \x20      qbdp snapshot <dir>\n\
@@ -43,9 +44,9 @@ fn usage() -> ExitCode {
          \x20      qbdp scrub <dir>\n\
          \x20      qbdp chaos [--seed N] [--schedules N] [--ops N]\n\
          \x20                 [--faults all|transient,enospc,fsync,torn] [market.qdp]\n\
-         commands: quote | price [--batch <file> [--threads N]] | explain | buy |\n\
-         \x20         classify | insert | setprice | catalog | ledger | save |\n\
-         \x20         compact | sync | repl"
+         commands: quote | price [--batch <file> [--threads N] | --trace <rule>] |\n\
+         \x20         explain | buy | classify | insert | setprice | catalog |\n\
+         \x20         ledger | stats [--json|--flight] | save | compact | sync | repl"
     );
     ExitCode::from(2)
 }
@@ -81,6 +82,7 @@ fn run<M: qbdp::market::MarketOps>(market: &M, rest: &[String]) -> ExitCode {
 fn main() -> ExitCode {
     let mut deadline_ms: Option<u64> = None;
     let mut sell_degraded = false;
+    let mut telemetry = false;
     let mut seed_path: Option<String> = None;
     let mut fsync = FsyncPolicy::Always;
     let mut probes: Vec<String> = Vec::new();
@@ -93,59 +95,62 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--sell-degraded" => sell_degraded = true,
+            "--telemetry" => telemetry = true,
+            "--quiet" => qbdp_obs::log::set_level(qbdp_obs::log::Level::Error),
+            "--verbose" => qbdp_obs::log::set_level(qbdp_obs::log::Level::Debug),
             "--deadline-ms" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(ms) => deadline_ms = Some(ms),
                 None => {
-                    eprintln!("--deadline-ms expects an integer (milliseconds)");
+                    qbdp_obs::log_error!("--deadline-ms expects an integer (milliseconds)");
                     return ExitCode::from(2);
                 }
             },
             "--from" => match args.next() {
                 Some(p) => seed_path = Some(p),
                 None => {
-                    eprintln!("--from expects a .qdp file path");
+                    qbdp_obs::log_error!("--from expects a .qdp file path");
                     return ExitCode::from(2);
                 }
             },
             "--fsync" => match args.next().as_deref().and_then(parse_fsync) {
                 Some(p) => fsync = p,
                 None => {
-                    eprintln!("--fsync expects always, never, or every=N");
+                    qbdp_obs::log_error!("--fsync expects always, never, or every=N");
                     return ExitCode::from(2);
                 }
             },
             "--probe" => match args.next() {
                 Some(rule) => probes.push(rule),
                 None => {
-                    eprintln!("--probe expects a datalog rule");
+                    qbdp_obs::log_error!("--probe expects a datalog rule");
                     return ExitCode::from(2);
                 }
             },
             "--seed" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => chaos_seed = n,
                 None => {
-                    eprintln!("--seed expects an integer");
+                    qbdp_obs::log_error!("--seed expects an integer");
                     return ExitCode::from(2);
                 }
             },
             "--schedules" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => chaos_schedules = n,
                 None => {
-                    eprintln!("--schedules expects an integer");
+                    qbdp_obs::log_error!("--schedules expects an integer");
                     return ExitCode::from(2);
                 }
             },
             "--ops" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => chaos_ops = n,
                 None => {
-                    eprintln!("--ops expects an integer");
+                    qbdp_obs::log_error!("--ops expects an integer");
                     return ExitCode::from(2);
                 }
             },
             "--faults" => match args.next() {
                 Some(list) => chaos_faults = list,
                 None => {
-                    eprintln!("--faults expects `all` or a comma list");
+                    qbdp_obs::log_error!("--faults expects `all` or a comma list");
                     return ExitCode::from(2);
                 }
             },
@@ -191,7 +196,7 @@ fn main() -> ExitCode {
                 Some(path) => match std::fs::read_to_string(path) {
                     Ok(t) => t,
                     Err(e) => {
-                        eprintln!("cannot read {path}: {e}");
+                        qbdp_obs::log_error!("cannot read {path}: {e}");
                         return ExitCode::from(2);
                     }
                 },
@@ -216,7 +221,7 @@ fn main() -> ExitCode {
                 Some(p) => match std::fs::read_to_string(p) {
                     Ok(t) => Some(t),
                     Err(e) => {
-                        eprintln!("cannot read {p}: {e}");
+                        qbdp_obs::log_error!("cannot read {p}: {e}");
                         return ExitCode::from(2);
                     }
                 },
@@ -225,18 +230,19 @@ fn main() -> ExitCode {
             let market = match DurableMarket::open_or_create(dir, seed.as_deref(), fsync) {
                 Ok(m) => m,
                 Err(e) => {
-                    eprintln!("cannot open durable market: {e}");
+                    qbdp_obs::log_error!("cannot open durable market: {e}");
                     return ExitCode::FAILURE;
                 }
             };
-            if deadline_ms.is_some() || sell_degraded {
+            if deadline_ms.is_some() || sell_degraded || telemetry {
                 let policy = MarketPolicy {
                     deadline: deadline_ms.map(Duration::from_millis),
                     sell_degraded,
+                    telemetry,
                     ..market.market().policy()
                 };
                 if let Err(e) = market.set_policy(policy) {
-                    eprintln!("cannot set policy: {e}");
+                    qbdp_obs::log_error!("cannot set policy: {e}");
                     return ExitCode::FAILURE;
                 }
             }
@@ -250,21 +256,22 @@ fn main() -> ExitCode {
             let text = match std::fs::read_to_string(path) {
                 Ok(t) => t,
                 Err(e) => {
-                    eprintln!("cannot read {path}: {e}");
+                    qbdp_obs::log_error!("cannot read {path}: {e}");
                     return ExitCode::from(2);
                 }
             };
             let market = match Market::open_qdp(&text) {
                 Ok(m) => m,
                 Err(e) => {
-                    eprintln!("cannot open market: {e}");
+                    qbdp_obs::log_error!("cannot open market: {e}");
                     return ExitCode::FAILURE;
                 }
             };
-            if deadline_ms.is_some() || sell_degraded {
+            if deadline_ms.is_some() || sell_degraded || telemetry {
                 market.set_policy(MarketPolicy {
                     deadline: deadline_ms.map(Duration::from_millis),
                     sell_degraded,
+                    telemetry,
                     ..MarketPolicy::default()
                 });
             }

@@ -54,6 +54,7 @@ pub fn run_command<M: MarketOps>(market: &M, command: &str) -> String {
         "setprice" => setprice(market, rest),
         "catalog" => catalog(market),
         "ledger" => ledger(market),
+        "stats" => stats_cmd(market, rest),
         "compact" => match market.durable() {
             Some(d) => match d.compact() {
                 Ok(bytes) => format!(
@@ -109,6 +110,10 @@ fn help_text() -> String {
      \x20 price --incremental <rule>\n\
      \x20                   price through the plan cache: repeated query\n\
      \x20                   shapes reprice by residual warm start\n\
+     \x20 price --trace <rule>\n\
+     \x20                   quote with the pricing-pipeline span tree\n\
+     \x20                   (cache lookup → plan → normalize → flow → \n\
+     \x20                   hitting set) appended as JSONL\n\
      \x20 explain <rule>    quote with a full narrative\n\
      \x20 save <path>       write the market back to a .qdp file\n\
      \x20 buy <rule>        purchase: price + answer + ledger entry\n\
@@ -117,12 +122,18 @@ fn help_text() -> String {
      \x20 setprice R.X=a N  seller-side price revision (N in cents)\n\
      \x20 catalog           schema, columns, price list summary\n\
      \x20 ledger            sales and revenue\n\
+     \x20 stats             telemetry registry, Prometheus text format\n\
+     \x20 stats --json      telemetry registry as JSON\n\
+     \x20 stats --flight    flight recorder: span trees of quotes that\n\
+     \x20                   went wrong (slow/degraded/contended/panicked)\n\
      \x20 compact           durable markets: snapshot + truncate the log\n\
      \x20 sync              durable markets: force the log to disk\n\
      \x20 quit              leave the repl\n\
      binary flags (before the .qdp path):\n\
      \x20 --deadline-ms N   wall-clock budget per pricing call\n\
-     \x20 --sell-degraded   sell sound upper-bound quotes on budget exhaustion"
+     \x20 --sell-degraded   sell sound upper-bound quotes on budget exhaustion\n\
+     \x20 --telemetry       record metrics/traces from the start\n\
+     \x20 --quiet           suppress informational progress on stderr"
         .to_string()
 }
 
@@ -158,6 +169,33 @@ fn quote<M: MarketOps>(market: &M, rule: &str) -> String {
 /// on the market's policy and quotes through the shape-keyed plan cache,
 /// reporting its hit/warm-reprice counters alongside the quote.
 fn price_cmd<M: MarketOps>(market: &M, rest: &str) -> String {
+    if let Some(rule) = rest.strip_prefix("--trace") {
+        // Tracing needs the telemetry pipeline recording for this quote.
+        let mut policy = market.base().policy();
+        if !policy.telemetry {
+            policy.telemetry = true;
+            if let Err(e) = market.set_policy(policy) {
+                return render_err(e);
+            }
+        }
+        // Keep-last mode parks the span tree on this thread so it can be
+        // fetched after the market finishes the quote.
+        qbdp_obs::trace::set_keep_last(true);
+        let mut out = quote(market, rule.trim_start());
+        qbdp_obs::trace::set_keep_last(false);
+        let spans = qbdp_obs::trace::take_last();
+        if spans.is_empty() {
+            let _ = write!(out, "\ntrace : (no spans recorded)");
+        } else {
+            let _ = write!(
+                out,
+                "\ntrace ({} span(s), JSONL):\n{}",
+                spans.len(),
+                qbdp_obs::trace::to_jsonl(&spans).trim_end()
+            );
+        }
+        return out;
+    }
     if let Some(rule) = rest.strip_prefix("--incremental") {
         let mut policy = market.base().policy();
         if !policy.incremental {
@@ -348,6 +386,31 @@ fn ledger<M: MarketOps>(market: &M) -> String {
     market
         .base()
         .with_ledger(|l| format!("{} sale(s), revenue {}", l.sales(), l.revenue()))
+}
+
+/// `stats [--json|--flight]` — export the process-wide telemetry
+/// registry (Prometheus text by default, JSON with `--json`), or dump
+/// the flight recorder's retained span trees of quotes that went wrong
+/// (`--flight`, JSONL, oldest first). Metrics accumulate only while the
+/// market policy's `telemetry` flag is on (`--telemetry`, `price
+/// --trace`, or a `set_policy` call).
+fn stats_cmd<M: MarketOps>(market: &M, rest: &str) -> String {
+    match rest {
+        "" => market.metrics_snapshot(),
+        "--json" => qbdp_obs::export::json(qbdp_obs::global()),
+        "--flight" => {
+            let records = qbdp_obs::flight::dump();
+            if records.is_empty() {
+                "flight recorder is empty (no slow/degraded/contended/panicked quote captured)"
+                    .to_string()
+            } else {
+                let mut text = qbdp_obs::flight::to_jsonl(&records);
+                text.truncate(text.trim_end().len());
+                text
+            }
+        }
+        other => format!("stats: unknown flag `{other}` (expected --json or --flight)"),
+    }
 }
 
 fn render_err(e: MarketError) -> String {
