@@ -110,6 +110,13 @@ impl Config {
                 "crates/core/src/plan_cache.rs",
                 "crates/determinacy/src/",
                 "crates/flow/src/",
+                // The serving path: the event loop, the HTTP parser,
+                // and the JSON encoder all run on buyer-controlled
+                // input, so every loop must be structurally bounded
+                // (annotated) or metered — an unbounded scan here is a
+                // remote DoS, same threat model as an unmetered pricing
+                // loop.
+                "crates/serve/src/",
             ]),
             meter_calls: s(&["charge", "tick"]),
             wait_free_paths: s(&["crates/obs/src/"]),
@@ -134,6 +141,7 @@ impl Config {
                         &["catalog", "core", "determinacy", "obs", "query", "store"],
                     ),
                     d("workload", &["catalog", "core", "determinacy", "query"]),
+                    d("serve", &["catalog", "core", "market", "obs"]),
                     d(
                         "bench",
                         &[
@@ -144,6 +152,7 @@ impl Config {
                             "market",
                             "obs",
                             "query",
+                            "serve",
                             "store",
                             "workload",
                         ],
@@ -158,6 +167,7 @@ impl Config {
                             "market",
                             "obs",
                             "query",
+                            "serve",
                             "store",
                             "workload",
                         ],

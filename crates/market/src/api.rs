@@ -9,14 +9,22 @@
 //! durable implementation can write ahead; the in-memory implementation
 //! just forwards.
 
-use crate::durable::DurableMarket;
+use crate::durable::{DurableMarket, MarketHealth};
 use crate::error::MarketError;
 use crate::market::{Market, MarketPolicy, Purchase};
 use qbdp_catalog::Tuple;
 use qbdp_core::Price;
 
 /// The common market surface. See the module docs.
-pub trait MarketOps {
+///
+/// The trait is **object-safe** by contract: the serving layer holds a
+/// `&dyn MarketOps` so plain and durable markets share one code path.
+/// The assertion below (and its twin in `qbdp-serve`) turns an
+/// accidental generic method into a compile error here rather than a
+/// confusing one downstream. `Sync` is a supertrait because a served
+/// market is shared with the event-loop thread (and load harnesses)
+/// by reference.
+pub trait MarketOps: Sync {
     /// The in-memory market answering all read-side calls.
     fn base(&self) -> &Market;
 
@@ -38,6 +46,18 @@ pub trait MarketOps {
     /// that only make sense with a log (compaction, forced sync).
     fn durable(&self) -> Option<&DurableMarket> {
         None
+    }
+
+    /// Serving health: an in-memory market is always [`Healthy`]
+    /// (mutations cannot fail for durability reasons); the durable
+    /// implementation reports [`ReadOnly`] once its log stops
+    /// acknowledging writes. Servers probe this for `/health` instead
+    /// of downcasting through [`MarketOps::durable`].
+    ///
+    /// [`Healthy`]: MarketHealth::Healthy
+    /// [`ReadOnly`]: MarketHealth::ReadOnly
+    fn health(&self) -> MarketHealth {
+        MarketHealth::Healthy
     }
 
     /// A Prometheus-text snapshot of the process-wide telemetry registry
@@ -95,5 +115,43 @@ impl MarketOps for DurableMarket {
 
     fn durable(&self) -> Option<&DurableMarket> {
         Some(self)
+    }
+
+    fn health(&self) -> MarketHealth {
+        DurableMarket::health(self)
+    }
+}
+
+/// Compile-time object-safety assertion: this line fails to build the
+/// moment a generic method or `Self`-returning signature sneaks into
+/// the trait.
+const _: Option<&dyn MarketOps> = None;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbdp_catalog::{CatalogBuilder, Column};
+    use qbdp_core::PriceList;
+
+    fn tiny_market() -> Market {
+        let col = Column::int_range(0, 3);
+        let catalog = CatalogBuilder::new()
+            .uniform_relation("R", &["X"], &col)
+            .build()
+            .expect("catalog");
+        let d = catalog.empty_instance();
+        let prices = PriceList::uniform(&catalog, qbdp_core::Price::dollars(1));
+        Market::open(catalog, d, prices).expect("market")
+    }
+
+    #[test]
+    fn dyn_market_ops_serves_reads_and_health() {
+        let m = tiny_market();
+        let ops: &dyn MarketOps = &m;
+        assert!(matches!(ops.health(), MarketHealth::Healthy));
+        assert!(ops.durable().is_none());
+        let quotes = ops.base().quote_batch(&["Q() :- R(0)"]);
+        assert_eq!(quotes.len(), 1);
+        assert!(quotes[0].is_ok(), "{quotes:?}");
     }
 }

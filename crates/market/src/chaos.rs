@@ -372,8 +372,10 @@ fn gen_op(shape: &Shape, rng: &mut SplitMix64) -> Option<Op> {
 
 /// The state fingerprint the invariants compare: data + prices (the
 /// canonical `.qdp` text), the revenue, and the full transaction
-/// ledger.
-type Fingerprint = (String, u64, String);
+/// ledger. Public because recovery-equivalence checks outside the chaos
+/// harness (the serving layer's SIGTERM drill in E19) compare the same
+/// three components.
+pub type Fingerprint = (String, u64, String);
 
 /// Name the first component (and line) where two fingerprints diverge,
 /// so a chaos violation is triageable from the message alone.
@@ -397,7 +399,10 @@ fn fingerprint_diff(got: &Fingerprint, want: &Fingerprint) -> String {
     "identical components (unexpected)".to_string()
 }
 
-fn fingerprint(m: &Market) -> Fingerprint {
+/// Canonical state fingerprint of a market: sorted `.qdp` lines,
+/// revenue cents, and the ledger snapshot text. Two markets with equal
+/// fingerprints hold identical data, prices, books, and history.
+pub fn fingerprint(m: &Market) -> Fingerprint {
     // Every `.qdp` line is an independent directive, but `to_qdp`'s line
     // order tracks map insertion history, which differs between a market
     // parsed from the scenario text and one re-parsed from a snapshot's

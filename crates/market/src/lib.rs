@@ -45,7 +45,7 @@ pub mod ledger;
 pub mod market;
 
 pub use api::MarketOps;
-pub use chaos::{ChaosConfig, ChaosReport, FaultMix};
+pub use chaos::{fingerprint, ChaosConfig, ChaosReport, FaultMix, Fingerprint};
 pub use durable::{DurableMarket, MarketHealth, ReplayStep};
 pub use error::MarketError;
 pub use ledger::{Ledger, Transaction};

@@ -318,6 +318,10 @@ catalog! {
         StoreSnapshots => ("qbdp_store_snapshots_total", "Snapshots written"),
         StoreCompactions => ("qbdp_store_compactions_total", "Two-phase compactions completed"),
         FlightCaptures => ("qbdp_flight_captures_total", "Span trees captured by the flight recorder"),
+        ServeConnsAccepted => ("qbdp_serve_conns_accepted_total", "TCP connections accepted into the serving table"),
+        ServeConnsRejected => ("qbdp_serve_conns_rejected_total", "TCP connections refused 503 at the max_conns cap"),
+        ServeRequests => ("qbdp_serve_requests_total", "Complete HTTP requests handled by the quote server"),
+        ServeHttpErrors => ("qbdp_serve_http_errors_total", "HTTP framing errors answered 400/413 and closed"),
     }
 }
 
@@ -327,6 +331,7 @@ catalog! {
     pub enum Gauge {
         InFlight => ("qbdp_market_in_flight", "Quotes currently admitted and being priced"),
         HealthReadOnly => ("qbdp_market_health_read_only", "1 while the durable market is degraded to read-only, else 0"),
+        ServeOpenConns => ("qbdp_serve_open_conns", "Connections currently held by the quote server"),
     }
 }
 
@@ -340,6 +345,9 @@ catalog! {
         WalFsyncUs => ("qbdp_store_wal_fsync_us", "WAL fsync latency, microseconds"),
         SnapshotWriteUs => ("qbdp_store_snapshot_write_us", "Snapshot write+rename duration, microseconds"),
         CompactionUs => ("qbdp_store_compaction_us", "Two-phase compaction duration, microseconds"),
+        ServeQuoteLatencyUs => ("qbdp_serve_quote_latency_us", "HTTP /quote service time (parse-complete to response enqueued), microseconds"),
+        ServePurchaseLatencyUs => ("qbdp_serve_purchase_latency_us", "HTTP /purchase service time, microseconds"),
+        ServeAdminLatencyUs => ("qbdp_serve_admin_latency_us", "HTTP /health and /metrics service time, microseconds"),
     }
 }
 

@@ -1,0 +1,109 @@
+//! Per-connection state for the event loop.
+
+use crate::http::{Limits, RequestParser};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// When the pending output buffer crosses this, the loop stops reading
+/// the connection (leaving bytes in the kernel buffer, i.e. TCP
+/// backpressure) until the peer drains responses.
+pub const OUT_HIGH_WATER: usize = 256 * 1024;
+
+/// One accepted connection.
+pub struct Conn {
+    /// The non-blocking stream.
+    pub stream: TcpStream,
+    /// Incremental request parser holding any half-received bytes.
+    pub parser: RequestParser,
+    /// Serialized-but-unflushed responses (in request order).
+    pub outbuf: Vec<u8>,
+    /// Flushed prefix of `outbuf`.
+    pub out_pos: usize,
+    /// Last moment bytes moved in either direction (idle-timeout clock).
+    pub last_activity: Instant,
+    /// The peer half-closed (EOF) — close once responses are flushed.
+    pub read_closed: bool,
+    /// A response demanded close (`Connection: close`, framing error,
+    /// or drain) — close once flushed.
+    pub close_after_flush: bool,
+    /// Whether the poller currently watches this fd for writability
+    /// (kept here to avoid redundant `modify` syscalls).
+    pub watching_write: bool,
+}
+
+impl Conn {
+    /// Wrap a freshly-accepted stream.
+    pub fn new(stream: TcpStream, limits: Limits, now: Instant) -> Conn {
+        Conn {
+            stream,
+            parser: RequestParser::new(limits),
+            outbuf: Vec::new(),
+            out_pos: 0,
+            last_activity: now,
+            read_closed: false,
+            close_after_flush: false,
+            watching_write: false,
+        }
+    }
+
+    /// Unflushed output bytes.
+    pub fn pending_out(&self) -> usize {
+        self.outbuf.len() - self.out_pos
+    }
+
+    /// Read everything currently available into the parser. Returns
+    /// `Ok(true)` if any bytes arrived.
+    pub fn read_available(&mut self, scratch: &mut [u8], now: Instant) -> io::Result<bool> {
+        let mut any = false;
+        // audit: bounded(reads drain the kernel buffer and stop at WouldBlock/EOF)
+        loop {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    self.read_closed = true;
+                    return Ok(any);
+                }
+                Ok(n) => {
+                    self.parser.feed(&scratch[..n]);
+                    self.last_activity = now;
+                    any = true;
+                    // A hostile peer streaming forever must not starve
+                    // the loop: one high-water's worth per tick, then
+                    // yield (level-triggered readiness re-arms).
+                    if self.parser.buffered() > OUT_HIGH_WATER {
+                        return Ok(any);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(any),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Flush as much pending output as the socket accepts. Returns
+    /// `Ok(true)` when the buffer fully drained.
+    pub fn flush(&mut self, now: Instant) -> io::Result<bool> {
+        // audit: bounded(writes consume outbuf and stop at WouldBlock)
+        while self.out_pos < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.out_pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.out_pos += n;
+                    self.last_activity = now;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.outbuf.clear();
+        self.out_pos = 0;
+        Ok(true)
+    }
+}

@@ -1,0 +1,200 @@
+//! Hand-rolled JSON encoding for the wire responses.
+//!
+//! No serde in the tree (vendored-shim discipline), and the response
+//! shapes are small and fixed, so the encoder is a page of `push_str`
+//! calls. Prices travel twice: as raw cents (`*_cents`, the field a
+//! programmatic buyer does arithmetic on, `null` when the price is the
+//! ∞ sentinel) and as the rendered display string. Degraded quotes
+//! carry the sound `[lower, upper]` interval from
+//! [`qbdp_core::QuoteQuality::UpperBound`] so a buyer can see exactly
+//! how loose a budget-limited price is.
+
+use qbdp_core::{Price, QuoteQuality};
+use qbdp_market::{MarketError, MarketHealth, MarketQuote, Purchase};
+
+/// Append `s` as a JSON string literal (with escaping).
+pub fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    // audit: bounded(one pass over the string being encoded)
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a price as `"name_cents":N,"name":"$N.NN"` (cents `null`
+/// when infinite).
+fn push_price(out: &mut String, name: &str, p: Price) {
+    out.push('"');
+    out.push_str(name);
+    out.push_str("_cents\":");
+    if p.is_finite() {
+        out.push_str(&p.as_cents().to_string());
+    } else {
+        out.push_str("null");
+    }
+    out.push_str(",\"");
+    out.push_str(name);
+    out.push_str("\":");
+    push_str_lit(out, &p.to_string());
+}
+
+/// Encode one quote.
+pub fn quote(q: &MarketQuote) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"query\":");
+    push_str_lit(&mut out, &q.query);
+    out.push(',');
+    push_price(&mut out, "price", q.price);
+    out.push_str(",\"quality\":");
+    match q.quality {
+        QuoteQuality::Exact => out.push_str("\"exact\""),
+        QuoteQuality::UpperBound => {
+            out.push_str("\"upper_bound\",\"interval_cents\":[");
+            if q.lower_bound.is_finite() {
+                out.push_str(&q.lower_bound.as_cents().to_string());
+            } else {
+                out.push_str("null");
+            }
+            out.push(',');
+            if q.price.is_finite() {
+                out.push_str(&q.price.as_cents().to_string());
+            } else {
+                out.push_str("null");
+            }
+            out.push(']');
+        }
+    }
+    out.push_str(",\"method\":");
+    push_str_lit(&mut out, &format!("{:?}", q.method));
+    out.push_str(",\"class\":");
+    push_str_lit(&mut out, &format!("{:?}", q.class));
+    out.push_str(",\"receipt\":[");
+    // audit: bounded(one pass over the quote's receipt lines)
+    for (i, line) in q.receipt.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_lit(&mut out, line);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Encode one completed purchase.
+pub fn purchase(p: &Purchase) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str("{\"transaction_id\":");
+    out.push_str(&p.transaction_id.to_string());
+    out.push_str(",\"quote\":");
+    out.push_str(&quote(&p.quote));
+    out.push_str(",\"answer\":[");
+    // audit: bounded(one pass over the purchased answer's tuples)
+    for (i, t) in p.answer.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_lit(&mut out, &t.to_string());
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Encode one market error.
+pub fn error(e: &MarketError) -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("{\"error\":{\"kind\":\"");
+    out.push_str(kind(e));
+    out.push_str("\",\"message\":");
+    push_str_lit(&mut out, &e.to_string());
+    out.push_str("}}");
+    out
+}
+
+/// Encode the health probe body.
+pub fn health(h: &MarketHealth) -> String {
+    match h {
+        MarketHealth::Healthy => "{\"status\":\"healthy\"}".to_string(),
+        MarketHealth::ReadOnly { reason } => {
+            let mut out = String::from("{\"status\":\"read_only\",\"reason\":");
+            push_str_lit(&mut out, reason);
+            out.push('}');
+            out
+        }
+    }
+}
+
+/// The stable machine-readable error kind.
+pub fn kind(e: &MarketError) -> &'static str {
+    match e {
+        MarketError::InconsistentPrices(_) => "inconsistent_prices",
+        MarketError::Pricing(_) => "pricing",
+        MarketError::Query(_) => "query",
+        MarketError::NotForSale => "not_for_sale",
+        MarketError::Update(_) => "update",
+        MarketError::DeadlineExceeded => "deadline_exceeded",
+        MarketError::Overloaded => "overloaded",
+        MarketError::Internal(_) => "internal",
+        MarketError::Store(_) => "store",
+        MarketError::RevenueOverflow => "revenue_overflow",
+        MarketError::Contended => "contended",
+        MarketError::Degraded(_) => "degraded",
+    }
+}
+
+/// The typed error→HTTP mapping (documented in DESIGN §4.7):
+///
+/// | errors | status |
+/// |---|---|
+/// | `Query`, `Update` | 400 (the buyer's request is wrong) |
+/// | `NotForSale` | 404 (no finite price exists) |
+/// | `InconsistentPrices`, `Contended` | 409 (state conflict; retryable for `Contended`) |
+/// | `Overloaded` | 429 (admission control; retry with backoff) |
+/// | `DeadlineExceeded`, `Degraded` | 503 (the service, not the request) |
+/// | `Pricing`, `Internal`, `Store`, `RevenueOverflow` | 500 |
+pub fn status(e: &MarketError) -> (u16, &'static str) {
+    match e {
+        MarketError::Query(_) | MarketError::Update(_) => (400, "Bad Request"),
+        MarketError::NotForSale => (404, "Not Found"),
+        MarketError::InconsistentPrices(_) | MarketError::Contended => (409, "Conflict"),
+        MarketError::Overloaded => (429, "Too Many Requests"),
+        MarketError::DeadlineExceeded | MarketError::Degraded(_) => (503, "Service Unavailable"),
+        MarketError::Pricing(_)
+        | MarketError::Internal(_)
+        | MarketError::Store(_)
+        | MarketError::RevenueOverflow => (500, "Internal Server Error"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_escaping() {
+        let mut out = String::new();
+        push_str_lit(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn overloaded_maps_to_429() {
+        assert_eq!(status(&MarketError::Overloaded).0, 429);
+        assert_eq!(kind(&MarketError::Overloaded), "overloaded");
+    }
+
+    #[test]
+    fn degraded_maps_to_503() {
+        assert_eq!(status(&MarketError::Degraded("disk full".into())).0, 503);
+    }
+}

@@ -117,6 +117,29 @@ impl std::fmt::Debug for Wal {
     }
 }
 
+/// Clean-shutdown flush. Under [`FsyncPolicy::EveryN`] up to `n - 1`
+/// acked appends sit in the "synced by the *next* batch boundary"
+/// window; without this, dropping the last handle on a graceful exit
+/// silently abandoned that tail — the one failure `EveryN`'s contract
+/// ("bounded loss on *power failure*", not on *clean shutdown*) does
+/// not permit. [`FsyncPolicy::Never`] is deliberately excluded — that
+/// policy is an explicit opt-out of fsync entirely, and `Always` never
+/// has a tail (`unsynced` returns to zero on every append). Best-effort
+/// by necessity (`Drop` cannot return an error): a failure here poisons
+/// nothing because the handle is gone, and callers that need the error
+/// path use an explicit [`Wal::sync`] — the drop flush is the backstop,
+/// not the contract.
+impl Drop for Wal {
+    fn drop(&mut self) {
+        if matches!(self.policy, FsyncPolicy::EveryN(_))
+            && self.unsynced > 0
+            && self.poisoned.is_none()
+        {
+            let _ = self.sync();
+        }
+    }
+}
+
 /// Scan `bytes`, returning the decoded records plus the clean length
 /// (the offset the log should be truncated to). A complete-but-invalid
 /// frame is a hard error; an incomplete one ends the scan.

@@ -197,3 +197,58 @@ fn flipped_crc_bit_yields_typed_corrupt_record() {
     // Sanity: the undamaged log replays everything.
     assert_eq!(recover("crc_ok", &bytes).unwrap(), events);
 }
+
+/// Clean-shutdown regression for `FsyncPolicy::EveryN`: appends inside
+/// the current batch window are acked but not yet fsynced, and a
+/// *graceful* drop of the handle used to abandon them — a crash-grade
+/// data loss on the no-crash path. `FaultFs` models exactly this: its
+/// durable shadow only advances on fsync, and `simulate_crash` rolls
+/// the visible files back to the shadow. With the `Drop` flush, a clean
+/// drop syncs the tail, so the post-"crash" replay must contain every
+/// acked append, including the final partial batch.
+#[test]
+fn every_n_clean_drop_keeps_the_unsynced_tail() {
+    use qbdp_store::{FaultFs, FaultPlan, RetryPolicy, Wal};
+    use std::sync::Arc;
+
+    let fs = Arc::new(FaultFs::new(FaultPlan::none()));
+    let path = temp_path("every_n_tail");
+    let events: Vec<MarketEvent> = (0..7)
+        .map(|i| MarketEvent::SetPrice {
+            view: format!("R.X=a{i}"),
+            cents: 100 + i,
+        })
+        .collect();
+    {
+        let mut wal = Wal::open_with(
+            fs.clone() as Arc<dyn qbdp_store::Vfs>,
+            &path,
+            FsyncPolicy::EveryN(5),
+            RetryPolicy::none(),
+        )
+        .unwrap();
+        for e in &events {
+            wal.append(e).unwrap();
+        }
+        // 7 appends under EveryN(5): records 0..=4 fsynced at the batch
+        // boundary, 5..=6 acked but sitting in the unsynced tail.
+    } // clean shutdown: Drop must flush the tail
+    fs.simulate_crash(42).unwrap();
+    let wal = Wal::open_with(
+        fs.clone() as Arc<dyn qbdp_store::Vfs>,
+        &path,
+        FsyncPolicy::EveryN(5),
+        RetryPolicy::none(),
+    )
+    .unwrap();
+    let recovered: Vec<MarketEvent> = wal
+        .replay_from(0)
+        .unwrap()
+        .into_iter()
+        .map(|r| r.event)
+        .collect();
+    assert_eq!(
+        recovered, events,
+        "the acked-but-unfsynced EveryN tail must survive a clean drop"
+    );
+}

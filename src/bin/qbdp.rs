@@ -7,6 +7,7 @@
 //!
 //! qbdp serve-dir <dir> --from <market.qdp> repl     # durable market
 //! qbdp serve-dir <dir> buy "Q(x) :- R(x)"           # recover + mutate
+//! qbdp serve <dir> --addr 0.0.0.0:7878              # HTTP quote server
 //! qbdp snapshot <dir>                               # compact the log
 //! qbdp replay <dir> --probe "Q(x) :- R(x)"          # recovery report
 //! qbdp scrub <dir>                                  # integrity check
@@ -39,6 +40,8 @@ fn usage() -> ExitCode {
          \x20           <market.qdp> <command> [args…]\n\
          \x20      qbdp serve-dir <dir> [--from <market.qdp>] [--fsync always|every=N|never]\n\
          \x20                           <command> [args…]\n\
+         \x20      qbdp serve <dir> [--from <market.qdp>] [--fsync …] [--addr host:port]\n\
+         \x20                 [--threads N] [--max-conns N]\n\
          \x20      qbdp snapshot <dir>\n\
          \x20      qbdp replay <dir> [--probe <rule>]…\n\
          \x20      qbdp scrub <dir>\n\
@@ -90,6 +93,9 @@ fn main() -> ExitCode {
     let mut chaos_schedules = 25u64;
     let mut chaos_ops = 40u32;
     let mut chaos_faults = String::from("all");
+    let mut serve_addr = String::from("127.0.0.1:7878");
+    let mut serve_threads = 0usize;
+    let mut serve_max_conns = 1024usize;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -154,6 +160,29 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--addr" => match args.next() {
+                Some(a) => serve_addr = a,
+                None => {
+                    qbdp_obs::log_error!("--addr expects host:port");
+                    return ExitCode::from(2);
+                }
+            },
+            "--threads" if positional.first().map(String::as_str) == Some("serve") => {
+                match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => serve_threads = n,
+                    None => {
+                        qbdp_obs::log_error!("--threads expects an integer");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--max-conns" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => serve_max_conns = n,
+                None => {
+                    qbdp_obs::log_error!("--max-conns expects an integer");
+                    return ExitCode::from(2);
+                }
+            },
             _ => positional.push(arg),
         }
     }
@@ -203,6 +232,34 @@ fn main() -> ExitCode {
                 None => include_str!("../../data/figure1.qdp").to_string(),
             };
             let out = cli::chaos_cmd(&qdp, chaos_seed, chaos_schedules, chaos_ops, &chaos_faults);
+            println!("{out}");
+            if out.starts_with("error:") {
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Some("serve") => {
+            let Some(dir) = positional.get(1) else {
+                return usage();
+            };
+            let seed = match &seed_path {
+                Some(p) => match std::fs::read_to_string(p) {
+                    Ok(t) => Some(t),
+                    Err(e) => {
+                        qbdp_obs::log_error!("cannot read {p}: {e}");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => None,
+            };
+            let out = cli::serve_cmd(
+                dir,
+                seed.as_deref(),
+                fsync,
+                &serve_addr,
+                serve_threads,
+                serve_max_conns,
+            );
             println!("{out}");
             if out.starts_with("error:") {
                 return ExitCode::FAILURE;

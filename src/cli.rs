@@ -430,6 +430,81 @@ pub fn snapshot_dir(dir: &str) -> String {
     }
 }
 
+/// `qbdp serve <dir> --addr <host:port> [--threads N] [--max-conns N]`:
+/// recover (or seed) a durable market under `dir` and serve quotes over
+/// HTTP until SIGTERM/SIGINT, then drain in-flight requests, flush the
+/// WAL, and snapshot. Returns the shutdown summary (or the error).
+///
+/// Serving turns telemetry on (the `/metrics` endpoint is the whole
+/// point of running a server); `threads` maps to
+/// `MarketPolicy::batch_workers` — the worker pool every tick's
+/// `quote_batch` fans out on (`0` = one per core).
+pub fn serve_cmd(
+    dir: &str,
+    seed_qdp: Option<&str>,
+    fsync: qbdp_market::FsyncPolicy,
+    addr: &str,
+    threads: usize,
+    max_conns: usize,
+) -> String {
+    use qbdp_serve::{Server, ServerConfig, ShutdownFlag};
+
+    let market = match qbdp_market::DurableMarket::open_or_create(dir, seed_qdp, fsync) {
+        Ok(m) => m,
+        Err(e) => return render_err(e),
+    };
+    let policy = qbdp_market::MarketPolicy {
+        telemetry: true,
+        batch_workers: threads,
+        ..market.market().policy()
+    };
+    if let Err(e) = market.set_policy(policy) {
+        return render_err(e);
+    }
+    let shutdown = match ShutdownFlag::with_signals() {
+        Ok(f) => f,
+        Err(e) => return format!("error: cannot install signal handlers: {e}"),
+    };
+    let mut server = match Server::bind(ServerConfig {
+        addr: addr.to_string(),
+        max_conns,
+        ..ServerConfig::default()
+    }) {
+        Ok(s) => s,
+        Err(e) => return format!("error: {e}"),
+    };
+    qbdp_obs::log_info!(
+        "serving quotes on http://{} ({} readiness backend); SIGTERM drains and snapshots",
+        server.local_addr(),
+        server.backend()
+    );
+    let stats = match server.run(&market, &shutdown) {
+        Ok(s) => s,
+        Err(e) => return format!("error: {e}"),
+    };
+    // The drain answered everything fully received; now make the log
+    // durable (the EveryN tail) and leave a fresh snapshot so the next
+    // open recovers without replay.
+    if let Err(e) = market.sync() {
+        return render_err(e);
+    }
+    let compacted = match market.compact() {
+        Ok(bytes) => bytes,
+        Err(e) => return render_err(e),
+    };
+    format!(
+        "served {} request(s) on {} connection(s): {} quote(s), {} purchase(s), \
+         {} http error(s), {} rejected at capacity; log synced, {compacted} \
+         byte(s) compacted into the shutdown snapshot",
+        stats.requests,
+        stats.conns_accepted,
+        stats.quotes,
+        stats.purchases,
+        stats.http_errors,
+        stats.conns_rejected,
+    )
+}
+
 /// `qbdp replay <dir> [--probe <rule>]…`: recover a durable market by
 /// snapshot-load + log replay, reporting the recovered state and — for
 /// each probe query — the §2.7 price trajectory observed across the
