@@ -12,11 +12,16 @@
 //! //                               point: no lock acquisition reachable
 //! // audit: pricing-entry          this fn is a pricing-engine entry point
 //! // audit: bounded(reason)        the next loop is trivially bounded
+//! // audit: panic-ok(reason)       this fn's panics are accepted: R9's
+//! //                               reachability walk stops here
+//! // audit: lock-order(a < b)      declared acquisition order: `a` is
+//! //                               always taken before `b` (feeds R7's
+//! //                               lock graph as an explicit edge)
 //! ```
 //!
-//! `allow` and `bounded` **require a reason** — an annotation that
-//! disables a check without saying why is itself a diagnostic
-//! ([`AnnotError`]), so the escape hatch cannot silently rot.
+//! `allow`, `bounded`, and `panic-ok` **require a reason** — an
+//! annotation that disables a check without saying why is itself a
+//! diagnostic ([`AnnotError`]), so the escape hatch cannot silently rot.
 
 use std::fmt;
 
@@ -41,6 +46,13 @@ pub enum Annot {
     PricingEntry,
     /// `bounded(reason)` — the next loop is exempt from R4.
     Bounded(String),
+    /// `panic-ok(reason)` — the next fn's panics are deliberate; R9's
+    /// reachability walk neither reports them nor descends further.
+    PanicOk(String),
+    /// `lock-order(a < b < …)` — a declared acquisition order. File
+    /// scoped, not fn-attached: each adjacent pair becomes an explicit
+    /// edge in R7's lock graph, so an inversion elsewhere is a cycle.
+    LockOrder(Vec<String>),
 }
 
 /// A malformed `// audit:` comment (reported as a diagnostic: a broken
@@ -92,6 +104,23 @@ pub fn parse(comment_text: &str) -> Result<Option<Annot>, AnnotError> {
         }
         return Ok(Some(Annot::Bounded(args.trim().to_string())));
     }
+    if let Some(args) = call_args(body, "panic-ok")? {
+        if args.trim().is_empty() {
+            return Err(err(
+                "panic-ok needs a reason: panic-ok(why this cannot fire)",
+            ));
+        }
+        return Ok(Some(Annot::PanicOk(args.trim().to_string())));
+    }
+    if let Some(args) = call_args(body, "lock-order")? {
+        let locks: Vec<String> = args.split('<').map(|s| s.trim().to_string()).collect();
+        if locks.len() < 2 || locks.iter().any(String::is_empty) {
+            return Err(err(
+                "lock-order needs two or more `<`-separated lock names: lock-order(wal < cache-shard)",
+            ));
+        }
+        return Ok(Some(Annot::LockOrder(locks)));
+    }
     if let Some(args) = call_args(body, "allow")? {
         let (rule, reason) = match args.split_once(':') {
             Some((r, why)) => (r.trim(), why.trim()),
@@ -112,7 +141,8 @@ pub fn parse(comment_text: &str) -> Result<Option<Annot>, AnnotError> {
     }
     Err(err(format!(
         "unknown audit annotation `{body}` (expected allow(..), \
-         holds-lock(..), lock-free, wait-free, pricing-entry, or bounded(..))"
+         holds-lock(..), lock-free, wait-free, pricing-entry, bounded(..), \
+         panic-ok(..), or lock-order(..))"
     )))
 }
 
@@ -193,5 +223,38 @@ mod tests {
     #[test]
     fn unknown_annotation_is_an_error() {
         assert!(parse(" audit: alow(R2: typo)").is_err());
+    }
+
+    #[test]
+    fn panic_ok_needs_reason() {
+        assert_eq!(
+            parse(" audit: panic-ok(poisoned mutex means a prior panic)"),
+            Ok(Some(Annot::PanicOk(
+                "poisoned mutex means a prior panic".into()
+            )))
+        );
+        assert!(parse(" audit: panic-ok()").is_err());
+        assert!(parse(" audit: panic-ok").is_err());
+    }
+
+    #[test]
+    fn lock_order_parses_chains() {
+        assert_eq!(
+            parse(" audit: lock-order(wal < cache-shard)"),
+            Ok(Some(Annot::LockOrder(vec![
+                "wal".into(),
+                "cache-shard".into()
+            ])))
+        );
+        assert_eq!(
+            parse(" audit: lock-order(a < b < c)"),
+            Ok(Some(Annot::LockOrder(vec![
+                "a".into(),
+                "b".into(),
+                "c".into()
+            ])))
+        );
+        assert!(parse(" audit: lock-order(one)").is_err());
+        assert!(parse(" audit: lock-order(a < )").is_err());
     }
 }

@@ -8,8 +8,9 @@
 //! locks must never be held across an engine call), and a pricing host
 //! must degrade instead of abort. This crate enforces those invariants
 //! offline, with no rustc plugin and no external dependencies: a
-//! hand-rolled lexer ([`lexer`]), a structural scanner ([`model`]), and
-//! six rule engines ([`rules`]):
+//! hand-rolled lexer ([`lexer`]), a structural scanner ([`model`]), a
+//! workspace call graph ([`callgraph`]), and nine rule engines
+//! ([`rules`]):
 //!
 //! * **R1** — no unchecked `+`/`-`/`*` on money-tainted operands.
 //! * **R2** — no `unwrap`/`expect`/`panic!` in non-test code.
@@ -20,10 +21,19 @@
 //! * **R5** — `unsafe` requires an adjacent `// SAFETY:` comment.
 //! * **R6** — the telemetry record path (`qbdp-obs` `record*`) is
 //!   annotated `wait-free` and reaches no lock acquisition.
+//! * **R7** — the lock acquisition graph (declared orders, annotation
+//!   order, and call-graph-derived held-while-acquiring edges) is
+//!   acyclic.
+//! * **R8** — a `Result` that can carry `StoreError::Transient` is
+//!   never silently discarded on the serving path.
+//! * **R9** — no panicking call is reachable from a serving entry
+//!   point without `catch_unwind` containment or a `panic-ok` waiver.
 //!
 //! Run it with `cargo run -p qbdp-audit -- --deny-all`; the CI
-//! `analysis` job gates on it. Approximations and their soundness
-//! arguments are documented in DESIGN.md §5.
+//! `analysis` job gates on it (`--format json` and `--baseline` give
+//! machine-readable, line-number-free findings — see [`report`]).
+//! Approximations and their soundness arguments are documented in
+//! DESIGN.md §5.
 //!
 //! [`Budget`]: https://docs.rs/qbdp-core
 
@@ -32,8 +42,10 @@
 #![deny(missing_docs)]
 
 pub mod annot;
+pub mod callgraph;
 pub mod lexer;
 pub mod model;
+pub mod report;
 pub mod rules;
 pub mod source;
 
@@ -45,6 +57,16 @@ use std::path::Path;
 /// Audit every workspace source file under `root` with the given
 /// config. Returns diagnostics sorted by (file, line, rule).
 pub fn audit_root(root: &Path, config: &Config) -> std::io::Result<Vec<Diagnostic>> {
+    Ok(audit_workspace(root, config)?.1)
+}
+
+/// Like [`audit_root`], but also returns the [`Workspace`] the
+/// diagnostics were computed over — needed to attach stable symbols to
+/// findings (see [`report::findings`]).
+pub fn audit_workspace(
+    root: &Path,
+    config: &Config,
+) -> std::io::Result<(Workspace, Vec<Diagnostic>)> {
     let rel_paths = source::discover(root)?;
     let mut files = Vec::with_capacity(rel_paths.len());
     for rel in rel_paths {
@@ -53,7 +75,8 @@ pub fn audit_root(root: &Path, config: &Config) -> std::io::Result<Vec<Diagnosti
         files.push(FileModel::build(&rel, class, &text));
     }
     let ws = Workspace::new(files);
-    Ok(rules::run_all(&ws, config))
+    let diags = rules::run_all(&ws, config);
+    Ok((ws, diags))
 }
 
 #[cfg(test)]

@@ -15,6 +15,9 @@ pub mod r3_locks;
 pub mod r4_fuel;
 pub mod r5_safety;
 pub mod r6_obs;
+pub mod r7_order;
+pub mod r8_taint;
+pub mod r9_reach;
 
 /// One finding, printed as `file:line: RULE: message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,6 +68,19 @@ pub struct Config {
     pub wait_free_paths: Vec<String>,
     /// R6: fn-name prefixes that mark a telemetry record point.
     pub wait_free_prefixes: Vec<String>,
+    /// R8: path prefixes of serving-path code where a `Result` that can
+    /// carry `StoreError::Transient` must not be discarded.
+    pub transient_paths: Vec<String>,
+    /// R9: serving entry points, matched against the fn's qualified
+    /// name (`Market::quote_str`); a trailing `*` is a prefix wildcard
+    /// (`Market::quote*`).
+    pub panic_entries: Vec<String>,
+    /// Call resolution: type names known to live outside the workspace
+    /// (std containers, sync primitives, primitives). A method call
+    /// whose receiver is evidently one of these resolves to no
+    /// workspace fn at all — `map.insert(..)` on a `HashMap` must not
+    /// route a lock-order walk into `Market::insert`.
+    pub foreign_types: Vec<String>,
     /// R3: direct `qbdp-*` dependency edges, as short crate names
     /// (`market` → its dependencies). Name-level call resolution only
     /// targets definitions in the caller's dependency closure — a fn in
@@ -121,6 +137,68 @@ impl Config {
             meter_calls: s(&["charge", "tick"]),
             wait_free_paths: s(&["crates/obs/src/"]),
             wait_free_prefixes: s(&["record"]),
+            transient_paths: s(&[
+                "crates/store/src/",
+                "crates/market/src/",
+                "crates/serve/src/",
+            ]),
+            panic_entries: s(&[
+                "Market::quote*",
+                "DurableMarket::quote*",
+                "Server::run",
+                "Wal::append",
+            ]),
+            foreign_types: s(&[
+                // std collections / strings / io / net / time / sync
+                "Vec",
+                "VecDeque",
+                "BinaryHeap",
+                "HashMap",
+                "HashSet",
+                "BTreeMap",
+                "BTreeSet",
+                "String",
+                "PathBuf",
+                "Path",
+                "OsString",
+                "File",
+                "TcpStream",
+                "TcpListener",
+                "UdpSocket",
+                "Instant",
+                "Duration",
+                "SystemTime",
+                "Mutex",
+                "RwLock",
+                "Condvar",
+                "Cell",
+                "RefCell",
+                "AtomicBool",
+                "AtomicU32",
+                "AtomicU64",
+                "AtomicUsize",
+                "AtomicI64",
+                "Option",
+                "Result",
+                // primitives (no inherent workspace impls possible)
+                "bool",
+                "char",
+                "str",
+                "u8",
+                "u16",
+                "u32",
+                "u64",
+                "u128",
+                "usize",
+                "i8",
+                "i16",
+                "i32",
+                "i64",
+                "i128",
+                "isize",
+                "f32",
+                "f64",
+            ]),
             crate_deps: {
                 let d = |name: &str, deps: &[&str]| {
                     (
@@ -188,8 +266,12 @@ pub struct Workspace {
 }
 
 impl Workspace {
-    /// Build the index over prebuilt models.
-    pub fn new(files: Vec<FileModel>) -> Workspace {
+    /// Build the index over prebuilt models. Files are sorted by path
+    /// first, so the workspace — and everything derived from it (the
+    /// call graph, finding order) — is identical regardless of the
+    /// order the caller discovered files in.
+    pub fn new(mut files: Vec<FileModel>) -> Workspace {
+        files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
         let mut fn_index: HashMap<String, Vec<(usize, usize)>> = HashMap::new();
         for (fi, f) in files.iter().enumerate() {
             for (gi, g) in f.fns.iter().enumerate() {
@@ -203,6 +285,7 @@ impl Workspace {
 /// Run every rule over the workspace; diagnostics come back sorted by
 /// (file, line, rule). Malformed annotations surface as `R0`.
 pub fn run_all(ws: &Workspace, config: &Config) -> Vec<Diagnostic> {
+    let graph = crate::callgraph::CallGraph::build(ws, config);
     let mut out = Vec::new();
     for f in &ws.files {
         for (line, msg) in &f.annot_errors {
@@ -217,9 +300,12 @@ pub fn run_all(ws: &Workspace, config: &Config) -> Vec<Diagnostic> {
         out.extend(r2_panic::check(f, config));
         out.extend(r5_safety::check(f, config));
     }
-    out.extend(r3_locks::check(ws, config));
+    out.extend(r3_locks::check(ws, &graph, config));
     out.extend(r4_fuel::check(ws, config));
-    out.extend(r6_obs::check(ws, config));
+    out.extend(r6_obs::check(ws, &graph, config));
+    out.extend(r7_order::check(ws, &graph, config));
+    out.extend(r8_taint::check(ws, &graph, config));
+    out.extend(r9_reach::check(ws, &graph, config));
     out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     out.dedup();
     out

@@ -28,10 +28,16 @@
 //!   acquires a lock (`.lock()`, zero-argument `.read()`/`.write()`)
 //!   must carry a `holds-lock(..)` annotation — new lock users cannot
 //!   silently opt out of the discipline.
+//!
+//! Both walks run over the resolved [`CallGraph`] (receiver-aware,
+//! rename-aware, dependency-direction honest); reaching a *pricing
+//! entry* still fires on the call-site name, so a call into an
+//! annotated engine fires even when the engine fn itself is behind a
+//! receiver the graph cannot resolve.
 
+use crate::callgraph::{CallGraph, Step};
 use crate::model::{FileModel, FnItem};
 use crate::rules::{Config, Diagnostic, Workspace};
-use crate::source::{crate_of, FileClass};
 use std::collections::{HashMap, HashSet};
 
 /// Transitive dependency closure per crate (each crate includes itself).
@@ -73,12 +79,12 @@ pub(crate) fn may_call(
 }
 
 /// Run R3 over the workspace.
-pub fn check(ws: &Workspace, config: &Config) -> Vec<Diagnostic> {
+pub fn check(ws: &Workspace, graph: &CallGraph, config: &Config) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let pricing = pricing_entry_names(ws, config);
 
-    for f in &ws.files {
-        for g in &f.fns {
+    for (fi, f) in ws.files.iter().enumerate() {
+        for (gi, g) in f.fns.iter().enumerate() {
             if g.is_test {
                 continue;
             }
@@ -87,11 +93,11 @@ pub fn check(ws: &Workspace, config: &Config) -> Vec<Diagnostic> {
                 .iter()
                 .any(|l| config.guarded_locks.iter().any(|gl| gl == l))
             {
-                check_no_pricing_reach(ws, f, g, config, &pricing, &mut out);
+                check_no_pricing_reach(ws, graph, (fi, gi), f, g, &pricing, &mut out);
             }
             // (b) lock-free fns must not acquire or reach an acquire.
             if g.is_lock_free() {
-                check_lock_free(ws, f, g, config, &mut out);
+                check_lock_free(ws, graph, (fi, gi), f, g, &mut out);
             }
             // (c) unannotated acquisitions in the lock-discipline paths.
             if config
@@ -132,98 +138,54 @@ fn pricing_entry_names(ws: &Workspace, config: &Config) -> HashSet<String> {
     names
 }
 
-/// The calls made while the lock is held: everything after the first
-/// acquisition, or the whole body if the fn receives its guard.
-fn under_lock_calls(g: &FnItem) -> impl Iterator<Item = &crate::model::Call> {
-    let first_acquire = g.lock_acquires.first().map(|a| a.idx).unwrap_or(0);
-    g.calls.iter().filter(move |c| c.idx >= first_acquire)
-}
-
 fn check_no_pricing_reach(
     ws: &Workspace,
+    graph: &CallGraph,
+    id: (usize, usize),
     f: &FileModel,
     g: &FnItem,
-    config: &Config,
     pricing: &HashSet<String>,
     out: &mut Vec<Diagnostic>,
 ) {
-    // BFS over name-level call edges, remembering one witness path.
-    // Each queued call carries the crate it was made from, so
-    // resolution respects dependency direction.
-    let closures = dep_closures(config);
-    let mut visited: HashSet<(String, String)> = HashSet::new();
-    let mut queue: Vec<(String, String, Vec<String>, u32)> = Vec::new();
-    let origin = crate_of(&f.rel_path).to_string();
-    for c in under_lock_calls(g) {
-        if f.allowed(c.line, "R3") {
-            continue;
-        }
-        queue.push((c.name.clone(), origin.clone(), vec![g.name.clone()], c.line));
-    }
-    while let Some((name, ctx, path, first_line)) = queue.pop() {
-        if pricing.contains(&name) {
-            let mut full = path.clone();
-            full.push(name.clone());
-            out.push(Diagnostic {
-                file: f.rel_path.clone(),
-                line: first_line,
-                rule: "R3",
-                message: format!(
-                    "fn `{}` holds `{}` across a call path into pricing: {}",
-                    g.name,
-                    g.held_locks().join("+"),
-                    full.join(" -> ")
-                ),
-            });
-            continue;
-        }
-        if !visited.insert((ctx.clone(), name.clone())) {
-            continue;
-        }
-        // Descend into every *library* fn with that name that the
-        // calling crate can actually reach (name-level approximation);
-        // its whole body runs under the caller's lock. Harness and test
-        // definitions are never resolution targets, and neither is any
-        // crate outside the caller's dependency closure: library code
-        // cannot call the root CLI or the bench/example drivers, whose
-        // std vocabulary (`run`, `get`, `insert`…) would otherwise
-        // route every walk into them.
-        if let Some(defs) = ws.fn_index.get(&name) {
-            for &(fi, gi) in defs {
-                let callee = &ws.files[fi].fns[gi];
-                let callee_crate = crate_of(&ws.files[fi].rel_path);
-                if callee.is_test
-                    || ws.files[fi].class != FileClass::Library
-                    || !may_call(&closures, &ctx, callee_crate)
-                {
-                    continue;
-                }
-                let mut next_path = path.clone();
-                next_path.push(name.clone());
-                if next_path.len() > 24 {
-                    continue; // depth bound: diagnostics beyond this are noise
-                }
-                for c in &callee.calls {
-                    let key = (callee_crate.to_string(), c.name.clone());
-                    if !visited.contains(&key) || pricing.contains(&c.name) {
-                        queue.push((
-                            c.name.clone(),
-                            callee_crate.to_string(),
-                            next_path.clone(),
-                            first_line,
-                        ));
-                    }
-                }
+    // Walk the resolved graph from the under-lock call sites,
+    // remembering one witness path per finding. Reaching a pricing
+    // *name* fires even when the call site has no resolved target (an
+    // engine behind an unresolvable receiver must still be flagged).
+    let first_acquire = g.lock_acquires.first().map(|a| a.idx).unwrap_or(0);
+    graph.walk(
+        ws,
+        id,
+        |c| c.idx >= first_acquire && !f.allowed(c.line, "R3"),
+        |v| {
+            let caller_file = &ws.files[v.caller.0];
+            let name = caller_file.unalias(&v.call.name);
+            if pricing.contains(name) || pricing.contains(v.call.name.as_str()) {
+                let mut full = v.path.to_vec();
+                full.push(v.call.name.clone());
+                out.push(Diagnostic {
+                    file: f.rel_path.clone(),
+                    line: v.origin_line,
+                    rule: "R3",
+                    message: format!(
+                        "fn `{}` holds `{}` across a call path into pricing: {}",
+                        g.name,
+                        g.held_locks().join("+"),
+                        full.join(" -> ")
+                    ),
+                });
+                return Step::Prune;
             }
-        }
-    }
+            Step::Descend
+        },
+    );
 }
 
 fn check_lock_free(
     ws: &Workspace,
+    graph: &CallGraph,
+    id: (usize, usize),
     f: &FileModel,
     g: &FnItem,
-    config: &Config,
     out: &mut Vec<Diagnostic>,
 ) {
     if let Some(a) = g.lock_acquires.first() {
@@ -238,65 +200,36 @@ fn check_lock_free(
         });
         return;
     }
-    // Transitive: no reached fn may acquire. Resolution respects
-    // dependency direction, same as the pricing-reach walk.
-    let closures = dep_closures(config);
-    let mut visited: HashSet<(String, String)> = HashSet::new();
-    let origin = crate_of(&f.rel_path).to_string();
-    let mut queue: Vec<(String, String, Vec<String>, u32)> = g
-        .calls
-        .iter()
-        .filter(|c| !f.allowed(c.line, "R3"))
-        .map(|c| (c.name.clone(), origin.clone(), vec![g.name.clone()], c.line))
-        .collect();
-    while let Some((name, ctx, path, first_line)) = queue.pop() {
-        if !visited.insert((ctx.clone(), name.clone())) {
-            continue;
-        }
-        if let Some(defs) = ws.fn_index.get(&name) {
-            for &(fi, gi) in defs {
-                let callee = &ws.files[fi].fns[gi];
-                let callee_crate = crate_of(&ws.files[fi].rel_path);
-                if callee.is_test
-                    || ws.files[fi].class != FileClass::Library
-                    || !may_call(&closures, &ctx, callee_crate)
-                {
-                    continue;
-                }
+    // Transitive: no reached fn may acquire.
+    graph.walk(
+        ws,
+        id,
+        |c| !f.allowed(c.line, "R3"),
+        |v| {
+            for &t in graph.targets(v.caller, v.call_idx) {
+                let callee = &ws.files[t.0].fns[t.1];
                 if let Some(a) = callee.lock_acquires.first() {
-                    let mut full = path.clone();
-                    full.push(name.clone());
+                    let mut full = v.path.to_vec();
+                    full.push(callee.name.clone());
                     out.push(Diagnostic {
                         file: f.rel_path.clone(),
-                        line: first_line,
+                        line: v.origin_line,
                         rule: "R3",
                         message: format!(
                             "fn `{}` is annotated lock-free but reaches a lock \
                              acquisition (`.{}()` in `{}`): {}",
                             g.name,
                             a.method,
-                            name,
+                            callee.name,
                             full.join(" -> ")
                         ),
                     });
-                    continue;
-                }
-                if path.len() > 24 {
-                    continue;
-                }
-                let mut next_path = path.clone();
-                next_path.push(name.clone());
-                for c in &callee.calls {
-                    queue.push((
-                        c.name.clone(),
-                        callee_crate.to_string(),
-                        next_path.clone(),
-                        first_line,
-                    ));
+                    return Step::Prune;
                 }
             }
-        }
-    }
+            Step::Descend
+        },
+    );
 }
 
 #[cfg(test)]
@@ -315,7 +248,10 @@ mod tests {
 
     fn diags(files: &[(&str, &str)]) -> Vec<Diagnostic> {
         let _ = FileClass::Library;
-        check(&ws(files), &Config::workspace_defaults())
+        let w = ws(files);
+        let config = Config::workspace_defaults();
+        let graph = CallGraph::build(&w, &config);
+        check(&w, &graph, &config)
     }
 
     #[test]

@@ -25,21 +25,19 @@
 //!
 //! [`qbdp-obs`]: ../../../obs/src/lib.rs
 
+use crate::callgraph::{CallGraph, Step};
 use crate::model::FnItem;
-use crate::rules::r3_locks::{dep_closures, may_call};
 use crate::rules::{Config, Diagnostic, Workspace};
-use crate::source::{crate_of, FileClass};
-use std::collections::HashSet;
 
 /// Run R6 over the workspace.
-pub fn check(ws: &Workspace, config: &Config) -> Vec<Diagnostic> {
+pub fn check(ws: &Workspace, graph: &CallGraph, config: &Config) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    for f in &ws.files {
+    for (fi, f) in ws.files.iter().enumerate() {
         let in_wait_free_path = config
             .wait_free_paths
             .iter()
             .any(|p| f.rel_path.starts_with(p));
-        for g in &f.fns {
+        for (gi, g) in f.fns.iter().enumerate() {
             if g.is_test {
                 continue;
             }
@@ -62,7 +60,7 @@ pub fn check(ws: &Workspace, config: &Config) -> Vec<Diagnostic> {
             }
             // (b) the contract itself: nothing lock-shaped reachable.
             if g.is_wait_free() {
-                check_wait_free(ws, f, g, config, &mut out);
+                check_wait_free(ws, graph, (fi, gi), f, g, &mut out);
             }
         }
     }
@@ -76,9 +74,10 @@ pub fn check(ws: &Workspace, config: &Config) -> Vec<Diagnostic> {
 /// all.
 fn check_wait_free(
     ws: &Workspace,
+    graph: &CallGraph,
+    id: (usize, usize),
     f: &crate::model::FileModel,
     g: &FnItem,
-    config: &Config,
     out: &mut Vec<Diagnostic>,
 ) {
     if let Some(a) = g.lock_acquires.first() {
@@ -95,64 +94,35 @@ fn check_wait_free(
         }
         return;
     }
-    let closures = dep_closures(config);
-    let origin = crate_of(&f.rel_path).to_string();
-    let mut visited: HashSet<(String, String)> = HashSet::new();
-    let mut queue: Vec<(String, String, Vec<String>, u32)> = g
-        .calls
-        .iter()
-        .filter(|c| !f.allowed(c.line, "R6"))
-        .map(|c| (c.name.clone(), origin.clone(), vec![g.name.clone()], c.line))
-        .collect();
-    while let Some((name, ctx, path, first_line)) = queue.pop() {
-        if !visited.insert((ctx.clone(), name.clone())) {
-            continue;
-        }
-        let Some(defs) = ws.fn_index.get(&name) else {
-            continue;
-        };
-        for &(fi, gi) in defs {
-            let callee = &ws.files[fi].fns[gi];
-            let callee_crate = crate_of(&ws.files[fi].rel_path);
-            if callee.is_test
-                || ws.files[fi].class != FileClass::Library
-                || !may_call(&closures, &ctx, callee_crate)
-            {
-                continue;
+    graph.walk(
+        ws,
+        id,
+        |c| !f.allowed(c.line, "R6"),
+        |v| {
+            for &t in graph.targets(v.caller, v.call_idx) {
+                let callee = &ws.files[t.0].fns[t.1];
+                if let Some(a) = callee.lock_acquires.first() {
+                    let mut full = v.path.to_vec();
+                    full.push(callee.name.clone());
+                    out.push(Diagnostic {
+                        file: f.rel_path.clone(),
+                        line: v.origin_line,
+                        rule: "R6",
+                        message: format!(
+                            "fn `{}` is annotated wait-free but reaches a lock \
+                             acquisition (`.{}()` in `{}`): {}",
+                            g.name,
+                            a.method,
+                            callee.name,
+                            full.join(" -> ")
+                        ),
+                    });
+                    return Step::Prune;
+                }
             }
-            if let Some(a) = callee.lock_acquires.first() {
-                let mut full = path.clone();
-                full.push(name.clone());
-                out.push(Diagnostic {
-                    file: f.rel_path.clone(),
-                    line: first_line,
-                    rule: "R6",
-                    message: format!(
-                        "fn `{}` is annotated wait-free but reaches a lock \
-                         acquisition (`.{}()` in `{}`): {}",
-                        g.name,
-                        a.method,
-                        name,
-                        full.join(" -> ")
-                    ),
-                });
-                continue;
-            }
-            if path.len() > 24 {
-                continue; // same depth bound as R3: deeper paths are noise
-            }
-            let mut next_path = path.clone();
-            next_path.push(name.clone());
-            for c in &callee.calls {
-                queue.push((
-                    c.name.clone(),
-                    callee_crate.to_string(),
-                    next_path.clone(),
-                    first_line,
-                ));
-            }
-        }
-    }
+            Step::Descend
+        },
+    );
 }
 
 #[cfg(test)]
@@ -167,7 +137,9 @@ mod tests {
                 .map(|(p, s)| FileModel::build(p, crate::source::classify(p), s))
                 .collect(),
         );
-        check(&ws, &Config::workspace_defaults())
+        let config = Config::workspace_defaults();
+        let graph = CallGraph::build(&ws, &config);
+        check(&ws, &graph, &config)
     }
 
     #[test]

@@ -1,0 +1,396 @@
+//! R7 — lock-order cycles: the acquisition graph over the workspace's
+//! named locks must be acyclic.
+//!
+//! R3 keeps any one guarded lock from being held across pricing; R7
+//! guards the *pairwise* discipline — two locks acquired in opposite
+//! orders on two paths is a deadlock waiting for the right thread
+//! interleaving (the WAL mutex vs. cache-shard vs. health ordering in
+//! the durable market is exactly where one would hide). The graph has
+//! an edge `L → M` ("L is held while M is acquired") from three
+//! sources:
+//!
+//! * a `// audit: lock-order(a < b < c)` declaration — each adjacent
+//!   pair is an explicit, intentional edge, so a contradicting derived
+//!   edge elsewhere closes a cycle and gets reported;
+//! * a fn annotated with several `holds-lock(..)` marks — annotation
+//!   order is acquisition order (the workspace convention: annotations
+//!   are listed in the order the guards are taken);
+//! * interprocedurally: a fn holding `L` whose under-lock region
+//!   reaches — over the resolved [`CallGraph`] — a fn that is both
+//!   annotated `holds-lock(M)` **and** actually acquires (a detected
+//!   `.lock()`/`.read()`/`.write()` site), for `L ≠ M`. The walk prunes
+//!   at the acquiring fn: orders below `M` are `M`'s own edges, so
+//!   transitive cycles still close through the graph.
+//!
+//! Self-edges are deliberately not recorded: the sharded cache takes
+//! same-named `cache-shard` guards in index order, which is a
+//! discipline this lock-name granularity cannot see (DESIGN §5).
+//!
+//! Every cycle is reported exactly once, in canonical rotation
+//! (lexicographically smallest lock first), anchored at the provenance
+//! of its first edge. Suppression: `// audit: allow(R7: why)` on the
+//! holder fn skips its derived edges.
+
+use crate::callgraph::{CallGraph, Step};
+use crate::rules::{Config, Diagnostic, Workspace};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Where an edge came from: the anchor for the cycle diagnostic.
+#[derive(Debug, Clone)]
+struct Provenance {
+    file: String,
+    line: u32,
+    note: String,
+}
+
+/// The acquisition graph: edge → first provenance seen (files are
+/// sorted, so "first" is deterministic).
+type LockGraph = BTreeMap<(String, String), Provenance>;
+
+/// Run R7 over the workspace.
+pub fn check(ws: &Workspace, graph: &CallGraph, config: &Config) -> Vec<Diagnostic> {
+    let edges = build_lock_graph(ws, graph, config);
+    report_cycles(&edges)
+}
+
+fn build_lock_graph(ws: &Workspace, graph: &CallGraph, _config: &Config) -> LockGraph {
+    let mut edges: LockGraph = BTreeMap::new();
+    let mut add = |from: &str, to: &str, p: Provenance| {
+        if from != to {
+            edges.entry((from.to_string(), to.to_string())).or_insert(p);
+        }
+    };
+
+    for (fi, f) in ws.files.iter().enumerate() {
+        // Declared orders.
+        for (line, chain) in &f.lock_orders {
+            for pair in chain.windows(2) {
+                add(
+                    &pair[0],
+                    &pair[1],
+                    Provenance {
+                        file: f.rel_path.clone(),
+                        line: *line,
+                        note: format!("declared lock-order({})", chain.join(" < ")),
+                    },
+                );
+            }
+        }
+        for (gi, g) in f.fns.iter().enumerate() {
+            if g.is_test || f.allowed(g.line, "R7") {
+                continue;
+            }
+            let held = g.held_locks();
+            if held.is_empty() {
+                continue;
+            }
+            // Multiple annotations on one fn: listed order is
+            // acquisition order.
+            for pair in held.windows(2) {
+                add(
+                    pair[0],
+                    pair[1],
+                    Provenance {
+                        file: f.rel_path.clone(),
+                        line: g.line,
+                        note: format!("fn `{}` acquires both", g.name),
+                    },
+                );
+            }
+            // Interprocedural: the under-lock region reaching an
+            // acquiring holder of another lock.
+            let first_acquire = g.lock_acquires.first().map(|a| a.idx).unwrap_or(0);
+            graph.walk(
+                ws,
+                (fi, gi),
+                |c| c.idx >= first_acquire && !f.allowed(c.line, "R7"),
+                |v| {
+                    let mut acquired_here = false;
+                    for &t in graph.targets(v.caller, v.call_idx) {
+                        let callee = &ws.files[t.0].fns[t.1];
+                        let callee_held = callee.held_locks();
+                        if callee_held.is_empty() || callee.lock_acquires.is_empty() {
+                            continue;
+                        }
+                        acquired_here = true;
+                        let mut path = v.path.to_vec();
+                        path.push(callee.name.clone());
+                        for l in &held {
+                            for m in &callee_held {
+                                add(
+                                    l,
+                                    m,
+                                    Provenance {
+                                        file: f.rel_path.clone(),
+                                        line: v.origin_line,
+                                        note: format!(
+                                            "fn `{}` holds `{l}` and reaches `{}` \
+                                             (acquires `{m}`): {}",
+                                            g.name,
+                                            callee.name,
+                                            path.join(" -> ")
+                                        ),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    if acquired_here {
+                        Step::Prune
+                    } else {
+                        Step::Descend
+                    }
+                },
+            );
+        }
+    }
+    edges
+}
+
+/// Find every distinct cycle (canonical rotation) and report it at its
+/// first edge's provenance.
+fn report_cycles(edges: &LockGraph) -> Vec<Diagnostic> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().insert(to);
+    }
+    let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut out = Vec::new();
+    for (from, to) in edges.keys() {
+        // An edge `from → to` closes a cycle iff `from` is reachable
+        // back from `to`; BFS gives the shortest witness.
+        let Some(back) = shortest_path(&adj, to, from) else {
+            continue;
+        };
+        // Cycle nodes in order: from, to, …, back to from (implicit).
+        let mut cycle: Vec<String> = vec![from.clone()];
+        cycle.extend(back.into_iter().map(str::to_string));
+        let canon = canonical_rotation(&cycle);
+        if !seen.insert(canon.clone()) {
+            continue;
+        }
+        let mut display = canon.clone();
+        display.push(canon[0].clone());
+        let notes: Vec<String> = display
+            .windows(2)
+            .filter_map(|w| edges.get(&(w[0].clone(), w[1].clone())))
+            .map(|p| format!("{} ({}:{})", p.note, p.file, p.line))
+            .collect();
+        let anchor = &edges[&(canon[0].clone(), canon[1].clone())];
+        out.push(Diagnostic {
+            file: anchor.file.clone(),
+            line: anchor.line,
+            rule: "R7",
+            message: format!(
+                "potential deadlock: lock-order cycle {}; {}",
+                display.join(" -> "),
+                notes.join("; ")
+            ),
+        });
+    }
+    out
+}
+
+/// Shortest path `start → goal` over the adjacency map, returned as the
+/// node sequence starting at `start` (excluding `goal`). `None` when
+/// unreachable.
+fn shortest_path<'a>(
+    adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    start: &'a str,
+    goal: &str,
+) -> Option<Vec<&'a str>> {
+    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue: VecDeque<&str> = VecDeque::new();
+    queue.push_back(start);
+    prev.insert(start, start);
+    while let Some(n) = queue.pop_front() {
+        if n == goal {
+            // Walk back to start, then reverse; drop the goal itself.
+            let mut path = Vec::new();
+            let mut cur = n;
+            while cur != start {
+                path.push(cur);
+                cur = prev[cur];
+            }
+            path.push(start);
+            path.reverse();
+            path.pop();
+            return Some(if path.is_empty() { vec![start] } else { path });
+        }
+        if let Some(nexts) = adj.get(n) {
+            for &m in nexts {
+                if !prev.contains_key(m) {
+                    prev.insert(m, n);
+                    queue.push_back(m);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Rotate the cycle so the lexicographically smallest lock comes first
+/// — one canonical spelling per cycle, whatever edge discovered it.
+fn canonical_rotation(cycle: &[String]) -> Vec<String> {
+    let min = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, s)| s.as_str())
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut out = Vec::with_capacity(cycle.len());
+    out.extend_from_slice(&cycle[min..]);
+    out.extend_from_slice(&cycle[..min]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+
+    fn diags(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let ws = Workspace::new(
+            files
+                .iter()
+                .map(|(p, s)| FileModel::build(p, crate::source::classify(p), s))
+                .collect(),
+        );
+        let config = Config::workspace_defaults();
+        let graph = CallGraph::build(&ws, &config);
+        check(&ws, &graph, &config)
+    }
+
+    #[test]
+    fn opposite_acquisition_orders_are_a_cycle() {
+        let d = diags(&[(
+            "crates/market/src/durable.rs",
+            "// audit: holds-lock(wal)\n\
+             fn purchase(&self) {\n    let w = self.wal.lock();\n    self.refresh_health();\n}\n\
+             // audit: holds-lock(health)\n\
+             fn refresh_health(&self) {\n    let h = self.health.write();\n}\n\
+             // audit: holds-lock(health)\n\
+             fn degrade(&self) {\n    let h = self.health.write();\n    self.log_event();\n}\n\
+             // audit: holds-lock(wal)\n\
+             fn log_event(&self) {\n    let w = self.wal.lock();\n}",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(
+            d[0].message.contains("lock-order cycle"),
+            "{}",
+            d[0].message
+        );
+        assert!(
+            d[0].message.contains("health -> wal -> health"),
+            "canonical rotation starts at the smallest name: {}",
+            d[0].message
+        );
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let d = diags(&[(
+            "crates/market/src/durable.rs",
+            "// audit: holds-lock(wal)\n\
+             fn purchase(&self) {\n    let w = self.wal.lock();\n    self.refresh_health();\n}\n\
+             // audit: holds-lock(health)\n\
+             fn refresh_health(&self) {\n    let h = self.health.write();\n}\n\
+             // audit: holds-lock(wal)\n\
+             fn compact(&self) {\n    let w = self.wal.lock();\n    self.refresh_health();\n}",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn declared_order_conflicts_with_derived_edge() {
+        let d = diags(&[(
+            "crates/market/src/durable.rs",
+            "// audit: lock-order(wal < health)\n\
+             // audit: holds-lock(health)\n\
+             fn degrade(&self) {\n    let h = self.health.write();\n    self.log_event();\n}\n\
+             // audit: holds-lock(wal)\n\
+             fn log_event(&self) {\n    let w = self.wal.lock();\n}",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("declared"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn multi_annotation_order_and_three_lock_cycle() {
+        // a<b, b<c from annotations-in-order; c<a derived: cycle a,b,c.
+        let d = diags(&[(
+            "crates/market/src/durable.rs",
+            "// audit: lock-order(alock < block)\n\
+             // audit: lock-order(block < clock)\n\
+             // audit: holds-lock(clock)\n\
+             fn c_then_a(&self) {\n    let c = self.c.lock();\n    self.take_a();\n}\n\
+             // audit: holds-lock(alock)\n\
+             fn take_a(&self) {\n    let a = self.a.lock();\n}",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(
+            d[0].message.contains("alock -> block -> clock -> alock"),
+            "{}",
+            d[0].message
+        );
+    }
+
+    #[test]
+    fn self_edges_are_not_cycles() {
+        // Sharded locks: a holder of cache-shard reaching another
+        // cache-shard holder is index-ordered, not a deadlock R7 can
+        // see; the self-edge is dropped.
+        let d = diags(&[(
+            "crates/market/src/cache.rs",
+            "// audit: holds-lock(cache-shard)\n\
+             fn invalidate_all(&self) {\n    let s = self.shards[0].write();\n    self.invalidate_one();\n}\n\
+             // audit: holds-lock(cache-shard)\n\
+             fn invalidate_one(&self) {\n    let s = self.shards[1].write();\n}",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn calls_before_the_acquisition_add_no_edge() {
+        let d = diags(&[(
+            "crates/market/src/durable.rs",
+            "// audit: lock-order(wal < health)\n\
+             // audit: holds-lock(health)\n\
+             fn h(&self) {\n    self.take_wal();\n    let g = self.health.write();\n}\n\
+             // audit: holds-lock(wal)\n\
+             fn take_wal(&self) {\n    let w = self.wal.lock();\n}",
+        )]);
+        assert!(d.is_empty(), "wal taken before health, not under it: {d:?}");
+    }
+
+    #[test]
+    fn allow_suppresses_derived_edges() {
+        let d = diags(&[(
+            "crates/market/src/durable.rs",
+            "// audit: lock-order(wal < health)\n\
+             // audit: allow(R7: guard dropped before the call, scanner cannot see it)\n\
+             // audit: holds-lock(health)\n\
+             fn degrade(&self) {\n    let h = self.health.write();\n    self.log_event();\n}\n\
+             // audit: holds-lock(wal)\n\
+             fn log_event(&self) {\n    let w = self.wal.lock();\n}",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn cycles_are_reported_once_per_canonical_rotation() {
+        // Both declaration files contribute the same two edges; the
+        // cycle must come back exactly once.
+        let d = diags(&[
+            (
+                "crates/market/src/a.rs",
+                "// audit: lock-order(wal < health)\nfn x() {}",
+            ),
+            (
+                "crates/market/src/b.rs",
+                "// audit: lock-order(health < wal)\nfn y() {}",
+            ),
+        ]);
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+}

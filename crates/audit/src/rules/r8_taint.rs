@@ -1,0 +1,312 @@
+//! R8 — error-propagation taint: a `Result` that can carry
+//! `StoreError::Transient` must never be silently discarded on the
+//! serving path.
+//!
+//! The VFS retry layer turns transient I/O faults into
+//! `StoreError::Transient` precisely so callers can retry or surface
+//! them; a `let _ =`, a bare `call();` statement, or an `.ok()` discard
+//! swallows the fault and turns "degraded but honest" into silent data
+//! loss (the serve event loop and WAL append are the paths that
+//! matter). The analysis is a two-step taint over the resolved
+//! [`CallGraph`]:
+//!
+//! 1. **Producers** — the fixpoint of: any fn whose body mentions the
+//!    `Transient` variant (construction *or* re-wrap), plus any fn that
+//!    calls a producer and propagates the value outward — via `?` or by
+//!    returning the call as its tail expression. Handling a producer's
+//!    result locally (matching on it, branching) deliberately does
+//!    *not* taint the caller: the fault stopped there.
+//! 2. **Discards** — in the configured serving paths, a call site whose
+//!    resolved targets include a producer, written as a discard:
+//!    `let _ = …;`, a bare statement `…;` whose value nobody binds, or
+//!    a trailing `.ok();`.
+//!
+//! Suppression: `// audit: allow(R8: why)` on the call line, for the
+//! rare place where dropping a transient fault is the design (e.g. a
+//! best-effort cache warm).
+
+use crate::callgraph::{CallGraph, FnId};
+use crate::lexer::Tok;
+use crate::model::FileModel;
+use crate::rules::{Config, Diagnostic, Workspace};
+use crate::source::FileClass;
+use std::collections::BTreeSet;
+
+/// Run R8 over the workspace.
+pub fn check(ws: &Workspace, graph: &CallGraph, config: &Config) -> Vec<Diagnostic> {
+    let producers = producer_fixpoint(ws, graph);
+    let mut out = Vec::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        if !config
+            .transient_paths
+            .iter()
+            .any(|p| f.rel_path.starts_with(p))
+            || f.class != FileClass::Library
+        {
+            continue;
+        }
+        for (gi, g) in f.fns.iter().enumerate() {
+            if g.is_test {
+                continue;
+            }
+            for (k, c) in g.calls.iter().enumerate() {
+                if f.allowed(c.line, "R8") || f.in_test_code(c.idx) {
+                    continue;
+                }
+                let hits_producer = graph
+                    .targets((fi, gi), k)
+                    .iter()
+                    .any(|t| producers.contains(t));
+                if !hits_producer {
+                    continue;
+                }
+                if let Some(how) = discard_shape(f, c.idx) {
+                    out.push(Diagnostic {
+                        file: f.rel_path.clone(),
+                        line: c.line,
+                        rule: "R8",
+                        message: format!(
+                            "fn `{}` discards ({how}) the Result of `{}`, which can \
+                             carry StoreError::Transient — retry it, `?` it, or \
+                             handle the error",
+                            g.name, c.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The transient-producer set: seeded by `Transient`-mentioning bodies,
+/// closed under `?`/tail-return propagation.
+fn producer_fixpoint(ws: &Workspace, graph: &CallGraph) -> BTreeSet<FnId> {
+    let mut producers: BTreeSet<FnId> = BTreeSet::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        for (gi, g) in f.fns.iter().enumerate() {
+            let Some((s, e)) = g.body else { continue };
+            let mentions = f.code[s..e.min(f.code.len())]
+                .iter()
+                .any(|t| matches!(&t.tok, Tok::Ident(n) if n == "Transient"));
+            if mentions && !g.is_test && f.class == FileClass::Library {
+                producers.insert((fi, gi));
+            }
+        }
+    }
+    loop {
+        let mut grew = false;
+        for (fi, f) in ws.files.iter().enumerate() {
+            for (gi, g) in f.fns.iter().enumerate() {
+                let id = (fi, gi);
+                if producers.contains(&id) || g.is_test || f.class != FileClass::Library {
+                    continue;
+                }
+                let propagates = g.calls.iter().enumerate().any(|(k, c)| {
+                    graph.targets(id, k).iter().any(|t| producers.contains(t))
+                        && propagates_outward(f, c.idx)
+                });
+                if propagates {
+                    producers.insert(id);
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            return producers;
+        }
+    }
+}
+
+/// Does the call at `idx` hand its Result to the caller's caller — a
+/// `?` after the argument list, or the call as the fn's tail expression
+/// (`)` directly followed by `}`)?
+fn propagates_outward(f: &FileModel, idx: usize) -> bool {
+    let close = f.matching_paren(idx + 1);
+    let after = close + 1;
+    f.code.get(after).is_some_and(|t| t.is_punct('?'))
+        || f.code.get(after).is_some_and(|t| t.is_punct('}'))
+}
+
+/// If the call at `idx` is written as a discard, say which shape:
+/// `let _ = …;`, a bare `…;` statement, or a trailing `.ok();`.
+fn discard_shape(f: &FileModel, idx: usize) -> Option<&'static str> {
+    // Walk back over the receiver chain (`self.wal.append(` starts the
+    // statement at `self`) to the token before the expression.
+    let mut start = idx;
+    while start > 0 {
+        let prev = &f.code[start - 1];
+        let is_chain =
+            prev.is_punct('.') || prev.is_punct(':') || matches!(&prev.tok, Tok::Ident(_));
+        if is_chain {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    // `let _ = expr …;`
+    if start >= 2 {
+        let eq = f.code[start - 1].is_punct('=');
+        let underscore = matches!(&f.code[start - 2].tok, Tok::Ident(n) if n == "_");
+        let let_kw = start >= 3 && matches!(&f.code[start - 3].tok, Tok::Ident(n) if n == "let");
+        if eq && underscore && let_kw {
+            return Some("`let _ =`");
+        }
+    }
+    let close = f.matching_paren(idx + 1);
+    // `expr.ok();`
+    if f.code.get(close + 1).is_some_and(|t| t.is_punct('.'))
+        && matches!(f.code.get(close + 2).map(|t| &t.tok), Some(Tok::Ident(n)) if n == "ok")
+        && f.code.get(close + 3).is_some_and(|t| t.is_punct('('))
+        && f.code.get(close + 4).is_some_and(|t| t.is_punct(')'))
+        && f.code.get(close + 5).is_some_and(|t| t.is_punct(';'))
+    {
+        return Some("`.ok()`");
+    }
+    // Bare statement: the expression opens a statement and its value
+    // hits the `;` unbound.
+    let opens_statement = start == 0
+        || f.code[start - 1].is_punct(';')
+        || f.code[start - 1].is_punct('{')
+        || f.code[start - 1].is_punct('}');
+    if opens_statement && f.code.get(close + 1).is_some_and(|t| t.is_punct(';')) {
+        return Some("bare statement");
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+
+    fn diags(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let ws = Workspace::new(
+            files
+                .iter()
+                .map(|(p, s)| FileModel::build(p, crate::source::classify(p), s))
+                .collect(),
+        );
+        let config = Config::workspace_defaults();
+        let graph = CallGraph::build(&ws, &config);
+        check(&ws, &graph, &config)
+    }
+
+    const PRODUCER: (&str, &str) = (
+        "crates/store/src/vfs.rs",
+        "impl RetryPolicy {\n    fn run(&self) -> Result<(), StoreError> {\n        Err(StoreError::Transient { op, path, source })\n    }\n}",
+    );
+
+    #[test]
+    fn let_underscore_discard_is_flagged() {
+        let d = diags(&[
+            PRODUCER,
+            (
+                "crates/store/src/wal.rs",
+                "impl Wal {\n    fn append(&self) {\n        let _ = self.policy.run();\n    }\n}",
+            ),
+        ]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`let _ =`"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn bare_statement_and_ok_discards_are_flagged() {
+        let d = diags(&[
+            PRODUCER,
+            (
+                "crates/store/src/wal.rs",
+                "impl Wal {\n    fn append(&self) {\n        self.policy.run();\n        self.policy.run().ok();\n    }\n}",
+            ),
+        ]);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].message.contains("bare statement"));
+        assert!(d[1].message.contains("`.ok()`"));
+    }
+
+    #[test]
+    fn question_mark_and_binding_are_clean() {
+        let d = diags(&[
+            PRODUCER,
+            (
+                "crates/store/src/wal.rs",
+                "impl Wal {\n    fn append(&self) -> Result<(), StoreError> {\n        self.policy.run()?;\n        let r = self.policy.run();\n        match r { Ok(()) => {}, Err(e) => return Err(e) }\n        Ok(())\n    }\n}",
+            ),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn taint_propagates_through_question_mark_callers() {
+        // append? makes append's caller-facing Result transient-tainted;
+        // discarding *that* in serve is the finding.
+        let d = diags(&[
+            PRODUCER,
+            (
+                "crates/store/src/wal.rs",
+                "impl Wal {\n    fn append(&self) -> Result<(), StoreError> {\n        self.policy.run()?;\n        Ok(())\n    }\n}",
+            ),
+            (
+                "crates/market/src/durable.rs",
+                "impl DurableMarket {\n    fn persist(&self) {\n        let _ = self.wal.append();\n    }\n}",
+            ),
+        ]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("append"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn tail_expression_propagates_taint() {
+        let d = diags(&[
+            PRODUCER,
+            (
+                "crates/store/src/wal.rs",
+                "impl Wal {\n    fn append(&self) -> Result<(), StoreError> {\n        self.policy.run()\n    }\n}\n\
+                 impl Store {\n    fn flush(&self) {\n        self.wal.append();\n    }\n}",
+            ),
+        ]);
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn local_handling_stops_the_taint() {
+        // `recover` matches on the producer's Result: its own callers
+        // see no transient taint, so discarding recover() is fine.
+        let d = diags(&[
+            PRODUCER,
+            (
+                "crates/store/src/wal.rs",
+                "impl Wal {\n    fn recover(&self) -> bool {\n        match self.policy.run() { Ok(()) => true, Err(_) => false }\n    }\n    fn open(&self) {\n        self.recover();\n    }\n}",
+            ),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn outside_serving_paths_is_exempt() {
+        let d = diags(&[
+            PRODUCER,
+            (
+                "crates/bench/src/lib.rs",
+                "fn drive(w: &Wal) {\n    let _ = w.sync_all();\n}",
+            ),
+            (
+                "crates/workload/src/gen.rs",
+                "fn warm(p: &RetryPolicy) {\n    let _ = p.run();\n}",
+            ),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_suppresses() {
+        let d = diags(&[
+            PRODUCER,
+            (
+                "crates/store/src/wal.rs",
+                "impl Wal {\n    fn warm(&self) {\n        // audit: allow(R8: best-effort cache warm, failure is cold-start)\n        let _ = self.policy.run();\n    }\n}",
+            ),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,12 @@
+//! Use-rename regression fixture: the under-lock call reaches the
+//! pricing engine through a `use … as` alias. Earlier revisions of
+//! R3 matched raw call names and missed exactly this; resolution now
+//! passes through the file's alias table (see `FileModel::unalias`).
+
+use qbdp_core::price_cq as priced;
+
+// audit: holds-lock(wal)
+fn flush(&self) {
+    let wal = self.wal.lock();
+    priced(q); //~ R3
+}

@@ -1,0 +1,53 @@
+//! R7 golden fixture: lock-order cycles.
+//! Never compiled — tests/golden.rs feeds it to the auditor (under the
+//! virtual path `crates/market/src/…`, where the lock rules bind) and
+//! the trailing rule markers name the diagnostics it must produce.
+//! Each cycle is reported once, anchored at the provenance of its
+//! canonical first edge (smallest lock name first).
+
+// A declaration that nothing contradicts: no diagnostic by itself.
+// audit: lock-order(wal < health)
+
+// Derives wal -> health: fine, it agrees with the declaration.
+// audit: holds-lock(wal)
+fn purchase(&self) {
+    let w = self.wal.lock();
+    self.refresh_health();
+}
+
+// audit: holds-lock(health)
+fn refresh_health(&self) {
+    let h = self.health.write();
+}
+
+// Derives health -> wal: closes the cycle. Canonical rotation starts at
+// `health`, so the report anchors here, at the call that takes the WAL
+// while health is held.
+// audit: holds-lock(health)
+fn degrade(&self) {
+    let h = self.health.write();
+    self.log_event(); //~ R7
+}
+
+// audit: holds-lock(wal)
+fn log_event(&self) {
+    let w = self.wal.lock();
+}
+
+// A second, disjoint cycle through the plan/state pair, two hops long.
+// audit: holds-lock(plan)
+fn reprice(&self) {
+    let p = self.plan.lock();
+    self.touch_state(); //~ R7
+}
+
+// audit: holds-lock(state)
+fn touch_state(&self) {
+    let s = self.state.write();
+    self.replan();
+}
+
+// audit: holds-lock(plan)
+fn replan(&self) {
+    let p = self.plan.lock();
+}

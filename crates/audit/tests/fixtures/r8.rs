@@ -1,0 +1,43 @@
+//! R8 golden fixture: transient-error taint discarded on the serving
+//! path. Never compiled — tests/golden.rs feeds it to the auditor under
+//! the virtual path `crates/market/src/…` (a configured transient
+//! path).
+
+// The producer: its body constructs the Transient variant.
+fn flaky_write(&self) -> Result<(), StoreError> {
+    Err(StoreError::Transient { op, path, source })
+}
+
+// Propagates the producer's Result via `?`: callers of persist are
+// tainted transitively.
+fn persist(&self) -> Result<(), StoreError> {
+    self.flaky_write()?;
+    Ok(())
+}
+
+// Every discard shape, on the direct producer and through one hop.
+fn ignore_direct(&self) {
+    let _ = self.flaky_write(); //~ R8
+}
+
+fn ignore_transitive(&self) {
+    self.persist(); //~ R8
+    self.persist().ok(); //~ R8
+}
+
+// Handling the fault locally is the point of the taint stopping here:
+// recover's own callers see no Transient, so discarding recover() is
+// clean.
+fn recover(&self) -> bool {
+    match self.flaky_write() { Ok(()) => true, Err(_) => false }
+}
+
+fn reopen(&self) {
+    self.recover();
+}
+
+// A deliberate, documented discard.
+fn warm(&self) {
+    // audit: allow(R8: best-effort cache warm — failure is a cold start)
+    let _ = self.flaky_write();
+}

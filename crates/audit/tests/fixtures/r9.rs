@@ -1,0 +1,46 @@
+//! R9 golden fixture: panic reachability from serving entries. Never
+//! compiled — tests/golden.rs feeds it to the auditor under the virtual
+//! path `crates/market/src/…`. The `allow(R2: …)` waivers below are the
+//! *claims* R9 exists to check: R2 goes quiet, and R9 still reports the
+//! site when a serving entry reaches it outside a containment frontier.
+
+impl Market {
+    // A serving entry (matches the configured `Market::quote*`): the
+    // panic site two hops down is reported, anchored at the site.
+    pub fn quote_str(&self) {
+        self.lookup();
+    }
+
+    fn lookup(&self) {
+        // audit: allow(R2: claimed unreachable — exactly what R9 checks)
+        self.table.get(k).unwrap(); //~ R9
+    }
+
+    // Contained: the closure runs under `contain`'s catch_unwind, so
+    // the same panic shape is fine here.
+    pub fn quote_batch(&self) {
+        contain(|| self.risky());
+    }
+
+    fn risky(&self) {
+        // audit: allow(R2: contained at the market boundary)
+        self.table.get(k).unwrap();
+    }
+
+    // Waived: a panic-ok frontier cuts the walk.
+    pub fn quote_explain(&self) {
+        self.render();
+    }
+
+    // audit: panic-ok(debug rendering, feeds the flight recorder only)
+    fn render(&self) {
+        // audit: allow(R2: see panic-ok above)
+        panic!("render failure");
+    }
+}
+
+// The containment wrapper: calls catch_unwind directly, so its argument
+// list is a frontier for every caller.
+fn contain(f: impl FnOnce()) {
+    let _ = std::panic::catch_unwind(f);
+}

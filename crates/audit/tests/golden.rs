@@ -67,3 +67,23 @@ fn r5_undocumented_unsafe_fires() {
 fn r6_blocking_record_path_fires() {
     check_fixture("r6.rs", "crates/obs/src/fixture_r6.rs");
 }
+
+#[test]
+fn r7_lock_order_cycles_fire() {
+    check_fixture("r7.rs", "crates/market/src/fixture_r7.rs");
+}
+
+#[test]
+fn r8_discarded_transient_results_fire() {
+    check_fixture("r8.rs", "crates/market/src/fixture_r8.rs");
+}
+
+#[test]
+fn r9_reachable_panics_fire() {
+    check_fixture("r9.rs", "crates/market/src/fixture_r9.rs");
+}
+
+#[test]
+fn r3_sees_through_use_renames() {
+    check_fixture("r3_alias.rs", "crates/market/src/fixture_r3_alias.rs");
+}

@@ -174,6 +174,7 @@ impl ShardedQuoteCache {
         // Re-check under the shard lock: an invalidation that has already
         // swept this shard must not see the entry reappear.
         if self.stamp(&footprint) == stamp {
+            // audit: allow(R7: `shard` is the guard local — its `insert` is std HashMap surface, not the market's; cache-shard is innermost)
             shard.insert(
                 key,
                 Entry {

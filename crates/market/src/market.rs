@@ -10,6 +10,10 @@
 //! panicking engine surfaces as [`MarketError::Internal`] and the market
 //! keeps serving subsequent requests.
 
+// The workspace-wide lock hierarchy, outermost first. `wal` lives in the
+// durable layer, the rest here; any path acquiring against this order is
+// an R7 cycle at the next audit run.
+// audit: lock-order(wal < state < plan < cache-shard)
 use crate::cache::ShardedQuoteCache;
 use crate::error::MarketError;
 use crate::ledger::Ledger;
@@ -173,12 +177,13 @@ impl Drop for InFlightGuard<'_> {
     }
 }
 
-/// Run a pricing call with panics contained at the market boundary. The
-/// lock is not poisoned (parking_lot) and nothing was mutated, so the
-/// market keeps serving after reporting the failure.
-fn contain_panic<T>(
-    f: impl FnOnce() -> Result<T, qbdp_core::PricingError>,
-) -> Result<T, MarketError> {
+/// Run a pricing or evaluation call with panics contained at the market
+/// boundary. The lock is not poisoned (parking_lot) and nothing was
+/// mutated, so the market keeps serving after reporting the failure.
+fn contain_panic<T, E>(f: impl FnOnce() -> Result<T, E>) -> Result<T, MarketError>
+where
+    MarketError: From<E>,
+{
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
         Ok(result) => Ok(result?),
         Err(payload) => {
@@ -581,9 +586,14 @@ impl Market {
         let _slot = self.admit(state.policy.max_in_flight)?;
         let q = parse_rule(state.pricer.catalog().schema(), query)?;
         let quote = self.quote_inner(&state, &q)?;
-        let mut answer: Vec<Tuple> = qbdp_query::eval::eval_cq(&q, state.pricer.instance())?
-            .into_iter()
-            .collect();
+        // Evaluation runs the same buyer-controlled query the pricing
+        // engine just priced; a panic here must not unwind through the
+        // serving thread any more than a pricing panic may (the quote
+        // paths already contain those).
+        let mut answer: Vec<Tuple> =
+            contain_panic(|| qbdp_query::eval::eval_cq(&q, state.pricer.instance()))?
+                .into_iter()
+                .collect();
         answer.sort();
         let transaction_id = state.ledger.record_sale(
             quote.query.clone(),
@@ -615,6 +625,7 @@ impl Market {
             .ok_or_else(|| MarketError::Update(format!("unknown relation {relation}")))?;
         let added = state
             .pricer
+            // audit: allow(R7: core's instance-data insert — a name collision with the durable market's `insert`, no lock behind it)
             .insert(rel, tuples)
             .map_err(|e| MarketError::Update(e.to_string()))?;
         // Invalidate while still holding the write lock, so the epoch
@@ -678,9 +689,12 @@ impl Market {
         let _slot = self.admit(state.policy.max_in_flight)?;
         let q = parse_rule(state.pricer.catalog().schema(), query)?;
         let quote = self.quote_inner(&state, &q)?;
-        let mut answer: Vec<Tuple> = qbdp_query::eval::eval_cq(&q, state.pricer.instance())?
-            .into_iter()
-            .collect();
+        // Same containment as `purchase_str_inner`: the durable path's
+        // evaluation must not unwind through `purchase_str`.
+        let mut answer: Vec<Tuple> =
+            contain_panic(|| qbdp_query::eval::eval_cq(&q, state.pricer.instance()))?
+                .into_iter()
+                .collect();
         answer.sort();
         Ok((quote, answer))
     }

@@ -337,6 +337,7 @@ impl Server {
                         );
                         // Best-effort courtesy notice; the close is the
                         // real backpressure.
+                        // audit: allow(R8: 503 notice to a rejected conn — retrying would hold the accept loop hostage)
                         let _ = s.write(&buf);
                         continue;
                     }
